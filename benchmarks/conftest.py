@@ -1,0 +1,64 @@
+"""Shared builders for the experiment benchmarks.
+
+Every benchmark runs a deterministic simulation once (rounds=1 — the
+simulator is seeded, so repetition only measures host noise) and records the
+protocol-level costs in ``benchmark.extra_info``; the printed tables are the
+rows EXPERIMENTS.md documents.
+"""
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.bft.config import BFTConfig
+from repro.net.simulator import Simulator
+from repro.nfs.client import NFSClient
+from repro.nfs.direct import direct_client
+from repro.nfs.fileserver import Ext2FS, FFS, LogFS, MemFS
+from repro.nfs.relay import NFSDeployment
+
+HETERO_FACTORIES = {
+    "R0": lambda disk: MemFS(disk=disk, seed=1, clock_skew=0.5),
+    "R1": lambda disk: Ext2FS(disk=disk, seed=2, clock_skew=-0.3),
+    "R2": lambda disk: FFS(disk=disk, seed=3, clock_skew=0.8),
+    "R3": lambda disk: LogFS(disk=disk, seed=4, clock_skew=0.1),
+}
+
+
+def bench_config(**overrides) -> BFTConfig:
+    defaults = dict(checkpoint_interval=16, log_window=64)
+    defaults.update(overrides)
+    return BFTConfig(**defaults)
+
+
+def hetero_deployment(num_objects: int = 256, **config_overrides) -> NFSDeployment:
+    """Four replicas, four distinct vendors (the paper's deployment)."""
+    return NFSDeployment(
+        dict(HETERO_FACTORIES),
+        num_objects=num_objects,
+        config=bench_config(**config_overrides),
+    )
+
+
+def homo_deployment(vendor=MemFS, num_objects: int = 256, **config_overrides) -> NFSDeployment:
+    """Four replicas all running the same vendor."""
+    return NFSDeployment(
+        {
+            rid: (lambda disk, i=i: vendor(disk=disk, seed=10 + i))
+            for i, rid in enumerate(["R0", "R1", "R2", "R3"])
+        },
+        num_objects=num_objects,
+        config=bench_config(**config_overrides),
+    )
+
+
+def baseline_client(vendor=MemFS, seed: int = 1, round_trip: float = 0.001):
+    """The unreplicated off-the-shelf server the replicated service wraps."""
+    sim = Simulator(seed=0)
+    fs = direct_client(vendor(disk={}, seed=seed), sim=sim, round_trip=round_trip)
+    return sim, fs
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,104 @@
+"""E14 (ablation) — checkpoint interval k and copy-on-write cost.
+
+The paper uses k = 128: checkpoints every k requests hold only the objects
+whose value changed (copy-on-write).  We sweep k and measure COW copies,
+checkpoint digest work, and bytes held, plus the batching ablation.
+"""
+
+import pytest
+
+from repro.bench.metrics import ExperimentTable
+from repro.bft.config import BFTConfig
+from repro.bft.testing import encode_set, kv_cluster
+
+from benchmarks.conftest import run_once
+
+OPS = 96
+WIDTH = 8
+
+
+def _run_with_k(k: int):
+    config = BFTConfig(checkpoint_interval=k, log_window=4 * k)
+    cluster = kv_cluster(config=config, num_slots=64)
+    client = cluster.client("C0")
+    for i in range(OPS):
+        client.invoke(encode_set(i % WIDTH, bytes([i % 251]) * 64), timeout=60)
+    cluster.settle(1.0)
+    service = cluster.service("R0")
+    manager = service.manager
+    return {
+        "k": k,
+        "checkpoints": manager.counters.get("checkpoints_taken"),
+        "cow_copies": manager.counters.get("cow_copies"),
+        "cow_bytes": manager.counters.get("cow_bytes"),
+        "digest_updates": manager.counters.get("checkpoint_digests"),
+    }
+
+
+def test_checkpoint_interval_sweep(benchmark):
+    def sweep():
+        return [_run_with_k(k) for k in (4, 8, 16, 32)]
+
+    rows = run_once(benchmark, sweep)
+
+    table = ExperimentTable("E14: checkpoint interval k — COW cost")
+    for row in rows:
+        table.add_row(**row)
+    table.show()
+
+    # More frequent checkpoints => more checkpoints and more COW copies
+    # (each interval re-copies the hot objects).
+    checkpoints = [row["checkpoints"] for row in rows]
+    assert checkpoints == sorted(checkpoints, reverse=True)
+    cow = [row["cow_copies"] for row in rows]
+    assert cow[0] >= cow[-1]
+    # COW copies stay bounded by hot-set size per interval, far below the
+    # full-copy alternative (64 objects per checkpoint).
+    for row in rows:
+        full_copy_cost = row["checkpoints"] * 64
+        assert row["cow_copies"] < full_copy_cost
+    benchmark.extra_info["cow_at_k4"] = rows[0]["cow_copies"]
+    benchmark.extra_info["cow_at_k32"] = rows[-1]["cow_copies"]
+
+
+def test_batching_ablation(benchmark):
+    """Request batching amortizes protocol cost across concurrent clients."""
+
+    def scenario():
+        results = {}
+        for batch_max in (1, 8):
+            config = BFTConfig(
+                checkpoint_interval=16, log_window=64, batch_max=batch_max
+            )
+            cluster = kv_cluster(config=config)
+            clients = [cluster.client(f"C{i}") for i in range(6)]
+            done = []
+            for round_number in range(5):
+                for client in clients:
+                    client.invoke_async(
+                        encode_set(round_number % 8, client.node_id.encode()),
+                        done.append,
+                    )
+                cluster.sim.run_until_condition(
+                    lambda: len(done) >= (round_number + 1) * 6, timeout=60
+                )
+            primary = cluster.replica("R0")
+            results[batch_max] = {
+                "pre_prepares": primary.counters.get("pre_prepares_sent"),
+                "requests": primary.counters.get("batched_requests"),
+            }
+        return results
+
+    results = run_once(benchmark, scenario)
+
+    table = ExperimentTable("E14b: batching ablation")
+    for batch_max, row in results.items():
+        table.add_row(
+            batch_max=batch_max,
+            pre_prepares=row["pre_prepares"],
+            requests_ordered=row["requests"],
+            requests_per_batch=round(row["requests"] / max(row["pre_prepares"], 1), 2),
+        )
+    table.show()
+
+    assert results[8]["pre_prepares"] < results[1]["pre_prepares"]

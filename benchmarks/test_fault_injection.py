@@ -1,0 +1,102 @@
+"""E7 — fault-injection availability (the paper's proposed experiment).
+
+"It would also be important to run fault injection experiments to evaluate
+the availability improvements afforded by our technique."
+
+We measure availability (fraction of probe operations answered within a
+budget) under a matrix of fault scenarios, on the KV service for speed.
+"""
+
+import pytest
+
+from repro.bench.metrics import ExperimentTable
+from repro.bft.config import BFTConfig
+from repro.bft.testing import encode_set
+from repro.faults import (
+    AvailabilityProbe,
+    make_equivocating_primary,
+    make_lying_checkpointer,
+    make_result_corruptor,
+)
+
+from repro.bft.testing import kv_cluster
+
+from benchmarks.conftest import run_once
+
+PROBE_OPS = 40
+
+
+def _availability(prepare):
+    cluster = kv_cluster(config=BFTConfig(checkpoint_interval=16, log_window=64))
+    client = cluster.client("Cprobe")
+    client.invoke(encode_set(0, b"warm"))
+    prepare(cluster)
+    probe = AvailabilityProbe(
+        cluster.sim,
+        client,
+        make_op=lambda i: encode_set(i % 8, bytes([i % 251])),
+        op_timeout=2.0,
+    )
+    probe.run(PROBE_OPS)
+    return probe.summary()
+
+
+SCENARIOS = [
+    ("no faults", lambda cluster: None),
+    ("one crash (backup)", lambda cluster: cluster.crash("R3")),
+    ("one crash (primary)", lambda cluster: cluster.crash("R0")),
+    ("equivocating primary", lambda cluster: make_equivocating_primary(cluster.replica("R0"))),
+    ("result corruptor", lambda cluster: make_result_corruptor(cluster.replica("R2"))),
+    ("checkpoint liar", lambda cluster: make_lying_checkpointer(cluster.replica("R1"))),
+    (
+        "two crashes (> f)",
+        lambda cluster: (cluster.crash("R2"), cluster.crash("R3")),
+    ),
+]
+
+
+def test_availability_matrix(benchmark):
+    def matrix():
+        return [(name, _availability(prepare)) for name, prepare in SCENARIOS]
+
+    results = run_once(benchmark, matrix)
+
+    table = ExperimentTable("E7: availability under injected faults")
+    for name, summary in results:
+        table.add_row(
+            scenario=name,
+            availability=round(summary.availability, 3),
+            mean_latency=round(summary.mean_latency, 4),
+            max_latency=round(summary.max_latency, 4),
+        )
+    table.show()
+
+    by_name = dict(results)
+    # With at most f faults — crash or Byzantine — availability holds.
+    for tolerated in (
+        "no faults",
+        "one crash (backup)",
+        "one crash (primary)",
+        "equivocating primary",
+        "result corruptor",
+        "checkpoint liar",
+    ):
+        assert by_name[tolerated].availability == 1.0, tolerated
+    # Beyond f the service must stall (no quorum): availability collapses.
+    assert by_name["two crashes (> f)"].availability < 0.2
+    benchmark.extra_info["matrix"] = {
+        name: round(summary.availability, 3) for name, summary in results
+    }
+
+
+def test_latency_under_primary_crash(benchmark):
+    """Fail-over cost: the view change shows up as one latency spike, not as
+    an outage."""
+
+    def scenario():
+        return _availability(lambda cluster: cluster.crash("R0"))
+
+    summary = run_once(benchmark, scenario)
+    assert summary.availability == 1.0
+    assert summary.max_latency > summary.mean_latency * 2
+    benchmark.extra_info["failover_max_latency"] = round(summary.max_latency, 4)

@@ -1,0 +1,76 @@
+"""E17 (ablation) — throughput scaling with concurrent clients.
+
+PBFT's batching amortizes agreement cost across concurrent requests: with
+closed-loop clients (each issues its next request when the previous reply
+arrives), throughput grows well past a single client's reciprocal latency.
+"""
+
+import pytest
+
+from repro.bench.metrics import ExperimentTable, ratio
+from repro.bft.config import BFTConfig
+from repro.bft.testing import encode_set, kv_cluster
+
+from benchmarks.conftest import run_once
+
+OPS_PER_CLIENT = 30
+
+
+def _closed_loop(num_clients: int):
+    cluster = kv_cluster(
+        config=BFTConfig(checkpoint_interval=16, log_window=64, batch_max=16)
+    )
+    clients = [cluster.client(f"C{i}") for i in range(num_clients)]
+    remaining = {client.node_id: OPS_PER_CLIENT for client in clients}
+    started = cluster.sim.now()
+
+    def issue(client):
+        def on_reply(_result, client=client):
+            remaining[client.node_id] -= 1
+            if remaining[client.node_id] > 0:
+                issue(client)
+
+        counter = OPS_PER_CLIENT - remaining[client.node_id]
+        client.invoke_async(
+            encode_set(counter % 16, client.node_id.encode()), on_reply
+        )
+
+    for client in clients:
+        issue(client)
+    cluster.sim.run_until_condition(
+        lambda: all(count == 0 for count in remaining.values()), timeout=600
+    )
+    elapsed = cluster.sim.now() - started
+    total_ops = num_clients * OPS_PER_CLIENT
+    primary = cluster.replica("R0")
+    batches = primary.counters.get("pre_prepares_sent")
+    return {
+        "clients": num_clients,
+        "throughput": total_ops / elapsed,
+        "requests_per_batch": primary.counters.get("batched_requests") / max(batches, 1),
+    }
+
+
+def test_throughput_scales_with_clients(benchmark):
+    def sweep():
+        return [_closed_loop(n) for n in (1, 2, 4, 8, 12)]
+
+    rows = run_once(benchmark, sweep)
+
+    table = ExperimentTable("E17: closed-loop throughput scaling")
+    for row in rows:
+        table.add_row(
+            clients=row["clients"],
+            ops_per_virtual_second=round(row["throughput"], 0),
+            requests_per_batch=round(row["requests_per_batch"], 2),
+        )
+    table.show()
+
+    throughputs = [row["throughput"] for row in rows]
+    # Monotone-ish growth, and real amortization: 12 clients beat 1 client
+    # by far more than 1x, thanks to batching.
+    assert throughputs[-1] > throughputs[0] * 3
+    assert rows[-1]["requests_per_batch"] > rows[0]["requests_per_batch"]
+    benchmark.extra_info["speedup_12_clients"] = round(
+        throughputs[-1] / throughputs[0], 2
+    )

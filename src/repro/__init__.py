@@ -1,0 +1,21 @@
+"""repro — a full reproduction of "BASE: Using Abstraction to Improve Fault
+Tolerance" (Castro, Rodrigues, Liskov; HotOS 2001).
+
+Layering, bottom-up:
+
+* :mod:`repro.util`   — XDR, virtual clocks, error types, metrics;
+* :mod:`repro.net`    — deterministic discrete-event network simulation;
+* :mod:`repro.crypto` — digests, MAC authenticators, signatures;
+* :mod:`repro.bft`    — the PBFT engine (ordering, view changes,
+  checkpoints, state transfer, proactive recovery);
+* :mod:`repro.base`   — the paper's contribution: abstract specifications,
+  conformance wrappers, abstraction functions, COW checkpointing;
+* :mod:`repro.nfs`    — the replicated file service example (four distinct
+  file-system implementations behind one abstract NFS spec);
+* :mod:`repro.oodb`   — the object-oriented database example;
+* :mod:`repro.faults` — fault injection (crash, Byzantine, corruption,
+  aging, common-mode bugs);
+* :mod:`repro.bench`  — workload generators and the experiment harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,32 @@
+"""BASE: the paper's contribution — Byzantine fault tolerance with
+Abstract Specification Encapsulation.
+
+The pieces map onto the paper's methodology (section 2.1):
+
+* :mod:`repro.base.abstraction` — abstract specifications: the abstract
+  state (an array of variable-sized objects), the abstraction function and
+  its inverse, expressed as protocols the service author implements;
+* :mod:`repro.base.wrapper` — the conformance-wrapper interface: a veneer
+  that makes an off-the-shelf implementation obey the common specification;
+* :mod:`repro.base.statemgr` — copy-on-write checkpointing over the abstract
+  object array (the ``modify`` upcall);
+* :mod:`repro.base.partition` — the hierarchical state partition tree used
+  for efficient, verifiable state transfer;
+* :mod:`repro.base.library` — :class:`BASEService` and
+  :func:`build_base_cluster`, gluing a conformance wrapper into the BFT
+  engine (upcalls ``execute``, ``get_obj``, ``put_objs``; paper Figure 1).
+"""
+
+from repro.base.abstraction import AbstractSpec
+from repro.base.wrapper import ConformanceWrapper
+from repro.base.statemgr import AbstractStateManager
+from repro.base.partition import PartitionTree
+from repro.base.library import BASEService
+
+__all__ = [
+    "AbstractSpec",
+    "ConformanceWrapper",
+    "AbstractStateManager",
+    "PartitionTree",
+    "BASEService",
+]

@@ -1,0 +1,37 @@
+"""Abstract specifications (paper section 2.1).
+
+A common abstract specification ``S`` makes a set of distinct, off-the-shelf
+implementations behave deterministically: it defines
+
+* the **abstract state** — an array of variable-sized objects (the encoding
+  of each object is part of the specification, e.g. XDR for the file
+  service);
+* an **initial state value**; and
+* the behaviour of each operation (implemented by the conformance wrappers).
+
+:class:`AbstractSpec` captures the state half; operations live in the
+wrapper interface because their signatures are service-specific.
+"""
+
+from __future__ import annotations
+
+
+class AbstractSpec:
+    """The abstract-state portion of a common specification."""
+
+    #: Size of the abstract-object array (fixed, per the paper's file service).
+    num_objects: int = 0
+
+    def initial_object(self, index: int) -> bytes:
+        """Encoded initial value of abstract object ``index``.
+
+        Every conformance wrapper must produce exactly these bytes from a
+        freshly initialized implementation, or replicas would disagree at
+        sequence number zero.
+        """
+        raise NotImplementedError
+
+    def validate_object(self, index: int, data: bytes) -> bool:
+        """Optional well-formedness check on an encoded object (used by
+        tests and by debugging builds of the state-transfer path)."""
+        return True

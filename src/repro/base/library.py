@@ -1,0 +1,113 @@
+"""The BASE library proper: glue between a conformance wrapper and the BFT
+engine (paper Figure 1).
+
+``BASEService`` adapts a :class:`~repro.base.wrapper.ConformanceWrapper` to
+the engine's :class:`~repro.bft.service.StateMachine` interface:
+
+* ``execute`` upcalls go to the wrapper, with the batch's agreed
+  non-deterministic value decoded into a timestamp;
+* the ``modify`` procedure is injected into the wrapper and drives
+  copy-on-write checkpointing in the
+  :class:`~repro.base.statemgr.AbstractStateManager`;
+* ``get_obj``/``put_objs`` (the abstraction function and its inverse) serve
+  checkpoint reads and state-transfer installs;
+* non-determinism agreement uses
+  :class:`~repro.bft.nondet.TimestampAgreement`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.base.statemgr import AbstractStateManager, genesis_root_digest
+from repro.base.wrapper import ConformanceWrapper
+from repro.bft.nondet import TimestampAgreement
+from repro.bft.service import StateMachine
+from repro.util.clock import VirtualClock
+
+
+class BASEService(StateMachine):
+    """A replicated service built from an off-the-shelf implementation."""
+
+    def __init__(
+        self,
+        wrapper: ConformanceWrapper,
+        clock: VirtualClock,
+        arity: int = 8,
+        max_clock_skew: float = 1.0,
+    ) -> None:
+        self.wrapper = wrapper
+        self.arity = arity
+        self.manager = AbstractStateManager(
+            wrapper.spec.num_objects, wrapper.get_obj, arity=arity
+        )
+        wrapper.set_modify_callback(self.manager.modify)
+        self.timestamps = TimestampAgreement(clock, max_skew=max_clock_skew)
+        self._genesis_digest: Optional[bytes] = None
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, op: bytes, client_id: str, nondet: bytes, read_only: bool = False) -> bytes:
+        timestamp = self.timestamps.accept(nondet) if nondet else 0
+        return self.wrapper.execute(op, client_id, timestamp, read_only=read_only)
+
+    def record_reply(self, client_id: str, reqid: int, reply: bytes) -> None:
+        self.manager.record_reply(client_id, reqid, reply)
+
+    def last_recorded(self, client_id: str):
+        return self.manager.last_recorded(client_id)
+
+    def propose_nondet(self) -> bytes:
+        return self.timestamps.propose()
+
+    def check_nondet(self, nondet: bytes) -> bool:
+        return self.timestamps.check(nondet)
+
+    # -- checkpointing ------------------------------------------------------------------
+
+    def take_checkpoint(self, seqno: int) -> bytes:
+        return self.manager.take_checkpoint(seqno)
+
+    def discard_checkpoints_below(self, seqno: int) -> None:
+        self.manager.discard_checkpoints_below(seqno)
+
+    def checkpoint_seqnos(self) -> List[int]:
+        return self.manager.checkpoint_seqnos()
+
+    # -- state transfer -------------------------------------------------------------------
+
+    def num_levels(self) -> int:
+        return self.manager.num_levels()
+
+    def root_digest(self, seqno: int) -> Optional[bytes]:
+        return self.manager.root_digest(seqno)
+
+    def genesis_root_digest(self) -> bytes:
+        if self._genesis_digest is None:
+            self._genesis_digest = genesis_root_digest(
+                self.wrapper.spec.num_objects,
+                self.wrapper.spec.initial_object,
+                arity=self.arity,
+                client_shards=self.manager.client_shards,
+            )
+        return self._genesis_digest
+
+    def get_meta(self, seqno: int, level: int, index: int) -> Optional[List[Tuple[int, bytes]]]:
+        return self.manager.get_meta(seqno, level, index)
+
+    def get_object_at(self, seqno: int, index: int) -> Optional[bytes]:
+        return self.manager.get_object_at(seqno, index)
+
+    def current_node(self, level: int, index: int) -> Tuple[int, bytes]:
+        return self.manager.current_node(level, index)
+
+    def adopt_leaf_lm(self, index: int, lm: int) -> None:
+        self.manager.set_leaf_lm(index, lm)
+
+    def install_fetched(self, objects: Dict[int, Tuple[bytes, int]], seqno: int) -> bytes:
+        return self.manager.install_fetched(objects, seqno, self.wrapper.put_objs)
+
+    # -- proactive recovery -------------------------------------------------------------------
+
+    def save_for_recovery(self) -> None:
+        self.wrapper.save_for_recovery()

@@ -1,0 +1,176 @@
+"""Hierarchical state partition tree (OSDI'00 section: efficient state
+transfer).
+
+The abstract state is an array of objects; the tree is a fixed-arity Merkle
+tree whose leaves are the objects.  Every node carries ⟨lm, d⟩ — the sequence
+number of the checkpoint at which the node's subtree last changed, and a
+digest.  Interior digests bind the children's ⟨lm, d⟩ pairs, so a fetching
+replica can verify any metadata reply against the root digest it learned from
+a stable-checkpoint certificate, and can skip subtrees whose lm shows they
+have not changed since its own checkpoint.
+
+lm values are deterministic across correct replicas (same execution history
+=> objects are modified at the same sequence numbers), so they may safely be
+part of the digested metadata.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.crypto.digest import EMPTY_DIGEST, combine_digests
+
+
+def _levels_for(num_leaves: int, arity: int) -> int:
+    """Number of tree levels below the root needed to cover the leaves."""
+    levels = 1
+    span = arity
+    while span < num_leaves:
+        span *= arity
+        levels += 1
+    return levels
+
+
+def _encode_pair(lm: int, digest_value: bytes) -> bytes:
+    return lm.to_bytes(8, "big") + digest_value
+
+
+class PartitionTree:
+    """Merkle tree over a fixed-size array of abstract-object digests.
+
+    Level 0 is the root (one node); the deepest level holds the leaves.
+    Updates recompute the path to the root eagerly (path length is
+    O(log_arity(n)), a handful of hashes).
+    """
+
+    def __init__(self, num_objects: int, arity: int = 8) -> None:
+        if num_objects < 1:
+            raise ValueError("need at least one object")
+        if arity < 2:
+            raise ValueError("arity must be >= 2")
+        self.num_objects = num_objects
+        self.arity = arity
+        self.depth = _levels_for(num_objects, arity)
+        # _digests[level][i], _lms[level][i]; level self.depth = leaves.
+        self._digests: List[List[bytes]] = []
+        self._lms: List[List[int]] = []
+        count = 1
+        for _level in range(self.depth + 1):
+            self._digests.append([EMPTY_DIGEST] * count)
+            self._lms.append([0] * count)
+            count *= arity
+        # Trim deepest level to the actual leaf count, then recompute all
+        # interior digests so an empty tree has a well-defined root.
+        self._digests[self.depth] = [EMPTY_DIGEST] * num_objects
+        self._lms[self.depth] = [0] * num_objects
+        for level in range(self.depth - 1, -1, -1):
+            for index in range(len(self._digests[level])):
+                self._recompute(level, index)
+
+    # -- shape -----------------------------------------------------------------
+
+    def num_levels(self) -> int:
+        """Levels below the root: leaves live at level ``num_levels()``."""
+        return self.depth
+
+    def nodes_at(self, level: int) -> int:
+        return len(self._digests[level])
+
+    def child_range(self, level: int, index: int) -> range:
+        """Indices at ``level + 1`` that are children of (level, index)."""
+        if level >= self.depth:
+            raise ValueError("leaves have no children")
+        start = index * self.arity
+        end = min(start + self.arity, self.nodes_at(level + 1))
+        return range(start, end)
+
+    # -- reads ------------------------------------------------------------------
+
+    def root(self) -> Tuple[int, bytes]:
+        return self._lms[0][0], self._digests[0][0]
+
+    def node(self, level: int, index: int) -> Tuple[int, bytes]:
+        return self._lms[level][index], self._digests[level][index]
+
+    def children(self, level: int, index: int) -> List[Tuple[int, bytes]]:
+        return [
+            (self._lms[level + 1][i], self._digests[level + 1][i])
+            for i in self.child_range(level, index)
+        ]
+
+    def leaf(self, index: int) -> Tuple[int, bytes]:
+        return self.node(self.depth, index)
+
+    # -- writes -----------------------------------------------------------------
+
+    def update_leaf(self, index: int, digest_value: bytes, seqno: int) -> None:
+        """Set leaf ``index`` to ``digest_value``, last modified at ``seqno``,
+        and refresh the path to the root."""
+        self._digests[self.depth][index] = digest_value
+        self._lms[self.depth][index] = seqno
+        level = self.depth
+        child = index
+        while level > 0:
+            level -= 1
+            child //= self.arity
+            self._recompute(level, child)
+
+    def _recompute(self, level: int, index: int) -> None:
+        pairs = self.children(level, index)
+        self._digests[level][index] = combine_digests(
+            _encode_pair(lm, d) for lm, d in pairs
+        )
+        self._lms[level][index] = max((lm for lm, _d in pairs), default=0)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> "TreeSnapshot":
+        return TreeSnapshot(
+            arity=self.arity,
+            depth=self.depth,
+            num_objects=self.num_objects,
+            digests=[list(level) for level in self._digests],
+            lms=[list(level) for level in self._lms],
+        )
+
+
+class TreeSnapshot:
+    """Immutable copy of a partition tree at a checkpoint."""
+
+    def __init__(
+        self,
+        arity: int,
+        depth: int,
+        num_objects: int,
+        digests: List[List[bytes]],
+        lms: List[List[int]],
+    ) -> None:
+        self.arity = arity
+        self.depth = depth
+        self.num_objects = num_objects
+        self._digests = digests
+        self._lms = lms
+
+    def root(self) -> Tuple[int, bytes]:
+        return self._lms[0][0], self._digests[0][0]
+
+    def node(self, level: int, index: int) -> Tuple[int, bytes]:
+        return self._lms[level][index], self._digests[level][index]
+
+    def children(self, level: int, index: int) -> List[Tuple[int, bytes]]:
+        if level >= self.depth:
+            raise ValueError("leaves have no children")
+        start = index * self.arity
+        end = min(start + self.arity, len(self._digests[level + 1]))
+        return [
+            (self._lms[level + 1][i], self._digests[level + 1][i])
+            for i in range(start, end)
+        ]
+
+    def leaf(self, index: int) -> Tuple[int, bytes]:
+        return self.node(self.depth, index)
+
+
+def verify_children(parent_digest: bytes, children: List[Tuple[int, bytes]]) -> bool:
+    """Check that a metadata reply's children hash to the parent digest."""
+    return parent_digest == combine_digests(_encode_pair(lm, d) for lm, d in children)

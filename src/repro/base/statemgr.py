@@ -1,0 +1,290 @@
+"""Abstract-state manager: the checkpointing half of the BASE library.
+
+Implements the paper's scheme exactly (section 2.2):
+
+* the abstract state is an array of variable-sized objects, reached only
+  through the ``get_obj`` upcall (the abstraction function applied to one
+  index);
+* ``modify(i)`` must be invoked by the conformance wrapper before the first
+  mutation of object ``i`` after a checkpoint — the manager snapshots the old
+  value lazily (copy-on-write), so a checkpoint stores only the objects whose
+  value has since changed;
+* checkpoints are labelled with the sequence number of the last request they
+  reflect and are discarded once a later checkpoint becomes stable;
+* a hierarchical partition tree over per-object digests supports efficient,
+  verifiable state transfer.
+
+The manager is shared by every BASE service (NFS, OODB, test services); the
+service supplies only the ``get_obj`` callable.
+
+Beyond the service's objects, the manager hosts a small number of hidden
+**client-table shards** as extra leaves of the abstract state.  They hold
+the per-client last-request/last-reply records that give the service its
+at-most-once execution semantics.  Keeping them *inside* the checkpointed,
+transferable state (as the BFT library does with its reply cache) is what
+makes deduplication survive state transfer and proactive recovery — a
+recovering replica must not re-execute a stale request that the others
+skipped.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.base.partition import PartitionTree, TreeSnapshot
+from repro.crypto.digest import digest
+from repro.util.stats import Counters
+from repro.util.xdr import XdrDecoder, XdrEncoder
+
+DEFAULT_CLIENT_SHARDS = 4
+
+
+def encode_client_shard(entries: Dict[str, Tuple[int, bytes]]) -> bytes:
+    """Canonical encoding of one client-table shard (sorted by client)."""
+    enc = XdrEncoder()
+    items = sorted(entries.items())
+    enc.pack_u32(len(items))
+    for client_id, (reqid, reply) in items:
+        enc.pack_string(client_id)
+        enc.pack_u64(reqid)
+        enc.pack_opaque(reply)
+    return enc.getvalue()
+
+
+def decode_client_shard(blob: bytes) -> Dict[str, Tuple[int, bytes]]:
+    dec = XdrDecoder(blob)
+    count = dec.unpack_u32()
+    out: Dict[str, Tuple[int, bytes]] = {}
+    for _ in range(count):
+        client_id = dec.unpack_string()
+        reqid = dec.unpack_u64()
+        out[client_id] = (reqid, dec.unpack_opaque())
+    dec.done()
+    return out
+
+
+_EMPTY_SHARD = encode_client_shard({})
+
+
+def genesis_root_digest(
+    num_objects: int,
+    initial_object: Callable[[int], bytes],
+    arity: int = 8,
+    client_shards: int = DEFAULT_CLIENT_SHARDS,
+) -> bytes:
+    """Root digest of a spec's initial abstract state (lm = 0 everywhere,
+    client-table shards empty).
+
+    A pure function of the specification: replicas use it to recognize and
+    verify the implicit genesis checkpoint without any certificate."""
+    tree = PartitionTree(num_objects + client_shards, arity=arity)
+    for index in range(num_objects):
+        tree.update_leaf(index, digest(initial_object(index)), 0)
+    for shard in range(client_shards):
+        tree.update_leaf(num_objects + shard, digest(_EMPTY_SHARD), 0)
+    return tree.root()[1]
+
+
+class _Checkpoint:
+    """One live checkpoint: COW copies plus the frozen partition tree."""
+
+    __slots__ = ("seqno", "cow", "tree")
+
+    def __init__(self, seqno: int, tree: TreeSnapshot) -> None:
+        self.seqno = seqno
+        self.cow: Dict[int, bytes] = {}
+        self.tree = tree
+
+
+class AbstractStateManager:
+    """Copy-on-write checkpointing over an abstract-object array."""
+
+    def __init__(
+        self,
+        num_objects: int,
+        get_obj: Callable[[int], bytes],
+        arity: int = 8,
+        client_shards: int = DEFAULT_CLIENT_SHARDS,
+    ) -> None:
+        self.num_objects = num_objects
+        self.client_shards = client_shards
+        self.total_leaves = num_objects + client_shards
+        self._service_get_obj = get_obj
+        self._client_table: List[Dict[str, Tuple[int, bytes]]] = [
+            {} for _ in range(client_shards)
+        ]
+        self.tree = PartitionTree(self.total_leaves, arity=arity)
+        self._checkpoints: "OrderedDict[int, _Checkpoint]" = OrderedDict()
+        self._modified: Set[int] = set()
+        self.counters = Counters()
+        self._initialize_digests()
+
+    def _get_obj(self, index: int) -> bytes:
+        """Dispatch: service objects come from the abstraction function;
+        client-table shards are the manager's own."""
+        if index < self.num_objects:
+            return self._service_get_obj(index)
+        return encode_client_shard(self._client_table[index - self.num_objects])
+
+    def _initialize_digests(self) -> None:
+        for index in range(self.total_leaves):
+            self.tree.update_leaf(index, digest(self._get_obj(index)), 0)
+
+    # -- the client table (at-most-once execution state) -----------------------------
+
+    def _shard_of(self, client_id: str) -> int:
+        # Stable hash: Python's str hash is per-process randomized, which
+        # would shard clients differently at different replicas.
+        stable = int.from_bytes(digest(client_id.encode())[:4], "big")
+        return self.num_objects + (stable % self.client_shards)
+
+    def record_reply(self, client_id: str, reqid: int, reply: bytes) -> None:
+        """Record the latest executed request per client — replicated state,
+        so deduplication survives state transfer and recovery."""
+        shard_index = self._shard_of(client_id)
+        self.modify(shard_index)
+        self._client_table[shard_index - self.num_objects][client_id] = (reqid, reply)
+
+    def last_recorded(self, client_id: str) -> Optional[Tuple[int, bytes]]:
+        shard_index = self._shard_of(client_id)
+        return self._client_table[shard_index - self.num_objects].get(client_id)
+
+    # -- the modify upcall (paper Figure 1) ---------------------------------------
+
+    def modify(self, index: int) -> None:
+        """Must be called before mutating abstract object ``index``.
+
+        Lazily copies the object's pre-mutation value into the most recent
+        checkpoint (if any) the first time the object changes after it.
+        """
+        if not 0 <= index < self.total_leaves:
+            raise IndexError(f"object index {index} out of range")
+        if self._checkpoints:
+            latest = next(reversed(self._checkpoints))
+            checkpoint = self._checkpoints[latest]
+            if index not in checkpoint.cow:
+                checkpoint.cow[index] = self._get_obj(index)
+                self.counters.add("cow_copies")
+                self.counters.add("cow_bytes", len(checkpoint.cow[index]))
+        self._modified.add(index)
+
+    def modified_since_checkpoint(self) -> Set[int]:
+        return set(self._modified)
+
+    # -- checkpoints ------------------------------------------------------------------
+
+    def take_checkpoint(self, seqno: int) -> bytes:
+        """Freeze the current abstract state as checkpoint ``seqno``."""
+        if self._checkpoints and seqno <= next(reversed(self._checkpoints)):
+            raise ValueError(f"checkpoint seqnos must increase (got {seqno})")
+        for index in sorted(self._modified):
+            self.tree.update_leaf(index, digest(self._get_obj(index)), seqno)
+            self.counters.add("checkpoint_digests")
+        self._modified.clear()
+        self._checkpoints[seqno] = _Checkpoint(seqno, self.tree.snapshot())
+        self.counters.add("checkpoints_taken")
+        return self.tree.root()[1]
+
+    def discard_checkpoints_below(self, seqno: int) -> None:
+        for label in [s for s in self._checkpoints if s < seqno]:
+            del self._checkpoints[label]
+
+    def checkpoint_seqnos(self) -> List[int]:
+        return list(self._checkpoints)
+
+    def latest_checkpoint(self) -> Optional[int]:
+        if not self._checkpoints:
+            return None
+        return next(reversed(self._checkpoints))
+
+    # -- reads at a checkpoint -----------------------------------------------------------
+
+    def get_object_at(self, seqno: int, index: int) -> Optional[bytes]:
+        """Object value as of checkpoint ``seqno``.
+
+        Scans checkpoints from ``seqno`` forward: the first COW copy found is
+        the value at ``seqno`` (a copy in checkpoint s' >= s is the value the
+        object held from s' until its first subsequent modification, and the
+        absence of copies in [s, s') means it did not change there).  With no
+        copy anywhere, the current value stands.
+        """
+        if seqno not in self._checkpoints:
+            return None
+        for label, checkpoint in self._checkpoints.items():
+            if label < seqno:
+                continue
+            if index in checkpoint.cow:
+                return checkpoint.cow[index]
+        return self._get_obj(index)
+
+    def root_digest(self, seqno: int) -> Optional[bytes]:
+        checkpoint = self._checkpoints.get(seqno)
+        if checkpoint is None:
+            return None
+        return checkpoint.tree.root()[1]
+
+    def get_meta(self, seqno: int, level: int, index: int) -> Optional[List[Tuple[int, bytes]]]:
+        checkpoint = self._checkpoints.get(seqno)
+        if checkpoint is None:
+            return None
+        if not 0 <= level < self.tree.num_levels():
+            return None
+        return checkpoint.tree.children(level, index)
+
+    def num_levels(self) -> int:
+        return self.tree.num_levels()
+
+    def current_node(self, level: int, index: int) -> Tuple[int, bytes]:
+        """⟨lm, digest⟩ of a live-tree node (leaves are at the deepest level)."""
+        return self.tree.node(level, index)
+
+    def set_leaf_lm(self, index: int, lm: int) -> None:
+        """Overwrite a leaf's last-modified seqno, keeping its digest.
+
+        Used by the fetching side of state transfer to adopt a verified lm
+        for a leaf whose value is already correct (e.g. after a reboot reset
+        every lm to zero).
+        """
+        _lm, digest_value = self.tree.leaf(index)
+        self.tree.update_leaf(index, digest_value, lm)
+
+    # -- installing fetched state -----------------------------------------------------------
+
+    def install_fetched(
+        self,
+        objects: Dict[int, Tuple[bytes, int]],
+        seqno: int,
+        apply_objects: Callable[[Dict[int, bytes]], None],
+    ) -> bytes:
+        """Bring the state to checkpoint ``seqno`` using fetched objects.
+
+        ``objects`` maps index -> (value, lm) as fetched and verified by the
+        state-transfer protocol; ``apply_objects`` is the service's
+        ``put_objs`` upcall, invoked once with the complete, consistent set
+        (the paper's contract).  Client-table shards are installed by the
+        manager itself.  Local checkpoints are discarded — after installation
+        this replica's newest checkpoint is ``seqno`` — and the new root
+        digest is returned for verification against the certificate.
+        """
+        service_objects: Dict[int, bytes] = {}
+        for index, (value, _lm) in objects.items():
+            if index < self.num_objects:
+                service_objects[index] = value
+            else:
+                self._client_table[index - self.num_objects] = decode_client_shard(value)
+        apply_objects(service_objects)
+        for index, (value, lm) in objects.items():
+            self.tree.update_leaf(index, digest(value), lm)
+        self._modified.clear()
+        self._checkpoints.clear()
+        self._checkpoints[seqno] = _Checkpoint(seqno, self.tree.snapshot())
+        self.counters.add("state_transfer_installs")
+        return self.tree.root()[1]
+
+    def reset_to_current(self) -> None:
+        """Drop checkpoints and recompute every leaf digest from the current
+        concrete state (used when a replica reconstructs after reboot)."""
+        self._checkpoints.clear()
+        self._modified.clear()
+        self._initialize_digests()

@@ -1,0 +1,76 @@
+"""The conformance-wrapper interface (paper section 2.1).
+
+A conformance wrapper ``C_i`` is a veneer over one off-the-shelf
+implementation ``I_i`` that makes it implement the common abstract
+specification ``S``.  It owns the *conformance rep* — whatever bookkeeping
+is needed to translate between the implementation's concrete behaviour and
+the abstract behaviour (for the file service: the oid array, file-handle
+maps, and abstract timestamps).
+
+Contracts the BASE library relies on:
+
+* ``execute`` must call the injected ``modify(index)`` callback **before**
+  the first mutation of each abstract object it changes (copy-on-write
+  checkpointing depends on seeing the pre-image);
+* ``get_obj`` (the abstraction function, per object) must be a pure
+  observation of the implementation's state;
+* ``put_objs`` (an inverse of the abstraction function) receives a complete
+  consistent set of changed objects and must bring the implementation's
+  concrete state to match;
+* the wrapper treats the implementation as a **black box**: only its public
+  service interface may be used.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.base.abstraction import AbstractSpec
+
+
+class ConformanceWrapper:
+    """Base class for conformance wrappers."""
+
+    def __init__(self, spec: AbstractSpec) -> None:
+        self.spec = spec
+        self._modify: Callable[[int], None] = lambda index: None
+
+    # -- wiring (done by the BASE library) ------------------------------------------
+
+    def set_modify_callback(self, modify: Callable[[int], None]) -> None:
+        """Inject the library's ``modify`` upcall (paper Figure 1)."""
+        self._modify = modify
+
+    def modify(self, index: int) -> None:
+        """Notify the library that abstract object ``index`` is about to
+        change."""
+        self._modify(index)
+
+    # -- the common specification's operations ------------------------------------------
+
+    def execute(
+        self, op: bytes, client_id: str, timestamp_micros: int, read_only: bool = False
+    ) -> bytes:
+        """Run one abstract operation against the wrapped implementation.
+
+        ``timestamp_micros`` is the batch's agreed non-deterministic time
+        value (zero for read-only execution, which must not mutate state).
+        """
+        raise NotImplementedError
+
+    # -- state conversion (abstraction function and inverse) ------------------------------
+
+    def get_obj(self, index: int) -> bytes:
+        """Abstraction function, restricted to one object index."""
+        raise NotImplementedError
+
+    def put_objs(self, objects: Dict[int, bytes]) -> None:
+        """Inverse abstraction function: install new values for the given
+        abstract objects into the concrete state."""
+        raise NotImplementedError
+
+    # -- proactive recovery -----------------------------------------------------------------
+
+    def save_for_recovery(self) -> None:
+        """Persist the conformance rep (and any identifier maps needed to
+        recompute the abstraction function after reboot).  Default: no-op."""

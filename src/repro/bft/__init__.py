@@ -1,0 +1,32 @@
+"""PBFT: Practical Byzantine Fault Tolerance (Castro & Liskov, OSDI'99) with
+proactive recovery and hierarchical state transfer (OSDI'00).
+
+This package is the BFT library that the paper's contribution (the BASE
+layer, :mod:`repro.base`) extends.  It provides:
+
+* state-machine replication tolerating ``f`` Byzantine replicas out of
+  ``n >= 3f + 1`` (three-phase ordering: pre-prepare / prepare / commit);
+* request batching and at-most-once execution semantics per client;
+* checkpointing every ``k`` requests with 2f+1 certificates, log garbage
+  collection, and water marks;
+* view changes for liveness when the primary is faulty;
+* the read-only optimization (2f+1 matching replies, no ordering);
+* agreement on non-deterministic values chosen by the primary and validated
+  by backups (used by BASE for e.g. NFS timestamps);
+* hierarchical state transfer driven by partition-tree metadata supplied by
+  the service; and
+* staggered proactive recovery with session-key refresh.
+
+The service behind a replica is anything implementing
+:class:`repro.bft.service.StateMachine`; BASE supplies the implementation
+that wraps off-the-shelf code behind an abstract state.
+"""
+
+from repro.bft.config import BFTConfig
+from repro.bft.service import StateMachine
+from repro.bft.replica import Replica
+from repro.bft.client import Client
+from repro.bft.cluster import Cluster
+from repro.bft.recovery import ReplicaHost
+
+__all__ = ["BFTConfig", "StateMachine", "Replica", "Client", "Cluster", "ReplicaHost"]

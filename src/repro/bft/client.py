@@ -1,0 +1,168 @@
+"""BFT client: the ``invoke`` side of the library (paper Figure 1).
+
+``invoke`` multicasts an authenticated request to every replica,
+retransmits until it collects f+1 matching replies (2f+1 for the read-only
+optimization, which skips ordering), and returns the agreed result.  In the
+simulator, the blocking form drives the event loop until the reply quorum
+arrives; the async form takes a callback and is used when many clients run
+concurrently inside one benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.bft.config import BFTConfig
+from repro.bft.messages import Reply, Request
+from repro.crypto.auth import KeyTable, MacVerificationError
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+from repro.util.errors import ProtocolError
+from repro.util.stats import Counters
+
+
+class InvocationTimeout(ProtocolError):
+    """A blocking invoke did not complete within its virtual-time budget."""
+
+
+class _Invocation:
+    __slots__ = ("request", "callback", "replies", "read_only", "started", "retries")
+
+    def __init__(self, request: Request, callback: Callable[[bytes], None]) -> None:
+        self.request = request
+        self.callback = callback
+        self.replies: Dict[str, bytes] = {}
+        self.read_only = request.read_only
+        self.retries = 0
+
+
+class Client(Node):
+    """Issues operations against the replicated service."""
+
+    def __init__(
+        self,
+        client_id: str,
+        sim: Simulator,
+        network: Network,
+        config: BFTConfig,
+        keys: KeyTable,
+    ) -> None:
+        super().__init__(client_id, sim, network)
+        self.config = config
+        self.keys = keys
+        self.counters = Counters()
+        self._reqid = 0
+        self._current: Optional[_Invocation] = None
+
+    # -- public API (paper: int invoke(req, rep, read_only)) ------------------------
+
+    def invoke_async(
+        self,
+        op: bytes,
+        callback: Callable[[bytes], None],
+        read_only: bool = False,
+    ) -> int:
+        """Send one operation; ``callback(result)`` fires on a reply quorum.
+
+        One outstanding invocation per client, as in the BFT library."""
+        if self._current is not None:
+            raise ProtocolError(f"client {self.node_id} already has a request in flight")
+        self._reqid += 1
+        request = Request(
+            client_id=self.node_id, reqid=self._reqid, op=op, read_only=read_only
+        )
+        self._current = _Invocation(request, callback)
+        self.counters.add("invokes")
+        if read_only:
+            self.counters.add("read_only_invokes")
+        self._transmit()
+        self._arm_retry(self._reqid)
+        return self._reqid
+
+    def invoke(self, op: bytes, read_only: bool = False, timeout: float = 60.0) -> bytes:
+        """Blocking invoke: drives the simulator until the result is known."""
+        box: list = []
+        self.invoke_async(op, box.append, read_only=read_only)
+        ok = self.sim.run_until_condition(lambda: bool(box), timeout=timeout)
+        if not ok:
+            raise InvocationTimeout(
+                f"request {self._reqid} from {self.node_id} got no quorum "
+                f"within {timeout}s of virtual time"
+            )
+        return box[0]
+
+    def cancel(self) -> None:
+        """Abandon the in-flight invocation (used by availability probes
+        after a timeout; replicas may still execute the request)."""
+        if self._current is not None:
+            self.counters.add("invocations_cancelled")
+            self._current = None
+
+    # -- transmission / retry ----------------------------------------------------------
+
+    def _transmit(self) -> None:
+        invocation = self._current
+        if invocation is None:
+            return
+        request = invocation.request
+        request.auth = self.keys.make_authenticator(
+            self.node_id, self.config.replica_ids, request.signable_bytes()
+        )
+        self.multicast(self.config.replica_ids, request)
+
+    def _arm_retry(self, reqid: int) -> None:
+        delay = (
+            self.config.read_only_timeout
+            if self._current is not None and self._current.read_only
+            else self.config.client_retry
+        )
+        self.set_timer(delay, lambda: self._retry(reqid))
+
+    def _retry(self, reqid: int) -> None:
+        invocation = self._current
+        if invocation is None or invocation.request.reqid != reqid:
+            return
+        invocation.retries += 1
+        self.counters.add("request_retransmissions")
+        if invocation.read_only:
+            # Read-only fallback: reissue as a regular, ordered request.
+            self.counters.add("read_only_fallbacks")
+            callback = invocation.callback
+            op = invocation.request.op
+            self._current = None
+            self.invoke_async(op, callback, read_only=False)
+            return
+        self._transmit()
+        self._arm_retry(reqid)
+
+    # -- replies --------------------------------------------------------------------------
+
+    def on_message(self, message, src: str) -> None:
+        if not isinstance(message, Reply):
+            return
+        invocation = self._current
+        if invocation is None:
+            return
+        if message.reqid != invocation.request.reqid:
+            return
+        if message.replica_id != src or src not in self.config.replica_ids:
+            return
+        if message.auth is None:
+            return
+        try:
+            self.keys.check_authenticator(
+                message.auth, self.node_id, message.signable_bytes()
+            )
+        except MacVerificationError:
+            self.counters.add("reply_bad_auth")
+            return
+        invocation.replies[src] = message.result
+        needed = self.config.quorum if invocation.read_only else self.config.weak_quorum
+        matching = [
+            r for r in invocation.replies.values() if r == message.result
+        ]
+        if len(matching) >= needed:
+            self.counters.add("replies_accepted")
+            self._current = None
+            invocation.callback(message.result)

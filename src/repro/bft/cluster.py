@@ -1,0 +1,109 @@
+"""Deployment harness: wire a simulator, network, keys, replicas, and
+clients into a runnable BFT service.
+
+Used by integration tests, the examples, and every benchmark.  The
+``service_factory_for(replica_id)`` indirection is what lets each replica run
+a *different* implementation (opportunistic N-version programming) and what
+lets proactive recovery rebuild a replica's service from persistent storage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.bft.client import Client
+from repro.bft.config import BFTConfig
+from repro.bft.recovery import ReplicaHost
+from repro.bft.replica import Replica
+from repro.bft.service import StateMachine
+from repro.crypto.auth import KeyTable
+from repro.crypto.sign import SignatureScheme
+from repro.net.network import Network, NetworkConfig
+from repro.net.simulator import Simulator
+from repro.util.stats import Counters
+from repro.util.trace import Tracer
+
+ServiceFactory = Callable[[], StateMachine]
+
+
+class Cluster:
+    """A complete simulated deployment of one replicated service."""
+
+    def __init__(
+        self,
+        service_factory_for: Callable[[str], ServiceFactory],
+        config: Optional[BFTConfig] = None,
+        seed: int = 0,
+        net_config: Optional[NetworkConfig] = None,
+        reboot_time: float = 0.02,
+        sim: Optional[Simulator] = None,
+        trace: bool = False,
+    ) -> None:
+        self.config = config or BFTConfig()
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.network = Network(self.sim, net_config)
+        self.keys = KeyTable()
+        self.sigs = SignatureScheme()
+        self.tracer = Tracer(clock=self.sim.now) if trace else None
+        self.hosts: Dict[str, ReplicaHost] = {}
+        for replica_id in self.config.replica_ids:
+            self.hosts[replica_id] = ReplicaHost(
+                replica_id,
+                self.sim,
+                self.network,
+                self.config,
+                service_factory_for(replica_id),
+                self.keys,
+                self.sigs,
+                reboot_time=reboot_time,
+                tracer=self.tracer,
+            )
+        self._clients: Dict[str, Client] = {}
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def replicas(self) -> List[Replica]:
+        return [host.replica for host in self.hosts.values()]
+
+    def replica(self, replica_id: str) -> Replica:
+        return self.hosts[replica_id].replica
+
+    def service(self, replica_id: str) -> StateMachine:
+        return self.hosts[replica_id].service
+
+    def client(self, client_id: str) -> Client:
+        if client_id not in self._clients:
+            self._clients[client_id] = Client(
+                client_id, self.sim, self.network, self.config, self.keys
+            )
+        return self._clients[client_id]
+
+    # -- control --------------------------------------------------------------------
+
+    def start_proactive_recovery(self) -> None:
+        for host in self.hosts.values():
+            host.schedule_proactive_recovery()
+
+    def crash(self, replica_id: str) -> None:
+        """Silence a replica (crash fault)."""
+        self.network.set_down(replica_id, True)
+
+    def restart(self, replica_id: str) -> None:
+        self.network.set_down(replica_id, False)
+
+    def settle(self, duration: float = 0.5) -> None:
+        """Let in-flight protocol traffic quiesce."""
+        self.sim.run_for(duration)
+
+    # -- metrics ----------------------------------------------------------------------
+
+    def total_counters(self) -> Counters:
+        total = Counters()
+        for host in self.hosts.values():
+            total.merge(host.replica.counters)
+        for client in self._clients.values():
+            total.merge(client.counters)
+        total.merge(self.network.counters)
+        total.merge(self.keys.counters)
+        return total

@@ -1,0 +1,82 @@
+"""Static configuration of a BFT service instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class BFTConfig:
+    """Parameters shared by every replica and client of one service.
+
+    replica_ids:        ordered replica identities; primary(v) = ids[v mod n].
+    f:                  tolerated Byzantine faults; requires n >= 3f + 1.
+    checkpoint_interval: take a checkpoint every k requests (paper: k = 128).
+    log_window:         high-water mark offset L (log holds seqnos (h, h+L]).
+    batch_max:          max requests folded into one pre-prepare.
+    max_outstanding:    max ordering instances in flight at the primary;
+                        requests arriving while the pipeline is full
+                        accumulate and are batched (this is what makes
+                        batching happen at all).
+    view_change_timeout: backup patience for an unexecuted request, seconds.
+    status_interval:    period of status/retransmission gossip, seconds.
+    client_retry:       client request retransmission period, seconds.
+    read_only_timeout:  how long a client waits for a read-only quorum before
+                        falling back to a regular, ordered request.
+    recovery_period:    full proactive-recovery rotation period (0 disables);
+                        replica i reboots at phase i/n of each rotation.
+    """
+
+    replica_ids: List[str] = field(default_factory=lambda: ["R0", "R1", "R2", "R3"])
+    f: int = 1
+    checkpoint_interval: int = 16
+    log_window: int = 64
+    batch_max: int = 8
+    max_outstanding: int = 2
+    view_change_timeout: float = 0.25
+    status_interval: float = 0.05
+    client_retry: float = 0.15
+    read_only_timeout: float = 0.05
+    recovery_period: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(set(self.replica_ids)) != len(self.replica_ids):
+            raise ConfigurationError("duplicate replica ids")
+        if self.n < 3 * self.f + 1:
+            raise ConfigurationError(
+                f"n={self.n} replicas cannot tolerate f={self.f} faults "
+                f"(need n >= 3f+1 = {3 * self.f + 1})"
+            )
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
+        if self.log_window < 2 * self.checkpoint_interval:
+            raise ConfigurationError(
+                "log_window must be at least twice the checkpoint interval"
+            )
+        if self.batch_max < 1:
+            raise ConfigurationError("batch_max must be >= 1")
+        if self.max_outstanding < 1:
+            raise ConfigurationError("max_outstanding must be >= 1")
+
+    @property
+    def n(self) -> int:
+        return len(self.replica_ids)
+
+    @property
+    def quorum(self) -> int:
+        """Size of a strong (Byzantine) quorum: 2f + 1."""
+        return 2 * self.f + 1
+
+    @property
+    def weak_quorum(self) -> int:
+        """f + 1: guarantees at least one correct member."""
+        return self.f + 1
+
+    def primary(self, view: int) -> str:
+        return self.replica_ids[view % self.n]
+
+    def replica_index(self, replica_id: str) -> int:
+        return self.replica_ids.index(replica_id)

@@ -1,0 +1,451 @@
+"""PBFT protocol messages.
+
+Every message has a canonical byte encoding (:meth:`signable_bytes`) used for
+MACs, signatures, and digests, and a :meth:`wire_size` used by the network
+layer for byte accounting.  Normal-case messages (request, pre-prepare,
+prepare, commit, reply, checkpoint) travel with MAC *authenticators*;
+pre-prepares, prepares, and checkpoints additionally carry a signature so
+they can be embedded as third-party-verifiable proofs inside view-change
+messages (the OSDI'99 signature variant of the view-change protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.crypto.auth import Authenticator
+from repro.crypto.digest import combine_digests, digest
+from repro.util.xdr import XdrEncoder
+
+
+@dataclass
+class Message:
+    """Base class; subclasses fill in canonical encodings."""
+
+    def signable_bytes(self) -> bytes:
+        raise NotImplementedError
+
+    def wire_size(self) -> int:
+        size = len(self.signable_bytes())
+        auth: Optional[Authenticator] = getattr(self, "auth", None)
+        if auth is not None:
+            size += auth.size_bytes()
+        if getattr(self, "sig", b""):
+            size += len(self.sig)  # type: ignore[attr-defined]
+        return size
+
+
+@dataclass
+class Request(Message):
+    """Client operation submitted for ordered (or read-only) execution."""
+
+    client_id: str
+    reqid: int
+    op: bytes
+    read_only: bool = False
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("REQUEST").pack_string(self.client_id)
+        enc.pack_u64(self.reqid).pack_opaque(self.op).pack_bool(self.read_only)
+        return enc.getvalue()
+
+    def digest(self) -> bytes:
+        return digest(self.signable_bytes())
+
+
+@dataclass
+class Reply(Message):
+    """Replica's answer to one request."""
+
+    view: int
+    reqid: int
+    client_id: str
+    replica_id: str
+    result: bytes
+    read_only: bool = False
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("REPLY").pack_u64(self.view).pack_u64(self.reqid)
+        enc.pack_string(self.client_id).pack_string(self.replica_id)
+        enc.pack_opaque(self.result).pack_bool(self.read_only)
+        return enc.getvalue()
+
+
+def batch_digest(requests: List[Request], nondet: bytes) -> bytes:
+    """Digest binding a pre-prepare's request batch and non-det value."""
+    return combine_digests([r.digest() for r in requests] + [digest(nondet)])
+
+
+@dataclass
+class PrePrepare(Message):
+    """Primary's ordering proposal for one batch at (view, seqno)."""
+
+    view: int
+    seqno: int
+    requests: List[Request]
+    nondet: bytes
+    primary_id: str
+    sig: bytes = b""
+    auth: Optional[Authenticator] = None
+
+    def batch_digest(self) -> bytes:
+        return batch_digest(self.requests, self.nondet)
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("PRE-PREPARE").pack_u64(self.view).pack_u64(self.seqno)
+        enc.pack_fixed_opaque(self.batch_digest(), 32)
+        enc.pack_string(self.primary_id)
+        return enc.getvalue()
+
+    def wire_size(self) -> int:
+        size = super().wire_size()
+        for request in self.requests:
+            size += request.wire_size()
+        size += len(self.nondet)
+        return size
+
+
+@dataclass
+class Prepare(Message):
+    """Backup's agreement to the primary's (view, seqno, digest) binding."""
+
+    view: int
+    seqno: int
+    digest: bytes
+    replica_id: str
+    sig: bytes = b""
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("PREPARE").pack_u64(self.view).pack_u64(self.seqno)
+        enc.pack_fixed_opaque(self.digest, 32).pack_string(self.replica_id)
+        return enc.getvalue()
+
+
+@dataclass
+class Commit(Message):
+    """Second-phase vote: sender has a prepared certificate.
+
+    Signed as well as MAC'd so that commit certificates can be relayed to a
+    replica whose session keys have been refreshed by proactive recovery
+    (MAC tags die with the old epoch; signatures do not)."""
+
+    view: int
+    seqno: int
+    digest: bytes
+    replica_id: str
+    sig: bytes = b""
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("COMMIT").pack_u64(self.view).pack_u64(self.seqno)
+        enc.pack_fixed_opaque(self.digest, 32).pack_string(self.replica_id)
+        return enc.getvalue()
+
+
+@dataclass
+class Checkpoint(Message):
+    """Proof share that the sender's state at ``seqno`` has ``state_digest``."""
+
+    seqno: int
+    state_digest: bytes
+    replica_id: str
+    sig: bytes = b""
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("CHECKPOINT").pack_u64(self.seqno)
+        enc.pack_fixed_opaque(self.state_digest, 32).pack_string(self.replica_id)
+        return enc.getvalue()
+
+
+@dataclass
+class PreparedProof:
+    """A pre-prepare plus 2f matching signed prepares: proves a request batch
+    prepared at some replica, transferable inside view changes."""
+
+    pre_prepare: PrePrepare
+    prepares: List[Prepare] = field(default_factory=list)
+
+    def seqno(self) -> int:
+        return self.pre_prepare.seqno
+
+    def view(self) -> int:
+        return self.pre_prepare.view
+
+    def digest(self) -> bytes:
+        return self.pre_prepare.batch_digest()
+
+    def wire_size(self) -> int:
+        return self.pre_prepare.wire_size() + sum(p.wire_size() for p in self.prepares)
+
+
+@dataclass
+class ViewChange(Message):
+    """Vote to move to ``new_view``; carries the sender's stable-checkpoint
+    proof and every prepared certificate above it."""
+
+    new_view: int
+    stable_seqno: int
+    checkpoint_proof: List[Checkpoint]
+    prepared: List[PreparedProof]
+    replica_id: str
+    sig: bytes = b""
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("VIEW-CHANGE").pack_u64(self.new_view)
+        enc.pack_u64(self.stable_seqno).pack_string(self.replica_id)
+        enc.pack_u32(len(self.checkpoint_proof))
+        for ckpt in self.checkpoint_proof:
+            enc.pack_opaque(ckpt.signable_bytes())
+        enc.pack_u32(len(self.prepared))
+        for proof in self.prepared:
+            enc.pack_opaque(proof.pre_prepare.signable_bytes())
+        return enc.getvalue()
+
+    def wire_size(self) -> int:
+        size = len(self.signable_bytes()) + len(self.sig)
+        size += sum(p.wire_size() for p in self.prepared)
+        return size
+
+
+@dataclass
+class NewView(Message):
+    """New primary's certificate for ``view``: 2f+1 view-changes plus the
+    pre-prepares re-issued for in-flight sequence numbers."""
+
+    view: int
+    view_changes: List[ViewChange]
+    pre_prepares: List[PrePrepare]
+    primary_id: str
+    sig: bytes = b""
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("NEW-VIEW").pack_u64(self.view).pack_string(self.primary_id)
+        enc.pack_u32(len(self.view_changes))
+        for vc in self.view_changes:
+            enc.pack_opaque(vc.signable_bytes())
+        enc.pack_u32(len(self.pre_prepares))
+        for pp in self.pre_prepares:
+            enc.pack_opaque(pp.signable_bytes())
+        return enc.getvalue()
+
+    def wire_size(self) -> int:
+        size = len(self.signable_bytes()) + len(self.sig)
+        size += sum(v.wire_size() for v in self.view_changes)
+        size += sum(p.wire_size() for p in self.pre_prepares)
+        return size
+
+
+@dataclass
+class Status(Message):
+    """Periodic gossip: lets peers retransmit what the sender is missing."""
+
+    replica_id: str
+    view: int
+    stable_seqno: int
+    last_executed: int
+    in_view_change: bool = False
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("STATUS").pack_string(self.replica_id)
+        enc.pack_u64(self.view).pack_u64(self.stable_seqno)
+        enc.pack_u64(self.last_executed).pack_bool(self.in_view_change)
+        return enc.getvalue()
+
+
+@dataclass
+class CheckpointCert(Message):
+    """2f+1 matching signed checkpoint messages: a transferable proof that
+    the state at ``seqno`` has digest ``state_digest``."""
+
+    seqno: int
+    state_digest: bytes
+    proof: List[Checkpoint] = field(default_factory=list)
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("CHECKPOINT-CERT").pack_u64(self.seqno)
+        enc.pack_fixed_opaque(self.state_digest, 32)
+        enc.pack_u32(len(self.proof))
+        for ckpt in self.proof:
+            enc.pack_opaque(ckpt.signable_bytes())
+        return enc.getvalue()
+
+    def wire_size(self) -> int:
+        return len(self.signable_bytes()) + sum(len(c.sig) for c in self.proof)
+
+
+@dataclass
+class RetransmitCommitted(Message):
+    """Catch-up help for a lagging replica: committed pre-prepares plus the
+    prepare certificates (signed, so they survive key-epoch refreshes) and
+    commit votes (multicast authenticators, re-MAC'd for the sender's own
+    votes)."""
+
+    replica_id: str
+    entries: List[Tuple[PrePrepare, List[Prepare], List[Commit]]] = field(
+        default_factory=list
+    )
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("RETRANSMIT").pack_string(self.replica_id)
+        enc.pack_u32(len(self.entries))
+        for pp, _prepares, _commits in self.entries:
+            enc.pack_opaque(pp.signable_bytes())
+        return enc.getvalue()
+
+    def wire_size(self) -> int:
+        size = len(self.signable_bytes())
+        for pp, prepares, commits in self.entries:
+            size += pp.wire_size()
+            size += sum(p.wire_size() for p in prepares)
+            size += sum(c.wire_size() for c in commits)
+        return size
+
+
+# --- state transfer -----------------------------------------------------------
+
+
+@dataclass
+class FetchRoot(Message):
+    """Ask a donor for its stable checkpoint certificate (transfer session
+    setup)."""
+
+    requester: str
+    min_seqno: int
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("FETCH-ROOT").pack_string(self.requester)
+        enc.pack_u64(self.min_seqno)
+        return enc.getvalue()
+
+
+@dataclass
+class TransferRoot(Message):
+    """Donor's stable checkpoint certificate, anchoring a transfer session."""
+
+    replica_id: str
+    cert: CheckpointCert
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("TRANSFER-ROOT").pack_string(self.replica_id)
+        enc.pack_opaque(self.cert.signable_bytes())
+        return enc.getvalue()
+
+    def wire_size(self) -> int:
+        return len(self.signable_bytes()) + self.cert.wire_size()
+
+
+
+@dataclass
+class FetchMeta(Message):
+    """Ask for partition-tree metadata (children of one interior node) at the
+    newest checkpoint >= ``min_seqno``."""
+
+    requester: str
+    level: int
+    index: int
+    min_seqno: int
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("FETCH-META").pack_string(self.requester)
+        enc.pack_u32(self.level).pack_u64(self.index).pack_u64(self.min_seqno)
+        return enc.getvalue()
+
+
+@dataclass
+class MetaReply(Message):
+    """Children ⟨lm, digest⟩ pairs for one partition at checkpoint ``seqno``."""
+
+    replica_id: str
+    seqno: int
+    level: int
+    index: int
+    children: List[Tuple[int, bytes]]
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("META-REPLY").pack_string(self.replica_id)
+        enc.pack_u64(self.seqno).pack_u32(self.level).pack_u64(self.index)
+        enc.pack_u32(len(self.children))
+        for lm, child_digest in self.children:
+            enc.pack_u64(lm).pack_fixed_opaque(child_digest, 32)
+        return enc.getvalue()
+
+
+@dataclass
+class FetchObject(Message):
+    """Ask for the value of abstract object ``index`` at checkpoint >= min_seqno."""
+
+    requester: str
+    index: int
+    min_seqno: int
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("FETCH-OBJECT").pack_string(self.requester)
+        enc.pack_u64(self.index).pack_u64(self.min_seqno)
+        return enc.getvalue()
+
+
+@dataclass
+class ObjectReply(Message):
+    """Value of abstract object ``index`` at checkpoint ``seqno``."""
+
+    replica_id: str
+    index: int
+    seqno: int
+    data: bytes
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("OBJECT-REPLY").pack_string(self.replica_id)
+        enc.pack_u64(self.index).pack_u64(self.seqno).pack_opaque(self.data)
+        return enc.getvalue()
+
+
+# --- proactive recovery --------------------------------------------------------
+
+
+@dataclass
+class Recovering(Message):
+    """Announcement that a replica has begun a proactive recovery."""
+
+    replica_id: str
+    epoch: int
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("RECOVERING").pack_string(self.replica_id).pack_u64(self.epoch)
+        return enc.getvalue()
+
+
+@dataclass
+class Recovered(Message):
+    """Announcement that a replica finished proactive recovery."""
+
+    replica_id: str
+    epoch: int
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("RECOVERED").pack_string(self.replica_id).pack_u64(self.epoch)
+        return enc.getvalue()

@@ -1,0 +1,66 @@
+"""Agreement on non-deterministic values (paper section 2.2).
+
+Abstraction hides most non-determinism, but some cannot be hidden — e.g. the
+NFS time-last-modified, which each replica would otherwise read from its own
+clock.  The BFT library's mechanism: the *primary* chooses the value and
+includes it in the pre-prepare; backups validate it (monotone, close to their
+own clock) and refuse to prepare batches with bogus values, which forces a
+view change.  The agreed value is then passed to every ``execute`` in the
+batch.
+
+:class:`TimestampAgreement` is the concrete instance used by the NFS and
+OODB services: the value is one 8-byte big-endian microsecond timestamp.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.util.clock import VirtualClock
+
+_TS = struct.Struct(">Q")
+
+
+def encode_timestamp(micros: int) -> bytes:
+    return _TS.pack(micros)
+
+
+def decode_timestamp(nondet: bytes) -> int:
+    if len(nondet) != _TS.size:
+        raise ValueError(f"bad timestamp nondet ({len(nondet)} bytes)")
+    return _TS.unpack(nondet)[0]
+
+
+class TimestampAgreement:
+    """Propose/validate/accept monotone timestamps for request batches."""
+
+    def __init__(self, clock: VirtualClock, max_skew: float = 1.0) -> None:
+        self._clock = clock
+        self._max_skew_micros = int(max_skew * 1_000_000)
+        self._last_accepted = 0
+        self._last_proposed = 0
+
+    def propose(self) -> bytes:
+        """Primary: current virtual time, nudged to stay strictly monotone
+        even across batches proposed within the same microsecond."""
+        micros = max(
+            self._clock.now_micros(), self._last_proposed + 1, self._last_accepted + 1
+        )
+        self._last_proposed = micros
+        return encode_timestamp(micros)
+
+    def check(self, nondet: bytes) -> bool:
+        """Backup: accept values that are fresh and not from the future."""
+        try:
+            micros = decode_timestamp(nondet)
+        except ValueError:
+            return False
+        if micros <= self._last_accepted:
+            return False
+        return micros <= self._clock.now_micros() + self._max_skew_micros
+
+    def accept(self, nondet: bytes) -> int:
+        """Record the batch's agreed value at execution time; returns it."""
+        micros = decode_timestamp(nondet)
+        self._last_accepted = max(self._last_accepted, micros)
+        return micros

@@ -1,0 +1,164 @@
+"""Proactive recovery / software rejuvenation (OSDI'00 + paper section 2.2).
+
+A :class:`ReplicaHost` owns one replica slot: the live :class:`Replica`
+instance, the factory that (re)builds its service from persistent storage,
+and the watchdog that periodically reboots it.  Recoveries are staggered —
+replica ``i`` fires at phase ``(i+1)/n`` of each rotation — so fewer than
+1/3 of the replicas are ever recovering at once and the service stays
+available.
+
+A recovery:
+
+1. announces RECOVERING and asks the service to save its recovery metadata
+   (the BASE conformance rep, the ⟨fsid, fileid⟩→oid map, partition lm's);
+2. stops the replica and takes it off the network for ``reboot_time``;
+3. refreshes the replica's inbound session keys (stale MACs stop verifying);
+4. rebuilds the service *from a clean implementation instance plus the saved
+   metadata* — in-memory corruption and aging are discarded here;
+5. starts a fresh replica that runs hierarchical state transfer against a
+   stable checkpoint certificate, fetching only out-of-date or corrupt
+   abstract objects, then announces RECOVERED.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.bft.config import BFTConfig
+from repro.bft.messages import Recovering
+from repro.bft.replica import Replica
+from repro.bft.service import StateMachine
+from repro.crypto.auth import KeyTable
+from repro.crypto.sign import SignatureScheme
+from repro.net.network import Network
+from repro.net.simulator import Simulator
+
+
+class ReplicaHost:
+    """One replica slot with reboot capability."""
+
+    def __init__(
+        self,
+        replica_id: str,
+        sim: Simulator,
+        network: Network,
+        config: BFTConfig,
+        service_factory: Callable[[], StateMachine],
+        keys: KeyTable,
+        sigs: SignatureScheme,
+        reboot_time: float = 0.02,
+        tracer=None,
+    ) -> None:
+        self.replica_id = replica_id
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.service_factory = service_factory
+        self.keys = keys
+        self.sigs = sigs
+        self.reboot_time = reboot_time
+        self.tracer = tracer
+
+        self.service = service_factory()
+        self.replica = Replica(replica_id, sim, network, config, self.service, keys, sigs)
+        self.replica.tracer = tracer
+        self.recovery_log: List[Tuple[float, float]] = []
+        self._recovery_epoch = 0
+        self._recovery_started_at: Optional[float] = None
+        self._mid_reboot = False
+
+    # -- the watchdog -------------------------------------------------------------
+
+    def schedule_proactive_recovery(self) -> None:
+        """Arm the staggered watchdog (no-op when the period is zero)."""
+        period = self.config.recovery_period
+        if period <= 0:
+            return
+        index = self.config.replica_index(self.replica_id)
+        first = period * (index + 1) / self.config.n
+
+        def fire() -> None:
+            self.recover_now()
+            self.sim.schedule(period, fire)
+
+        self.sim.schedule(first, fire)
+
+    # -- one recovery --------------------------------------------------------------
+
+    def recover_now(self) -> bool:
+        """Run one proactive recovery; returns False if skipped.
+
+        Works for live replicas (ordinary rejuvenation) and for replicas
+        whose implementation crashed (aging, deterministic bugs): the crashed
+        case skips the announcement and the synchronous save — whatever the
+        implementation last persisted is what recovery starts from."""
+        replica = self.replica
+        if self._mid_reboot:
+            return False
+        crashed = self.network.is_down(self.replica_id)
+        if replica.recovering and not crashed:
+            # Mid-recovery and healthy: let it finish.  (A replica that
+            # crashed *during* recovery is down and may be recovered again.)
+            return False
+        if not crashed and replica.stable_seqno == 0 and replica.last_executed == 0:
+            # Nothing has ever been certified; there is no state to verify
+            # against and nothing to rejuvenate.
+            return False
+        self._recovery_epoch += 1
+        epoch = self._recovery_epoch
+        self._recovery_started_at = self.sim.now()
+        replica.counters.add("recoveries_started")
+        if not crashed:
+            replica.multicast(
+                replica.other_replicas(), Recovering(replica_id=self.replica_id, epoch=epoch)
+            )
+        try:
+            self.service.save_for_recovery()
+        except Exception:
+            replica.counters.add("recovery_save_failed")
+        saved_view = replica.view
+        saved_stable = replica.stable_seqno
+        saved_counters = replica.counters
+
+        replica.stop()
+        self.network.set_down(self.replica_id, True)
+        self._mid_reboot = True
+        self.sim.schedule(self.reboot_time, lambda: self._reboot(saved_view, saved_stable, saved_counters))
+        return True
+
+    def _reboot(self, saved_view: int, saved_stable: int, saved_counters) -> None:
+        self._mid_reboot = False
+        self.network.set_down(self.replica_id, False)
+        # New inbound session keys: messages MAC'd under the old keys --
+        # possibly known to an attacker who compromised us -- stop verifying.
+        self.keys.refresh(self.replica_id)
+        # Fresh implementation instance built from persistent storage only;
+        # in-memory corruption and aging do not survive this line.
+        self.service = self.service_factory()
+        replica = Replica(
+            self.replica_id,
+            self.sim,
+            self.network,
+            self.config,
+            self.service,
+            self.keys,
+            self.sigs,
+            takeover=True,
+        )
+        replica.counters.merge(saved_counters)
+        replica.view = saved_view
+        replica.recovering = True
+        replica.on_recovered = self._record_recovered
+        replica.tracer = self.tracer
+        self.replica = replica
+        replica.transfer.begin_from_root(min_seqno=max(1, saved_stable))
+
+    def _record_recovered(self) -> None:
+        if self._recovery_started_at is not None:
+            self.recovery_log.append((self._recovery_started_at, self.sim.now()))
+            self._recovery_started_at = None
+
+    # -- metrics ----------------------------------------------------------------------
+
+    def recovery_durations(self) -> List[float]:
+        return [end - start for start, end in self.recovery_log]

@@ -1,0 +1,130 @@
+"""Interface between the BFT replication engine and the replicated service.
+
+The replica core is service-agnostic: everything it needs from the
+application is behind :class:`StateMachine`.  The BASE library
+(:mod:`repro.base.library`) provides the implementation that wraps
+off-the-shelf code behind an abstract state; unit tests use the small
+key-value machine in :mod:`repro.bft.testing`.
+
+State is named hierarchically for transfer: a partition tree whose leaves are
+the abstract objects.  ``get_meta(seqno, level, index)`` returns the
+⟨lm, digest⟩ pairs for the children of interior node ``(level, index)`` at
+checkpoint ``seqno``; nodes at level ``num_levels()`` are the leaves
+(abstract objects).  The ``current_*`` accessors expose the same tree over
+the *live* state so a fetching replica can decide which partitions are out of
+date.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class StateMachine:
+    """Deterministic service behind one replica."""
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, op: bytes, client_id: str, nondet: bytes, read_only: bool = False) -> bytes:
+        """Apply one operation and return its result bytes.
+
+        ``nondet`` is the batch's agreed non-deterministic value (e.g. an
+        encoded timestamp).  Read-only executions must not mutate state.
+        """
+        raise NotImplementedError
+
+    # -- at-most-once execution state ------------------------------------------
+
+    def record_reply(self, client_id: str, reqid: int, reply: bytes) -> None:
+        """Record a client's latest executed request and its reply.
+
+        This table is part of the replicated abstract state (as the BFT
+        library keeps its reply cache in the checkpointed state region), so
+        deduplication survives checkpoints, state transfer, and recovery.
+        """
+        raise NotImplementedError
+
+    def last_recorded(self, client_id: str) -> Optional[Tuple[int, bytes]]:
+        """(reqid, reply) of the client's newest executed request, if any."""
+        raise NotImplementedError
+
+    # -- non-determinism agreement (paper section 2.2) ------------------------
+
+    def propose_nondet(self) -> bytes:
+        """Primary-side choice of the non-deterministic value for a batch."""
+        return b""
+
+    def check_nondet(self, nondet: bytes) -> bool:
+        """Backup-side validation of the primary's proposed value."""
+        return True
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def take_checkpoint(self, seqno: int) -> bytes:
+        """Record a checkpoint labelled ``seqno``; return its state digest
+        (the partition-tree root digest)."""
+        raise NotImplementedError
+
+    def discard_checkpoints_below(self, seqno: int) -> None:
+        """Garbage-collect checkpoints older than ``seqno``."""
+        raise NotImplementedError
+
+    def checkpoint_seqnos(self) -> List[int]:
+        """Ascending list of live checkpoint labels."""
+        raise NotImplementedError
+
+    # -- proactive recovery -------------------------------------------------------
+
+    def save_for_recovery(self) -> None:
+        """Persist recovery metadata (conformance rep, identifier maps,
+        partition lm's) before a reboot.  Default: nothing to save."""
+
+    # -- state transfer: serving side ------------------------------------------
+
+    def num_levels(self) -> int:
+        """Depth of the partition tree (leaves live at this level)."""
+        raise NotImplementedError
+
+    def root_digest(self, seqno: int) -> Optional[bytes]:
+        """Partition-tree root digest at checkpoint ``seqno`` (None if the
+        checkpoint is not held)."""
+        raise NotImplementedError
+
+    def genesis_root_digest(self) -> bytes:
+        """Root digest of the specification's initial abstract state.
+
+        Computable without touching the implementation (it is a pure function
+        of the abstract spec), so every replica knows it a priori — the
+        genesis state is an implicitly certified checkpoint at seqno 0."""
+        raise NotImplementedError
+
+    def get_meta(self, seqno: int, level: int, index: int) -> Optional[List[Tuple[int, bytes]]]:
+        """⟨lm, digest⟩ pairs for the children of node (level, index) at
+        checkpoint ``seqno``."""
+        raise NotImplementedError
+
+    def get_object_at(self, seqno: int, index: int) -> Optional[bytes]:
+        """Value of abstract object ``index`` at checkpoint ``seqno``."""
+        raise NotImplementedError
+
+    # -- state transfer: fetching side -------------------------------------------
+
+    def current_node(self, level: int, index: int) -> Tuple[int, bytes]:
+        """⟨lm, digest⟩ of node (level, index) over the live state."""
+        raise NotImplementedError
+
+    def adopt_leaf_lm(self, index: int, lm: int) -> None:
+        """Adopt a verified last-modified seqno for an up-to-date leaf (used
+        after reboot, when local lm metadata may be stale while the object
+        value is correct)."""
+        raise NotImplementedError
+
+    def install_fetched(self, objects: Dict[int, Tuple[bytes, int]], seqno: int) -> bytes:
+        """Install fetched (value, lm) pairs, bringing the abstract state to
+        the value of checkpoint ``seqno``; return the resulting root digest.
+
+        The engine guarantees the argument completes a consistent checkpoint
+        (the paper's ``put_objs`` contract), so encodings may have
+        inter-object dependencies.
+        """
+        raise NotImplementedError

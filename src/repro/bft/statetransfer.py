@@ -1,0 +1,332 @@
+"""Hierarchical state transfer: the fetching side (OSDI'00).
+
+A transfer session is anchored by a checkpoint certificate (2f+1 signed
+checkpoint messages), which gives a *verified* root digest.  The fetcher
+walks down the partition tree: for each interior node whose ⟨lm, d⟩ differs
+from its local value it requests the children metadata (verified against the
+parent digest, so a Byzantine donor cannot lie); at the leaves it fetches
+only the objects whose digests differ (verified against the leaf digest).
+Up-to-date leaves whose lm metadata is stale (e.g. after a reboot reset it)
+adopt the donor's verified lm without fetching the value.
+
+When every missing object has arrived, the whole set is installed atomically
+through the service's ``put_objs`` upcall — the paper's guarantee that
+``put_objs`` always sees a consistent checkpoint value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.bft.messages import (
+    CheckpointCert,
+    FetchMeta,
+    FetchObject,
+    FetchRoot,
+    MetaReply,
+    ObjectReply,
+    TransferRoot,
+)
+from repro.base.partition import verify_children
+from repro.crypto.digest import digest
+from repro.util.errors import FaultInjected
+
+if TYPE_CHECKING:
+    from repro.bft.replica import Replica
+
+_RETRY = 0.08  # virtual seconds before re-asking a different donor
+
+
+class StateTransferManager:
+    """Per-replica fetch state machine."""
+
+    def __init__(self, replica: "Replica") -> None:
+        self.replica = replica
+        self.active = False
+        self.session: Optional[CheckpointCert] = None
+        # Outstanding metadata queries: (level, index) -> expected digest.
+        self._meta_pending: Dict[Tuple[int, int], bytes] = {}
+        # Outstanding object queries: index -> (expected lm, expected digest).
+        self._obj_pending: Dict[int, Tuple[int, bytes]] = {}
+        self._fetched: Dict[int, Tuple[bytes, int]] = {}
+        self._donor_cursor = 0
+        self._awaiting_root = False
+        self._retries: Dict[object, int] = {}
+        self._max_retries = 6
+
+    # -- session control --------------------------------------------------------
+
+    def begin_from_root(self, min_seqno: int = 1) -> None:
+        """Ask a donor for its stable checkpoint certificate, then transfer.
+
+        Used by proactive recovery and by replicas that notice they lag via
+        gossip without holding a certificate."""
+        self._awaiting_root = True
+        donor = self._next_donor()
+        self.replica.counters.add("fetch_root_sent")
+        self.replica.send(
+            donor, FetchRoot(requester=self.replica.node_id, min_seqno=min_seqno)
+        )
+        self.replica.set_timer(_RETRY * 3, self._root_retry(min_seqno))
+
+    def _root_retry(self, min_seqno: int):
+        def retry() -> None:
+            if self._awaiting_root and not self.active:
+                self.begin_from_root(min_seqno)
+
+        return retry
+
+    def start(self, cert: CheckpointCert) -> None:
+        """Start (or upgrade) a transfer session toward ``cert``."""
+        replica = self.replica
+        if replica.last_executed >= cert.seqno:
+            self._awaiting_root = False
+            if replica.recovering and not self.active:
+                self._verify_current_and_finish(cert)
+            return
+        if self.active and self.session is not None and self.session.seqno >= cert.seqno:
+            return
+        if not replica._verify_checkpoint_cert(cert):
+            replica.counters.add("bad_checkpoint_cert")
+            return
+        self._awaiting_root = False
+        self.active = True
+        self.session = cert
+        self._meta_pending.clear()
+        self._obj_pending.clear()
+        self._fetched.clear()
+        self._retries.clear()
+        replica.counters.add("state_transfers_started")
+        from repro.util.trace import emit
+
+        emit(replica.tracer, replica.node_id, "state_transfer_started", seqno=cert.seqno)
+
+        _lm, current_root = replica.service.current_node(0, 0)
+        if current_root == cert.state_digest:
+            # State already matches the certified checkpoint; just advance.
+            self._complete()
+            return
+        self._query_meta(0, 0, cert.state_digest)
+
+    def _verify_current_and_finish(self, cert: CheckpointCert) -> None:
+        """Recovery completion when already caught up: confirm our state
+        digest matches the certificate before declaring ourselves recovered."""
+        _lm, current_root = self.replica.service.current_node(0, 0)
+        if current_root == cert.state_digest:
+            self.replica.finish_recovery()
+        else:
+            # Our state is corrupt even though we executed everything; repair.
+            self.active = True
+            self.session = cert
+            self._meta_pending.clear()
+            self._obj_pending.clear()
+            self._fetched.clear()
+            self.replica.counters.add("state_transfers_started")
+            self._query_meta(0, 0, cert.state_digest)
+
+    # -- donors ------------------------------------------------------------------
+
+    def _next_donor(self) -> str:
+        others = self.replica.other_replicas()
+        donor = others[self._donor_cursor % len(others)]
+        self._donor_cursor += 1
+        return donor
+
+    # -- queries -------------------------------------------------------------------
+
+    def _query_meta(self, level: int, index: int, expected_digest: bytes) -> None:
+        assert self.session is not None
+        self._meta_pending[(level, index)] = expected_digest
+        donor = self._next_donor()
+        self.replica.counters.add("fetch_meta_sent")
+        self.replica.send(
+            donor,
+            FetchMeta(
+                requester=self.replica.node_id,
+                level=level,
+                index=index,
+                min_seqno=self.session.seqno,
+            ),
+        )
+        session_seqno = self.session.seqno
+        self.replica.set_timer(_RETRY, self._meta_retry(level, index, session_seqno))
+
+    def _meta_retry(self, level: int, index: int, session_seqno: int):
+        def retry() -> None:
+            if (
+                self.active
+                and self.session is not None
+                and self.session.seqno == session_seqno
+                and (level, index) in self._meta_pending
+            ):
+                if self._bump_retry(("meta", level, index)):
+                    return
+                self.replica.counters.add("fetch_meta_retries")
+                self._query_meta(level, index, self._meta_pending[(level, index)])
+
+        return retry
+
+    def _bump_retry(self, key: object) -> bool:
+        """Count a retry; abandon the session (donors likely GC'd our target
+        checkpoint) and restart from a fresh certificate when exhausted.
+        Returns True when the session was aborted."""
+        self._retries[key] = self._retries.get(key, 0) + 1
+        if self._retries[key] <= self._max_retries:
+            return False
+        session = self.session
+        self.active = False
+        self._meta_pending.clear()
+        self._obj_pending.clear()
+        self._fetched.clear()
+        self._retries.clear()
+        self.replica.counters.add("state_transfer_aborts")
+        self.begin_from_root(min_seqno=session.seqno if session else 1)
+        return True
+
+    def _query_object(self, index: int, lm: int, expected_digest: bytes) -> None:
+        assert self.session is not None
+        self._obj_pending[index] = (lm, expected_digest)
+        donor = self._next_donor()
+        self.replica.counters.add("fetch_object_sent")
+        self.replica.send(
+            donor,
+            FetchObject(
+                requester=self.replica.node_id,
+                index=index,
+                min_seqno=self.session.seqno,
+            ),
+        )
+        session_seqno = self.session.seqno
+        self.replica.set_timer(_RETRY, self._object_retry(index, session_seqno))
+
+    def _object_retry(self, index: int, session_seqno: int):
+        def retry() -> None:
+            if (
+                self.active
+                and self.session is not None
+                and self.session.seqno == session_seqno
+                and index in self._obj_pending
+            ):
+                if self._bump_retry(("obj", index)):
+                    return
+                self.replica.counters.add("fetch_object_retries")
+                lm, expected = self._obj_pending[index]
+                self._query_object(index, lm, expected)
+
+        return retry
+
+    # -- replies -------------------------------------------------------------------------
+
+    def on_message(self, message, src: str) -> None:
+        if isinstance(message, TransferRoot):
+            self.on_transfer_root(message, src)
+        elif isinstance(message, MetaReply):
+            self.on_meta_reply(message, src)
+        elif isinstance(message, ObjectReply):
+            self.on_object_reply(message, src)
+
+    def on_transfer_root(self, message: TransferRoot, src: str) -> None:
+        if not self._awaiting_root and not self.active:
+            return
+        self.start(message.cert)
+
+    def on_meta_reply(self, message: MetaReply, src: str) -> None:
+        if not self.active or self.session is None:
+            return
+        if message.seqno != self.session.seqno:
+            return
+        key = (message.level, message.index)
+        expected = self._meta_pending.get(key)
+        if expected is None:
+            return
+        if not verify_children(expected, message.children):
+            self.replica.counters.add("meta_reply_bad_digest")
+            return
+        del self._meta_pending[key]
+        service = self.replica.service
+        leaves_level = service.num_levels()
+        child_level = message.level + 1
+        base = message.index * self._arity()
+        for offset, (lm, child_digest) in enumerate(message.children):
+            child_index = base + offset
+            current_lm, current_digest = service.current_node(child_level, child_index)
+            if child_level == leaves_level:
+                if current_digest == child_digest:
+                    if current_lm != lm:
+                        service.adopt_leaf_lm(child_index, lm)
+                elif child_index in self._fetched and digest(
+                    self._fetched[child_index][0]
+                ) == child_digest:
+                    pass  # already fetched this value
+                else:
+                    self._query_object(child_index, lm, child_digest)
+            else:
+                if (current_lm, current_digest) != (lm, child_digest):
+                    self._query_meta(child_level, child_index, child_digest)
+        self._maybe_complete()
+
+    def _arity(self) -> int:
+        # Derived from the service's live tree: children counts are uniform
+        # except at the right edge, so probe the root's child span.
+        tree = getattr(self.replica.service, "arity", None)
+        if tree is not None:
+            return int(tree)
+        raise AttributeError("service must expose its partition-tree arity")
+
+    def on_object_reply(self, message: ObjectReply, src: str) -> None:
+        if not self.active or self.session is None:
+            return
+        if message.seqno != self.session.seqno:
+            return
+        pending = self._obj_pending.get(message.index)
+        if pending is None:
+            return
+        lm, expected_digest = pending
+        if digest(message.data) != expected_digest:
+            self.replica.counters.add("object_reply_bad_digest")
+            return
+        del self._obj_pending[message.index]
+        self._fetched[message.index] = (message.data, lm)
+        self.replica.counters.add("objects_fetched")
+        self.replica.counters.add("object_bytes_fetched", len(message.data))
+        self._maybe_complete()
+
+    # -- completion ----------------------------------------------------------------------------
+
+    def _maybe_complete(self) -> None:
+        if self.active and not self._meta_pending and not self._obj_pending:
+            self._complete()
+
+    def _complete(self) -> None:
+        assert self.session is not None
+        replica = self.replica
+        cert = self.session
+        self.active = False
+        if replica.last_executed >= cert.seqno and not replica.recovering:
+            return  # ordinary execution overtook the transfer
+        fetched_count = len(self._fetched)
+        try:
+            new_root = replica.service.install_fetched(dict(self._fetched), cert.seqno)
+        except FaultInjected as fault:
+            # The implementation died while installing state (e.g. the
+            # fetched data itself triggers its bug): treat as a crash.
+            replica.crash_self(str(fault))
+            return
+        self._fetched.clear()
+        if new_root != cert.state_digest:
+            # Concurrent executions changed objects after we compared them;
+            # restart the walk against the same certificate.
+            replica.counters.add("state_transfer_restarts")
+            self.start(cert)
+            return
+        replica.counters.add("state_transfers_completed")
+        from repro.util.trace import emit
+
+        emit(
+            replica.tracer,
+            replica.node_id,
+            "state_transfer_completed",
+            seqno=cert.seqno,
+            objects=fetched_count,
+        )
+        replica.after_state_transfer(cert.seqno, cert)

@@ -1,0 +1,141 @@
+"""A small deterministic key-value state machine for exercising the BFT
+engine without the full BASE/NFS stack, plus the ``kv_cluster`` builder used
+by tests and benchmarks.
+
+The abstract state is an array of ``num_slots`` byte-string cells.  Operations
+(XDR-encoded): SET i value / GET i / APPEND i value.  The cells write through
+to a ``disk`` dict so a service rebuilt by proactive recovery sees persistent
+state; tests inject corruption by mutating the disk or the in-memory cells
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.base.statemgr import AbstractStateManager, genesis_root_digest
+from repro.bft.service import StateMachine
+from repro.util.xdr import XdrDecoder, XdrEncoder
+
+
+def encode_set(index: int, value: bytes) -> bytes:
+    return XdrEncoder().pack_string("SET").pack_u32(index).pack_opaque(value).getvalue()
+
+
+def encode_get(index: int) -> bytes:
+    return XdrEncoder().pack_string("GET").pack_u32(index).getvalue()
+
+
+def encode_append(index: int, value: bytes) -> bytes:
+    return XdrEncoder().pack_string("APPEND").pack_u32(index).pack_opaque(value).getvalue()
+
+
+class KVStateMachine(StateMachine):
+    """Array-of-cells service with write-through persistence."""
+
+    def __init__(self, num_slots: int = 64, disk: Optional[Dict[int, bytes]] = None, arity: int = 4) -> None:
+        self.num_slots = num_slots
+        self.disk = disk if disk is not None else {}
+        self.cells: List[bytes] = [self.disk.get(i, b"") for i in range(num_slots)]
+        self.arity = arity
+        self.manager = AbstractStateManager(num_slots, self._get_obj, arity=arity)
+        self.executed_ops = 0
+
+    def _get_obj(self, index: int) -> bytes:
+        return self.cells[index]
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, op: bytes, client_id: str, nondet: bytes, read_only: bool = False) -> bytes:
+        dec = XdrDecoder(op)
+        command = dec.unpack_string()
+        index = dec.unpack_u32()
+        if index >= self.num_slots:
+            return b"ERR index"
+        if command == "GET":
+            return self.cells[index]
+        if read_only:
+            return b"ERR mutation in read-only request"
+        value = dec.unpack_opaque()
+        self.manager.modify(index)
+        if command == "SET":
+            self.cells[index] = value
+        elif command == "APPEND":
+            self.cells[index] = self.cells[index] + value
+        else:
+            return b"ERR unknown command"
+        self.disk[index] = self.cells[index]
+        self.executed_ops += 1
+        return b"OK"
+
+    # -- checkpointing / state transfer: delegate to the manager ----------------------
+
+    def take_checkpoint(self, seqno: int) -> bytes:
+        return self.manager.take_checkpoint(seqno)
+
+    def discard_checkpoints_below(self, seqno: int) -> None:
+        self.manager.discard_checkpoints_below(seqno)
+
+    def checkpoint_seqnos(self) -> List[int]:
+        return self.manager.checkpoint_seqnos()
+
+    def num_levels(self) -> int:
+        return self.manager.num_levels()
+
+    def root_digest(self, seqno: int) -> Optional[bytes]:
+        return self.manager.root_digest(seqno)
+
+    def genesis_root_digest(self) -> bytes:
+        return genesis_root_digest(
+            self.num_slots,
+            lambda index: b"",
+            arity=self.arity,
+            client_shards=self.manager.client_shards,
+        )
+
+    def record_reply(self, client_id: str, reqid: int, reply: bytes) -> None:
+        self.manager.record_reply(client_id, reqid, reply)
+
+    def last_recorded(self, client_id: str):
+        return self.manager.last_recorded(client_id)
+
+    def get_meta(self, seqno: int, level: int, index: int) -> Optional[List[Tuple[int, bytes]]]:
+        return self.manager.get_meta(seqno, level, index)
+
+    def get_object_at(self, seqno: int, index: int) -> Optional[bytes]:
+        return self.manager.get_object_at(seqno, index)
+
+    def current_node(self, level: int, index: int) -> Tuple[int, bytes]:
+        return self.manager.current_node(level, index)
+
+    def adopt_leaf_lm(self, index: int, lm: int) -> None:
+        self.manager.set_leaf_lm(index, lm)
+
+    def install_fetched(self, objects: Dict[int, Tuple[bytes, int]], seqno: int) -> bytes:
+        def apply(values: Dict[int, bytes]) -> None:
+            for index, value in values.items():
+                self.cells[index] = value
+                self.disk[index] = value
+
+        return self.manager.install_fetched(objects, seqno, apply)
+
+
+def kv_cluster(config=None, seed: int = 0, num_slots: int = 32, disks=None):
+    """A 4-replica cluster running the KV test service.
+
+    ``disks`` (replica_id -> dict) makes service state survive proactive
+    recovery reboots; pass a dict you keep a reference to.
+    """
+    from repro.bft.cluster import Cluster
+
+    store = disks if disks is not None else {}
+
+    def factory_for(replica_id: str):
+        store.setdefault(replica_id, {})
+
+        def make() -> KVStateMachine:
+            return KVStateMachine(num_slots=num_slots, disk=store[replica_id])
+
+        return make
+
+    return Cluster(factory_for, config=config, seed=seed)

@@ -1,0 +1,29 @@
+"""Cryptographic substrate: digests, MAC authenticators, session keys.
+
+PBFT authenticates normal-case messages with *authenticators*: a vector with
+one MAC per receiving replica, computed under pairwise session keys.  The
+paper's implementation used UMAC32 and MD5; we use HMAC-SHA256 truncated to 8
+bytes for MACs and full SHA-256 for digests.  The protocol logic is identical
+-- only the primitives differ, which does not change any protocol behaviour.
+"""
+
+from repro.crypto.digest import digest, digest_hex, combine_digests, EMPTY_DIGEST
+from repro.crypto.auth import (
+    Authenticator,
+    KeyTable,
+    MacVerificationError,
+    mac,
+    verify_mac,
+)
+
+__all__ = [
+    "digest",
+    "digest_hex",
+    "combine_digests",
+    "EMPTY_DIGEST",
+    "Authenticator",
+    "KeyTable",
+    "MacVerificationError",
+    "mac",
+    "verify_mac",
+]

@@ -1,0 +1,40 @@
+"""Message and state digests.
+
+Digests name abstract objects, checkpoints, and requests throughout the
+protocol; the hierarchical state partition tree combines child digests into
+parent digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+DIGEST_SIZE = 32
+
+EMPTY_DIGEST = b"\x00" * DIGEST_SIZE
+"""Digest placeholder for never-written state (all zeros, like BFT's null
+partition digests)."""
+
+
+def digest(data: bytes) -> bytes:
+    """SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def digest_hex(data: bytes) -> str:
+    """Hex form of :func:`digest`, for logs and debugging."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def combine_digests(parts: Iterable[bytes]) -> bytes:
+    """Digest of a sequence of digests (interior nodes of the partition tree).
+
+    Each part is length-prefixed before hashing so the combination is not
+    ambiguous under concatenation.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(4, "big"))
+        h.update(part)
+    return h.digest()

@@ -1,0 +1,40 @@
+"""Fault injection (the paper's proposed future-work experiments, E7/E8).
+
+Fault classes:
+
+* **crash** -- a replica goes silent (network down);
+* **Byzantine** -- a faulty replica misbehaves *using its own keys*: it
+  equivocates as primary, votes for garbage, lies in checkpoints, or returns
+  corrupt execution results.  Injection wraps the faulty replica's own
+  methods; it never forges other principals' signatures, matching the
+  threat model;
+* **state corruption** -- bits flip in a replica's persistent or in-core
+  concrete state;
+* **aging** -- implementations leak memory per operation and crash past a
+  threshold (rebooting clears the leak: the software-rejuvenation story);
+* **common-mode bug** -- a deterministic input-triggered bug shared by every
+  replica that runs the same implementation (the case N-version deployment
+  defends against).
+"""
+
+from repro.faults.injector import (
+    make_equivocating_primary,
+    make_lying_checkpointer,
+    make_result_corruptor,
+    make_vote_corruptor,
+    drop_fraction_from,
+)
+from repro.faults.buggy import BuggyServer, POISON
+from repro.faults.scenarios import AvailabilityProbe, AvailabilitySummary
+
+__all__ = [
+    "make_equivocating_primary",
+    "make_lying_checkpointer",
+    "make_result_corruptor",
+    "make_vote_corruptor",
+    "drop_fraction_from",
+    "BuggyServer",
+    "POISON",
+    "AvailabilityProbe",
+    "AvailabilitySummary",
+]

@@ -1,0 +1,18 @@
+"""Simulated network substrate.
+
+The paper evaluates BASE on four machines over a LAN.  This package replaces
+that testbed with a deterministic discrete-event simulation: a virtual clock
+and event queue (:mod:`repro.net.simulator`), a message-passing network with
+configurable latency, jitter, loss, and partitions
+(:mod:`repro.net.network`), and a :class:`~repro.net.node.Node` base class
+providing timers and send/multicast primitives to protocol code.
+
+Byzantine behaviour is injected at this layer through network interceptors
+(see :mod:`repro.faults`), so the protocol code itself stays honest.
+"""
+
+from repro.net.simulator import Simulator, EventHandle
+from repro.net.network import Network, NetworkConfig
+from repro.net.node import Node
+
+__all__ = ["Simulator", "EventHandle", "Network", "NetworkConfig", "Node"]

@@ -1,0 +1,168 @@
+"""Message-passing network with latency, jitter, loss, partitions, and
+interception hooks.
+
+Delivery model mirrors UDP (what BFT uses for normal-case traffic): messages
+may be dropped or arrive reordered; they are never corrupted in flight by the
+*network* itself (corruption is an interceptor's job — Byzantine behaviour is
+modelled explicitly, not as line noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.net.simulator import Simulator
+from repro.util.stats import Counters
+
+# An interceptor sees (src, dst, message) before delivery and returns either
+# the (possibly replaced) message, or None to swallow it.
+Interceptor = Callable[[str, str, Any], Optional[Any]]
+Handler = Callable[[Any, str], None]
+
+
+@dataclass
+class NetworkConfig:
+    """Link parameters applied to every message unless overridden per-pair.
+
+    delay:      one-way base latency, virtual seconds.
+    jitter:     uniform extra latency in [0, jitter].
+    drop_rate:  probability a message is silently dropped.
+    """
+
+    delay: float = 0.0005
+    jitter: float = 0.0001
+    drop_rate: float = 0.0
+
+
+def wire_size(message: Any) -> int:
+    """Bytes a message occupies on the wire.
+
+    Messages may expose ``wire_size()``; anything else is charged a small
+    fixed overhead (used only for byte accounting, never for correctness).
+    """
+    method = getattr(message, "wire_size", None)
+    if callable(method):
+        return int(method())
+    return 64
+
+
+class Network:
+    """The simulated network connecting clients and replicas."""
+
+    def __init__(self, sim: Simulator, config: Optional[NetworkConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self._handlers: Dict[str, Handler] = {}
+        self._pair_overrides: Dict[Tuple[str, str], NetworkConfig] = {}
+        self._partitions: List[FrozenSet[str]] = []
+        self._down: Set[str] = set()
+        self._interceptors: List[Interceptor] = []
+        self.counters = Counters()
+
+    # -- membership ---------------------------------------------------------
+
+    def register(self, node_id: str, handler: Handler) -> None:
+        if node_id in self._handlers:
+            raise ValueError(f"duplicate node id {node_id!r}")
+        self._handlers[node_id] = handler
+
+    def replace_handler(self, node_id: str, handler: Handler) -> None:
+        """Swap the delivery target for a node (used when a replica reboots)."""
+        if node_id not in self._handlers:
+            raise KeyError(node_id)
+        self._handlers[node_id] = handler
+
+    def node_ids(self) -> List[str]:
+        return sorted(self._handlers)
+
+    # -- failure / topology control -----------------------------------------
+
+    def set_down(self, node_id: str, down: bool = True) -> None:
+        """A down node neither sends nor receives (crash fault / reboot)."""
+        if down:
+            self._down.add(node_id)
+        else:
+            self._down.discard(node_id)
+
+    def is_down(self, node_id: str) -> bool:
+        return node_id in self._down
+
+    def partition(self, *groups: Sequence[str]) -> None:
+        """Split nodes into isolated groups; traffic crosses groups never.
+
+        Nodes not named in any group keep full connectivity.
+        """
+        self._partitions = [frozenset(g) for g in groups]
+
+    def heal_partition(self) -> None:
+        self._partitions = []
+
+    def _partitioned(self, src: str, dst: str) -> bool:
+        src_group = dst_group = None
+        for group in self._partitions:
+            if src in group:
+                src_group = group
+            if dst in group:
+                dst_group = group
+        if src_group is None or dst_group is None:
+            # Unlisted nodes (e.g. clients) keep full connectivity.
+            return False
+        return src_group is not dst_group
+
+    def set_link(self, src: str, dst: str, config: NetworkConfig) -> None:
+        """Override parameters for one directed pair."""
+        self._pair_overrides[(src, dst)] = config
+
+    def add_interceptor(self, interceptor: Interceptor) -> Callable[[], None]:
+        """Install a Byzantine/fault hook; returns a removal callback."""
+        self._interceptors.append(interceptor)
+
+        def remove() -> None:
+            if interceptor in self._interceptors:
+                self._interceptors.remove(interceptor)
+
+        return remove
+
+    # -- transmission --------------------------------------------------------
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Queue a one-way message from src to dst."""
+        if dst not in self._handlers:
+            raise KeyError(f"unknown destination {dst!r}")
+        self.counters.add("messages_sent")
+        self.counters.add("bytes_sent", wire_size(message))
+        if src in self._down:
+            self.counters.add("messages_dropped_sender_down")
+            return
+        if self._partitioned(src, dst):
+            self.counters.add("messages_dropped_partition")
+            return
+        for interceptor in list(self._interceptors):
+            message = interceptor(src, dst, message)
+            if message is None:
+                self.counters.add("messages_intercepted")
+                return
+        config = self._pair_overrides.get((src, dst), self.config)
+        if config.drop_rate and self.sim.rng.random() < config.drop_rate:
+            self.counters.add("messages_dropped_loss")
+            return
+        latency = config.delay
+        if config.jitter:
+            latency += self.sim.rng.uniform(0.0, config.jitter)
+        self.sim.schedule(latency, lambda: self._deliver(src, dst, message))
+
+    def multicast(self, src: str, dsts: Sequence[str], message: Any) -> None:
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, message)
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        if dst in self._down:
+            self.counters.add("messages_dropped_receiver_down")
+            return
+        if self._partitioned(src, dst):
+            self.counters.add("messages_dropped_partition")
+            return
+        self.counters.add("messages_delivered")
+        self._handlers[dst](message, src)

@@ -1,0 +1,85 @@
+"""Node base class: identity, timers, and send/multicast primitives.
+
+Both BFT replicas and BFT clients derive from :class:`Node`.  A node's
+``on_message`` is its single network entry point; timers are simulator events
+that auto-deregister when the node is stopped (e.g. across a simulated
+reboot).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+from repro.net.network import Network
+from repro.net.simulator import EventHandle, Simulator
+
+
+class Node:
+    """A network endpoint with virtual-time timers."""
+
+    def __init__(
+        self, node_id: str, sim: Simulator, network: Network, takeover: bool = False
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self._timers: List[EventHandle] = []
+        self._stopped = False
+        if takeover:
+            # A rebooted node reclaims its network registration.
+            network.replace_handler(node_id, self._receive)
+        else:
+            network.register(node_id, self._receive)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Cancel all timers and ignore all future deliveries."""
+        self._stopped = True
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+
+    def restart_as(self, replacement: "Node") -> None:
+        """Hand this node's network registration to ``replacement``.
+
+        Used by simulated reboots: the old instance stops; the fresh instance
+        takes over the same node id.
+        """
+        self.stop()
+        self.network.replace_handler(self.node_id, replacement._receive)
+
+    # -- timers --------------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback``; automatically inert once the node stops."""
+
+        def guarded() -> None:
+            if not self._stopped:
+                callback()
+
+        handle = self.sim.schedule(delay, guarded)
+        self._timers.append(handle)
+        if len(self._timers) > 256:
+            self._timers = [h for h in self._timers if not h.cancelled]
+        return handle
+
+    def now(self) -> float:
+        return self.sim.now()
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(self, dst: str, message: Any) -> None:
+        if not self._stopped:
+            self.network.send(self.node_id, dst, message)
+
+    def multicast(self, dsts: Sequence[str], message: Any) -> None:
+        if not self._stopped:
+            self.network.multicast(self.node_id, dsts, message)
+
+    def _receive(self, message: Any, src: str) -> None:
+        if not self._stopped:
+            self.on_message(message, src)
+
+    def on_message(self, message: Any, src: str) -> None:
+        raise NotImplementedError

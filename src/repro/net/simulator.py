@@ -1,0 +1,144 @@
+"""Discrete-event simulation kernel.
+
+Owns the virtual clock, a priority queue of scheduled events, and the seeded
+random number generator every nondeterministic component must draw from.
+Determinism contract: two runs with the same seed and the same schedule of
+API calls produce identical event orders (ties broken by insertion sequence).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.util.clock import VirtualClock
+
+
+class EventHandle:
+    """Cancellable handle for a scheduled event."""
+
+    __slots__ = ("cancelled", "fire_at")
+
+    def __init__(self, fire_at: float) -> None:
+        self.cancelled = False
+        self.fire_at = fire_at
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class _SimClock(VirtualClock):
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    Protocol code schedules callbacks with :meth:`schedule` and the test or
+    benchmark harness drives the loop with :meth:`run` / :meth:`run_until` /
+    :meth:`run_until_idle`.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.clock: VirtualClock = _SimClock()
+        self.rng = random.Random(seed)
+        self._queue: List[Tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._sequence = 0
+        self.events_processed = 0
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        fire_at = self.now() + delay
+        handle = EventHandle(fire_at)
+        heapq.heappush(self._queue, (fire_at, self._sequence, handle, callback))
+        self._sequence += 1
+        return handle
+
+    def _pop_ready(self) -> Optional[Tuple[float, Callable[[], None]]]:
+        while self._queue:
+            fire_at, _seq, handle, callback = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            return fire_at, callback
+        return None
+
+    def step(self) -> bool:
+        """Process one event; return False when the queue is empty."""
+        item = self._pop_ready()
+        if item is None:
+            return False
+        fire_at, callback = item
+        # Clock never runs backwards; events scheduled "now" keep time still.
+        self.clock._now = max(self.clock._now, fire_at)  # type: ignore[attr-defined]
+        self.events_processed += 1
+        callback()
+        return True
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Drain the event queue; returns events processed."""
+        count = 0
+        while count < max_events and self.step():
+            count += 1
+        if count >= max_events:
+            raise RuntimeError(f"simulator did not quiesce within {max_events} events")
+        return count
+
+    def run_until(self, deadline: float, max_events: int = 10_000_000) -> int:
+        """Process events with fire time <= deadline, then set the clock there."""
+        count = 0
+        while self._queue and count < max_events:
+            fire_at = self._peek_time()
+            if fire_at is None or fire_at > deadline:
+                break
+            self.step()
+            count += 1
+        if count >= max_events:
+            raise RuntimeError(f"simulator did not quiesce within {max_events} events")
+        self.clock._now = max(self.clock.now(), deadline)  # type: ignore[attr-defined]
+        return count
+
+    def run_for(self, duration: float, max_events: int = 10_000_000) -> int:
+        return self.run_until(self.now() + duration, max_events=max_events)
+
+    def run_until_condition(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 3600.0,
+        max_events: int = 10_000_000,
+    ) -> bool:
+        """Step until ``predicate()`` is true; returns whether it became true."""
+        deadline = self.now() + timeout
+        count = 0
+        if predicate():
+            return True
+        while self._queue and count < max_events:
+            fire_at = self._peek_time()
+            if fire_at is None or fire_at > deadline:
+                break
+            self.step()
+            count += 1
+            if predicate():
+                return True
+        return predicate()
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue:
+            fire_at, _seq, handle, _cb = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return fire_at
+        return None
+
+    def pending_events(self) -> int:
+        return sum(1 for (_t, _s, h, _c) in self._queue if not h.cancelled)

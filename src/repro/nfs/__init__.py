@@ -1,0 +1,20 @@
+"""The replicated file service example (paper section 3).
+
+* :mod:`repro.nfs.protocol`   -- NFS-protocol structures (RFC 1094 subset):
+  fattr/sattr, call/reply encodings, status codes;
+* :mod:`repro.nfs.fileserver` -- four distinct "off-the-shelf" file-system
+  implementations with different concrete representations, file-handle
+  schemes, readdir orders, timestamp granularities, and nondeterminism;
+* :mod:`repro.nfs.spec`       -- the common abstract specification: the
+  abstract state as a fixed array of (object, generation) pairs, oids,
+  XDR object encodings, deterministic oid assignment;
+* :mod:`repro.nfs.wrapper`    -- the conformance wrapper (handle translation,
+  abstract timestamps, lexicographic readdir) and the state conversion
+  functions (abstraction function + inverse);
+* :mod:`repro.nfs.relay`      -- the user-level relay between an NFS client
+  and the replicated service;
+* :mod:`repro.nfs.client`     -- a POSIX-ish client facade used by examples
+  and benchmarks;
+* :mod:`repro.nfs.direct`     -- the unreplicated baseline (client talks to
+  one implementation directly), used for the Andrew-benchmark comparison.
+"""

@@ -1,0 +1,137 @@
+"""Abstract-state auditing.
+
+Operational tooling an operator of a BASE deployment would want: compare the
+abstract states of two replicas object-by-object, decode the differences
+into human-readable form, and verify a single wrapper's internal consistency
+(rep ↔ concrete state).  Tests and examples use it; the fault-injection
+benchmarks use it to localize corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.nfs.conversion import abstraction_function
+from repro.nfs.protocol import NFDIR, NFNON, NFREG, TYPE_NAMES
+from repro.nfs.spec import AbstractObject, parse_oid
+from repro.nfs.wrapper import NFSConformanceWrapper
+
+
+@dataclass
+class ObjectDiff:
+    """One differing abstract array entry."""
+
+    index: int
+    left: AbstractObject
+    right: AbstractObject
+
+    def describe(self) -> str:
+        left_type = TYPE_NAMES.get(self.left.ftype, "?")
+        right_type = TYPE_NAMES.get(self.right.ftype, "?")
+        parts = [f"object {self.index}:"]
+        if self.left.ftype != self.right.ftype:
+            parts.append(f"type {left_type} vs {right_type}")
+        if self.left.generation != self.right.generation:
+            parts.append(
+                f"generation {self.left.generation} vs {self.right.generation}"
+            )
+        if self.left.ftype == self.right.ftype == NFREG and self.left.data != self.right.data:
+            parts.append(f"data {len(self.left.data)}B vs {len(self.right.data)}B")
+        if self.left.ftype == self.right.ftype == NFDIR and self.left.entries != self.right.entries:
+            left_names = {name for name, _ in self.left.entries}
+            right_names = {name for name, _ in self.right.entries}
+            only_left = left_names - right_names
+            only_right = right_names - left_names
+            if only_left:
+                parts.append(f"entries only in left: {sorted(only_left)}")
+            if only_right:
+                parts.append(f"entries only in right: {sorted(only_right)}")
+            if not only_left and not only_right:
+                parts.append("entries rebound to different oids")
+        if self.left.meta != self.right.meta:
+            parts.append("metadata differs")
+        return " ".join(parts)
+
+
+def diff_wrappers(
+    left: NFSConformanceWrapper, right: NFSConformanceWrapper
+) -> List[ObjectDiff]:
+    """Object-level differences between two replicas' abstract states."""
+    if left.spec.num_objects != right.spec.num_objects:
+        raise ValueError("wrappers follow different abstract specifications")
+    diffs: List[ObjectDiff] = []
+    for index in range(left.spec.num_objects):
+        left_blob = abstraction_function(left, index)
+        right_blob = abstraction_function(right, index)
+        if left_blob != right_blob:
+            diffs.append(
+                ObjectDiff(
+                    index=index,
+                    left=AbstractObject.decode(left_blob),
+                    right=AbstractObject.decode(right_blob),
+                )
+            )
+    return diffs
+
+
+@dataclass
+class AuditReport:
+    """Internal-consistency findings for one wrapper."""
+
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def audit_wrapper(wrapper: NFSConformanceWrapper) -> AuditReport:
+    """Check the conformance rep against the abstract state it produces.
+
+    Verifies referential integrity (every directory entry points at a live
+    entry with a matching generation), reachability (every allocated entry
+    is linked somewhere, directly or transitively from the root), and map
+    consistency (fh↔index round-trips).
+    """
+    report = AuditReport()
+    objects: Dict[int, AbstractObject] = {}
+    for index in range(wrapper.spec.num_objects):
+        objects[index] = AbstractObject.decode(abstraction_function(wrapper, index))
+
+    # Referential integrity.
+    referenced: Dict[int, int] = {}
+    for index, obj in objects.items():
+        if obj.ftype != NFDIR:
+            continue
+        for name, oid in obj.entries:
+            child_index, child_gen = parse_oid(oid)
+            child = objects.get(child_index)
+            if child is None or child.ftype == NFNON:
+                report.problems.append(
+                    f"dir {index} entry {name!r} points at free entry {child_index}"
+                )
+            elif child.generation != child_gen:
+                report.problems.append(
+                    f"dir {index} entry {name!r} has stale generation for {child_index}"
+                )
+            referenced[child_index] = referenced.get(child_index, 0) + 1
+
+    # Single-parent tree invariant (no hard links in the spec).
+    for index, count in referenced.items():
+        if count > 1:
+            report.problems.append(f"object {index} linked {count} times")
+
+    # Reachability: every allocated non-root object is referenced.
+    for index, obj in objects.items():
+        if index == 0 or obj.ftype == NFNON:
+            continue
+        if index not in referenced:
+            report.problems.append(f"object {index} is allocated but orphaned")
+
+    # Map consistency.
+    for fh, index in wrapper.fh_to_index.items():
+        entry = wrapper.entries[index]
+        if entry.fh != fh:
+            report.problems.append(f"fh map points at index {index} with different fh")
+    return report

@@ -1,0 +1,302 @@
+"""POSIX-ish client façade over the NFS protocol.
+
+Plays the role of the kernel NFS client in Figure 2: applications use paths;
+the client resolves them with LOOKUP walks and issues protocol calls through
+a *transport* — either a :class:`repro.nfs.relay.NFSRelay` (replicated
+service) or a :class:`repro.nfs.direct.DirectTransport` (the unreplicated
+off-the-shelf server, the paper's baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.nfs.protocol import (
+    MAX_DATA,
+    NFDIR,
+    NFLNK,
+    NFREG,
+    NFS_OK,
+    NFSERR_STALE,
+    STATUS_NAMES,
+    CreateCall,
+    Fattr,
+    GetattrCall,
+    LookupCall,
+    MkdirCall,
+    NfsCall,
+    NfsReply,
+    ReadCall,
+    ReaddirCall,
+    ReadlinkCall,
+    RemoveCall,
+    RenameCall,
+    RmdirCall,
+    Sattr,
+    SetattrCall,
+    StatfsCall,
+    SymlinkCall,
+    WriteCall,
+)
+from repro.nfs.spec import ROOT_OID
+from repro.util.errors import ReproError
+
+
+class NFSError(ReproError):
+    """A protocol call failed; carries the NFS status code."""
+
+    def __init__(self, status: int, context: str = "") -> None:
+        name = STATUS_NAMES.get(status, str(status))
+        super().__init__(f"{name}{': ' + context if context else ''}")
+        self.status = status
+
+
+class Transport(Protocol):
+    def call(self, request: NfsCall) -> NfsReply: ...
+
+
+def _split(path: str) -> List[str]:
+    return [part for part in path.split("/") if part]
+
+
+def _stale_safe(method):
+    """Retry a whole client operation once if a cached handle goes stale."""
+
+    def wrapped(self, *args, **kwargs):
+        return self._retrying(lambda: method(self, *args, **kwargs))
+
+    wrapped.__name__ = method.__name__
+    wrapped.__doc__ = method.__doc__
+    return wrapped
+
+
+class NFSClient:
+    """Path-based file operations over one mounted file service.
+
+    ``cache_handles=True`` enables the kernel-NFS-client-style lookup cache:
+    resolved path components are remembered and revalidated lazily — a call
+    that fails with NFSERR_STALE invalidates the cached prefix and retries
+    once with a fresh walk.  Off by default so benchmark op counts reflect
+    uncached protocol traffic.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        root_fh: bytes = ROOT_OID,
+        cache_handles: bool = False,
+    ) -> None:
+        self.transport = transport
+        self.root_fh = root_fh
+        self.cache_handles = cache_handles
+        self._handle_cache: Dict[str, bytes] = {}
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _call(self, request: NfsCall, context: str = "") -> NfsReply:
+        reply = self.transport.call(request)
+        if reply.status != NFS_OK:
+            raise NFSError(reply.status, context)
+        return reply
+
+    def _cache_key(self, parts: List[str]) -> str:
+        return "/" + "/".join(parts)
+
+    def _invalidate_prefix(self, path: str) -> None:
+        prefix = self._cache_key(_split(path))
+        for key in [k for k in self._handle_cache if k == prefix or k.startswith(prefix + "/")]:
+            del self._handle_cache[key]
+
+    def _walk(self, parts: List[str], context: str) -> bytes:
+        fh = self.root_fh
+        consumed: List[str] = []
+        if self.cache_handles:
+            # Longest cached prefix wins.
+            for cut in range(len(parts), 0, -1):
+                cached = self._handle_cache.get(self._cache_key(parts[:cut]))
+                if cached is not None:
+                    fh = cached
+                    consumed = parts[:cut]
+                    break
+        for part in parts[len(consumed):]:
+            reply = self._call(LookupCall(dir_fh=fh, name=part), context=context)
+            fh = reply.fh
+            consumed = consumed + [part]
+            if self.cache_handles:
+                self._handle_cache[self._cache_key(consumed)] = fh
+        return fh
+
+    def _resolve(self, path: str) -> bytes:
+        return self._walk(_split(path), path)
+
+    def _resolve_parent(self, path: str) -> Tuple[bytes, str]:
+        parts = _split(path)
+        if not parts:
+            raise ValueError("path has no final component")
+        return self._resolve("/" + "/".join(parts[:-1])), parts[-1]
+
+    def _retrying(self, operation):
+        """Run an operation; on a stale cached handle (object replaced or
+        server recovered), drop the cache and retry once with fresh walks."""
+        try:
+            return operation()
+        except NFSError as error:
+            if not self.cache_handles or error.status != NFSERR_STALE:
+                raise
+            self._handle_cache.clear()
+            return operation()
+
+    def _mutated(self, path: str) -> None:
+        """Drop cache entries under a path whose binding changed."""
+        if self.cache_handles:
+            self._invalidate_prefix(path)
+
+    # -- operations ----------------------------------------------------------------
+
+    @_stale_safe
+    def stat(self, path: str) -> Fattr:
+        fh = self._resolve(path)
+        reply = self._call(GetattrCall(fh=fh), context=path)
+        assert reply.attr is not None
+        return reply.attr
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.stat(path)
+            return True
+        except NFSError:
+            return False
+
+    @_stale_safe
+    def mkdir(self, path: str, mode: int = 0o755) -> Fattr:
+        parent, name = self._resolve_parent(path)
+        reply = self._call(
+            MkdirCall(dir_fh=parent, name=name, sattr=Sattr(mode=mode)), context=path
+        )
+        assert reply.attr is not None
+        return reply.attr
+
+    @_stale_safe
+    def create(self, path: str, mode: int = 0o644) -> Fattr:
+        parent, name = self._resolve_parent(path)
+        reply = self._call(
+            CreateCall(dir_fh=parent, name=name, sattr=Sattr(mode=mode)), context=path
+        )
+        assert reply.attr is not None
+        return reply.attr
+
+    @_stale_safe
+    def write(self, path: str, data: bytes, offset: int = 0) -> Fattr:
+        fh = self._resolve(path)
+        attr: Optional[Fattr] = None
+        for chunk_start in range(0, max(len(data), 1), MAX_DATA):
+            chunk = data[chunk_start : chunk_start + MAX_DATA]
+            reply = self._call(
+                WriteCall(fh=fh, offset=offset + chunk_start, data=chunk), context=path
+            )
+            attr = reply.attr
+        assert attr is not None
+        return attr
+
+    @_stale_safe
+    def write_file(self, path: str, data: bytes, mode: int = 0o644) -> Fattr:
+        """create-if-absent, truncate, write (the common benchmark idiom)."""
+        if not self.exists(path):
+            self.create(path, mode=mode)
+        fh = self._resolve(path)
+        self._call(SetattrCall(fh=fh, sattr=Sattr(size=0)), context=path)
+        return self.write(path, data)
+
+    @_stale_safe
+    def read(self, path: str, offset: int = 0, count: int = MAX_DATA) -> bytes:
+        fh = self._resolve(path)
+        reply = self._call(ReadCall(fh=fh, offset=offset, count=count), context=path)
+        return reply.data
+
+    @_stale_safe
+    def read_file(self, path: str) -> bytes:
+        fh = self._resolve(path)
+        chunks: List[bytes] = []
+        offset = 0
+        while True:
+            reply = self._call(ReadCall(fh=fh, offset=offset, count=MAX_DATA), context=path)
+            if not reply.data:
+                break
+            chunks.append(reply.data)
+            offset += len(reply.data)
+            if len(reply.data) < MAX_DATA:
+                break
+        return b"".join(chunks)
+
+    @_stale_safe
+    def listdir(self, path: str) -> List[str]:
+        fh = self._resolve(path)
+        reply = self._call(ReaddirCall(fh=fh), context=path)
+        return [name for name, _fh in reply.entries]
+
+    @_stale_safe
+    def unlink(self, path: str) -> None:
+        parent, name = self._resolve_parent(path)
+        self._call(RemoveCall(dir_fh=parent, name=name), context=path)
+        self._mutated(path)
+
+    @_stale_safe
+    def rmdir(self, path: str) -> None:
+        parent, name = self._resolve_parent(path)
+        self._call(RmdirCall(dir_fh=parent, name=name), context=path)
+        self._mutated(path)
+
+    @_stale_safe
+    def rename(self, src: str, dst: str) -> None:
+        src_parent, src_name = self._resolve_parent(src)
+        dst_parent, dst_name = self._resolve_parent(dst)
+        self._call(
+            RenameCall(
+                from_dir=src_parent,
+                from_name=src_name,
+                to_dir=dst_parent,
+                to_name=dst_name,
+            ),
+            context=f"{src} -> {dst}",
+        )
+        self._mutated(src)
+        self._mutated(dst)
+
+    @_stale_safe
+    def symlink(self, target: str, path: str) -> None:
+        parent, name = self._resolve_parent(path)
+        self._call(
+            SymlinkCall(dir_fh=parent, name=name, target=target, sattr=Sattr(mode=0o777)),
+            context=path,
+        )
+
+    @_stale_safe
+    def readlink(self, path: str) -> str:
+        fh = self._resolve(path)
+        return self._call(ReadlinkCall(fh=fh), context=path).target
+
+    @_stale_safe
+    def setattr(self, path: str, sattr: Sattr) -> Fattr:
+        fh = self._resolve(path)
+        reply = self._call(SetattrCall(fh=fh, sattr=sattr), context=path)
+        assert reply.attr is not None
+        return reply.attr
+
+    @_stale_safe
+    def statfs(self, path: str = "/") -> bytes:
+        fh = self._resolve(path)
+        return self._call(StatfsCall(fh=fh), context=path).data
+
+    def walk_tree(self, path: str = "/") -> List[str]:
+        """All paths under ``path`` (depth-first), for scans and tests."""
+        out: List[str] = []
+        attr = self.stat(path)
+        if attr.ftype != NFDIR:
+            return [path]
+        for name in self.listdir(path):
+            child = path.rstrip("/") + "/" + name
+            out.append(child)
+            child_attr = self.stat(child)
+            if child_attr.ftype == NFDIR:
+                out.extend(self.walk_tree(child))
+        return out

@@ -1,0 +1,308 @@
+"""State conversion for the file service (paper section 3.3).
+
+``abstraction_function`` maps one concrete object (reached through the
+wrapped server's NFS interface) to its abstract encoding; the
+``inverse_abstraction_function`` installs a consistent set of new abstract
+object values into the concrete state, using only NFS operations.
+
+The inverse follows the paper's three cases per object — (1) same
+generation: update in place; (2) entry holds a different generation: remove
+the old object, then create; (3) entry free: create — with new objects
+created **in a separate unlinked (limbo) directory** and linked into place
+when the directories that reference them are processed.  Because the BASE
+library guarantees ``put_objs`` receives a complete consistent checkpoint,
+every staged object is linked by the end and the limbo directory drains.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.nfs.protocol import (
+    MAX_DATA,
+    NFDIR,
+    NFLNK,
+    NFNON,
+    NFREG,
+    Sattr,
+)
+from repro.nfs.spec import AbstractMeta, AbstractObject, make_oid, null_object, parse_oid
+from repro.nfs.wrapper import LIMBO_NAME, NFSConformanceWrapper
+from repro.util.errors import StateTransferError
+
+if TYPE_CHECKING:
+    pass
+
+
+def read_whole_file(wrapper: NFSConformanceWrapper, fh: bytes) -> bytes:
+    """Read a file's full contents through the protocol interface."""
+    chunks: List[bytes] = []
+    offset = 0
+    while True:
+        reply = wrapper.impl.read(fh, offset, MAX_DATA)
+        if not reply.ok or not reply.data:
+            break
+        chunks.append(reply.data)
+        offset += len(reply.data)
+        if len(reply.data) < MAX_DATA:
+            break
+    return b"".join(chunks)
+
+
+def abstraction_function(wrapper: NFSConformanceWrapper, index: int) -> bytes:
+    """The paper's abstraction function, restricted to one array index."""
+    entry = wrapper.entries[index]
+    if not entry.allocated:
+        return null_object(entry.generation).encode()
+    attr_reply = wrapper.impl.getattr(entry.fh)
+    if not attr_reply.ok or attr_reply.attr is None:
+        # Concrete object vanished (corruption): surface as a null object so
+        # the digest comparison flags it and state transfer repairs it.
+        return null_object(entry.generation).encode()
+    attr = attr_reply.attr
+    obj = AbstractObject(
+        ftype=attr.ftype,
+        generation=entry.generation,
+        meta=AbstractMeta(
+            mode=attr.mode,
+            uid=attr.uid,
+            gid=attr.gid,
+            mtime=entry.mtime,
+            ctime=entry.ctime,
+        ),
+    )
+    if attr.ftype == NFREG:
+        obj.data = read_whole_file(wrapper, entry.fh)
+    elif attr.ftype == NFDIR:
+        obj.entries = sorted(_current_dir_entries(wrapper, index).items())
+    elif attr.ftype == NFLNK:
+        link = wrapper.impl.readlink(entry.fh)
+        obj.target = link.target if link.ok else ""
+    return obj.encode()
+
+
+def _current_dir_entries(wrapper: NFSConformanceWrapper, index: int) -> Dict[str, bytes]:
+    """Current abstract value of a directory: name -> oid."""
+    entry = wrapper.entries[index]
+    reply = wrapper.impl.readdir(entry.fh)
+    out: Dict[str, bytes] = {}
+    if not reply.ok:
+        return out
+    for name, child_fh in reply.entries:
+        if name == LIMBO_NAME:
+            continue
+        child = wrapper.fh_to_index.get(child_fh)
+        if child is None:
+            continue
+        out[name] = make_oid(child, wrapper.entries[child].generation)
+    return out
+
+
+# --- the inverse ---------------------------------------------------------------------
+
+
+def inverse_abstraction_function(
+    wrapper: NFSConformanceWrapper, objects: Dict[int, bytes]
+) -> None:
+    decoded: Dict[int, AbstractObject] = {
+        index: AbstractObject.decode(blob) for index, blob in objects.items()
+    }
+    _stage_removed_entries(wrapper, decoded)
+    _reconcile_existence(wrapper, decoded)
+    _update_contents(wrapper, decoded)
+    _link_directories(wrapper, decoded)
+    _check_limbo_drained(wrapper)
+
+
+def _stage_removed_entries(
+    wrapper: NFSConformanceWrapper, decoded: Dict[int, AbstractObject]
+) -> None:
+    """Move every directory entry that must disappear into the limbo
+    directory.  Survivors are re-linked later; doomed objects are deleted
+    from limbo by the existence pass."""
+    for index, obj in sorted(decoded.items()):
+        entry = wrapper.entries[index]
+        if not entry.allocated:
+            continue
+        attr = wrapper.impl.getattr(entry.fh)
+        if not attr.ok or attr.attr is None or attr.attr.ftype != NFDIR:
+            continue
+        keep: set = set()
+        if obj.ftype == NFDIR and obj.generation == entry.generation:
+            keep = set(obj.entries)  # (name, oid) pairs that stay
+        current = _current_dir_entries(wrapper, index)
+        for name, oid in current.items():
+            if (name, oid) not in keep:
+                child_index, _gen = parse_oid(oid)
+                _move_to_limbo(wrapper, child_index)
+
+
+def _reconcile_existence(
+    wrapper: NFSConformanceWrapper, decoded: Dict[int, AbstractObject]
+) -> None:
+    """The paper's three cases, per object."""
+    for index, obj in sorted(decoded.items()):
+        entry = wrapper.entries[index]
+        if obj.ftype == NFNON:
+            if entry.allocated:
+                _delete_concrete(wrapper, index)
+            entry.generation = obj.generation
+            continue
+        if entry.allocated and entry.generation == obj.generation:
+            attr = wrapper.impl.getattr(entry.fh)
+            same_type = attr.ok and attr.attr is not None and attr.attr.ftype == obj.ftype
+            same_link = True
+            if same_type and obj.ftype == NFLNK:
+                link = wrapper.impl.readlink(entry.fh)
+                same_link = link.ok and link.target == obj.target
+            if same_type and same_link:
+                continue  # case 1: update in place later
+        if entry.allocated:
+            _delete_concrete(wrapper, index)  # case 2: wrong generation/type
+        _create_in_limbo(wrapper, index, obj)  # case 3
+
+
+def _update_contents(
+    wrapper: NFSConformanceWrapper, decoded: Dict[int, AbstractObject]
+) -> None:
+    """Install data and metadata (files: a setattr and a write suffice)."""
+    for index, obj in sorted(decoded.items()):
+        if obj.ftype == NFNON:
+            continue
+        entry = wrapper.entries[index]
+        if entry.fh is None:
+            raise StateTransferError(f"object {index} missing after reconcile")
+        if obj.ftype == NFREG:
+            wrapper.impl.setattr(entry.fh, Sattr(size=0))
+            if obj.data:
+                wrapper.impl.write(entry.fh, 0, obj.data)
+        wrapper.impl.setattr(
+            entry.fh, Sattr(mode=obj.meta.mode, uid=obj.meta.uid, gid=obj.meta.gid)
+        )
+        entry.mtime = obj.meta.mtime
+        entry.ctime = obj.meta.ctime
+
+
+def _link_directories(
+    wrapper: NFSConformanceWrapper, decoded: Dict[int, AbstractObject]
+) -> None:
+    """Bring each directory's entry list to its abstract value by renaming
+    staged/moved objects into place."""
+    for index, obj in sorted(decoded.items()):
+        if obj.ftype != NFDIR:
+            continue
+        dir_entry = wrapper.entries[index]
+        current = _current_dir_entries(wrapper, index)
+        for name, oid in obj.entries:
+            if current.get(name) == oid:
+                continue
+            child_index, child_gen = parse_oid(oid)
+            child = wrapper.entries[child_index]
+            if not child.allocated or child.generation != child_gen:
+                raise StateTransferError(
+                    f"directory {index} references missing object {child_index}"
+                )
+            _move_into(wrapper, child_index, index, name)
+
+
+def _check_limbo_drained(wrapper: NFSConformanceWrapper) -> None:
+    """A consistent checkpoint links every staged object somewhere."""
+    root_fh = wrapper.entries[0].fh
+    assert root_fh is not None
+    looked_up = wrapper.impl.lookup(root_fh, LIMBO_NAME)
+    if not looked_up.ok:
+        return
+    listing = wrapper.impl.readdir(looked_up.fh)
+    if listing.ok and listing.entries:
+        raise StateTransferError(
+            f"limbo not drained after put_objs: {[n for n, _ in listing.entries]}"
+        )
+
+
+# --- concrete-state manipulation helpers (NFS operations only) -------------------------
+
+
+def _parent_fh(wrapper: NFSConformanceWrapper, index: int) -> bytes:
+    entry = wrapper.entries[index]
+    if entry.parent == -1:
+        return wrapper.limbo_fh()
+    parent_fh = wrapper.entries[entry.parent].fh
+    if parent_fh is None:
+        raise StateTransferError(f"object {index} has a vanished parent")
+    return parent_fh
+
+
+def _move_to_limbo(wrapper: NFSConformanceWrapper, index: int) -> None:
+    entry = wrapper.entries[index]
+    if not entry.allocated or entry.parent == -1 or index == 0:
+        return
+    limbo = wrapper.limbo_fh()
+    staged_name = f"obj{index}"
+    reply = wrapper.impl.rename(_parent_fh(wrapper, index), entry.name, limbo, staged_name)
+    if not reply.ok:
+        raise StateTransferError(
+            f"cannot stage object {index} into limbo: status {reply.status}"
+        )
+    entry.parent = -1
+    entry.name = staged_name
+
+
+def _move_into(
+    wrapper: NFSConformanceWrapper, child_index: int, dir_index: int, name: str
+) -> None:
+    child = wrapper.entries[child_index]
+    target_fh = wrapper.entries[dir_index].fh
+    if target_fh is None:
+        raise StateTransferError(f"directory {dir_index} has no concrete object")
+    reply = wrapper.impl.rename(_parent_fh(wrapper, child_index), child.name, target_fh, name)
+    if not reply.ok:
+        raise StateTransferError(
+            f"cannot link object {child_index} as {name!r}: status {reply.status}"
+        )
+    child.parent = dir_index
+    child.name = name
+
+
+def _delete_concrete(wrapper: NFSConformanceWrapper, index: int) -> None:
+    """Remove the concrete object behind ``index`` (recursively for
+    directories — defensive: a consistent batch empties them first)."""
+    entry = wrapper.entries[index]
+    if not entry.allocated:
+        return
+    attr = wrapper.impl.getattr(entry.fh)
+    if attr.ok and attr.attr is not None and attr.attr.ftype == NFDIR:
+        listing = wrapper.impl.readdir(entry.fh)
+        if listing.ok:
+            for name, child_fh in listing.entries:
+                child = wrapper.fh_to_index.get(child_fh)
+                if child is not None:
+                    _delete_concrete(wrapper, child)
+                else:
+                    wrapper.impl.remove(entry.fh, name)
+        wrapper.impl.rmdir(_parent_fh(wrapper, index), entry.name)
+    else:
+        wrapper.impl.remove(_parent_fh(wrapper, index), entry.name)
+    wrapper._unbind(index)
+
+
+def _create_in_limbo(
+    wrapper: NFSConformanceWrapper, index: int, obj: AbstractObject
+) -> None:
+    limbo = wrapper.limbo_fh()
+    staged_name = f"obj{index}"
+    sattr = Sattr(mode=obj.meta.mode, uid=obj.meta.uid, gid=obj.meta.gid)
+    if obj.ftype == NFREG:
+        reply = wrapper.impl.create(limbo, staged_name, sattr)
+    elif obj.ftype == NFDIR:
+        reply = wrapper.impl.mkdir(limbo, staged_name, sattr)
+    elif obj.ftype == NFLNK:
+        reply = wrapper.impl.symlink(limbo, staged_name, obj.target, sattr)
+    else:
+        raise StateTransferError(f"cannot create abstract type {obj.ftype}")
+    if not reply.ok:
+        raise StateTransferError(
+            f"cannot create staged object {index}: status {reply.status}"
+        )
+    wrapper._bind(index, reply.fh, obj.generation, parent=-1, name=staged_name)
+    wrapper.entries[index].mtime = obj.meta.mtime
+    wrapper.entries[index].ctime = obj.meta.ctime

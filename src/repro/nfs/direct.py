@@ -1,0 +1,50 @@
+"""The unreplicated baseline: a client talking straight to one off-the-shelf
+file-server implementation (what the paper's Andrew benchmark compares
+against).
+
+The transport charges the same simulated network round-trip a local NFS
+mount would see (client → server → client), so the comparison with the
+replicated service isolates the replication overhead rather than penalizing
+it for merely having a network."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.simulator import Simulator
+from repro.nfs.client import NFSClient
+from repro.nfs.fileserver.api import NFSServer
+from repro.nfs.protocol import NfsCall, NfsReply
+from repro.util.stats import Counters
+
+
+class DirectTransport:
+    """Synchronous call path to one implementation, with cost accounting."""
+
+    def __init__(
+        self,
+        impl: NFSServer,
+        sim: Optional[Simulator] = None,
+        round_trip: float = 0.001,
+    ) -> None:
+        self.impl = impl
+        self.sim = sim
+        self.round_trip = round_trip
+        self.counters = Counters()
+
+    def call(self, request: NfsCall) -> NfsReply:
+        self.counters.add("nfs_calls")
+        self.counters.add("request_bytes", len(request.encode()))
+        if self.sim is not None:
+            # One request/response pair over the simulated LAN.
+            self.sim.run_for(self.round_trip)
+        reply = self.impl.call(request)
+        self.counters.add("reply_bytes", len(reply.encode()))
+        return reply
+
+
+def direct_client(
+    impl: NFSServer, sim: Optional[Simulator] = None, round_trip: float = 0.001
+) -> NFSClient:
+    """An :class:`NFSClient` mounted directly on ``impl``."""
+    return NFSClient(DirectTransport(impl, sim, round_trip), root_fh=impl.root_handle())

@@ -1,0 +1,141 @@
+"""The black-box interface of an "off-the-shelf" NFS file server.
+
+Each implementation in this package is written as if by an independent
+vendor: it owns its concrete representation (inode tables, logs, btrees...),
+its file-handle scheme, its readdir order, its timestamp granularity, and its
+nondeterministic choices.  The only thing the conformance wrapper may rely on
+is this NFS-protocol interface — the paper's requirement that implementations
+be treated as black boxes.
+
+Implementations persist their state in a plain dict (the replica's "disk"),
+so a simulated reboot rebuilds them from that dict alone; anything kept only
+in instance attributes (caches, leaked memory, in-core corruption) is lost on
+reboot, which is exactly what software rejuvenation exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.nfs.protocol import (
+    MAX_NAME_LEN,
+    NFSERR_IO,
+    NFSERR_NAMETOOLONG,
+    NfsCall,
+    NfsReply,
+    GetattrCall,
+    SetattrCall,
+    LookupCall,
+    ReadlinkCall,
+    ReadCall,
+    WriteCall,
+    CreateCall,
+    RemoveCall,
+    RenameCall,
+    SymlinkCall,
+    MkdirCall,
+    RmdirCall,
+    ReaddirCall,
+    StatfsCall,
+    Sattr,
+    error_reply,
+)
+
+Clock = Callable[[], float]
+
+
+def name_error(name: str) -> Optional[int]:
+    """Protocol-level name validation shared by all servers."""
+    if len(name) > MAX_NAME_LEN:
+        return NFSERR_NAMETOOLONG
+    if not name or name in (".", "..") or "/" in name or "\x00" in name:
+        return NFSERR_IO
+    return None
+
+
+class NFSServer:
+    """Abstract NFS daemon: one method per protocol procedure."""
+
+    #: Persistent filesystem id (part of the ⟨fsid, fileid⟩ object identity).
+    fsid: int = 0
+
+    def root_handle(self) -> bytes:
+        raise NotImplementedError
+
+    def getattr(self, fh: bytes) -> NfsReply:
+        raise NotImplementedError
+
+    def setattr(self, fh: bytes, sattr: Sattr) -> NfsReply:
+        raise NotImplementedError
+
+    def lookup(self, dir_fh: bytes, name: str) -> NfsReply:
+        raise NotImplementedError
+
+    def readlink(self, fh: bytes) -> NfsReply:
+        raise NotImplementedError
+
+    def read(self, fh: bytes, offset: int, count: int) -> NfsReply:
+        raise NotImplementedError
+
+    def write(self, fh: bytes, offset: int, data: bytes) -> NfsReply:
+        raise NotImplementedError
+
+    def create(self, dir_fh: bytes, name: str, sattr: Sattr) -> NfsReply:
+        raise NotImplementedError
+
+    def remove(self, dir_fh: bytes, name: str) -> NfsReply:
+        raise NotImplementedError
+
+    def rename(self, from_dir: bytes, from_name: str, to_dir: bytes, to_name: str) -> NfsReply:
+        raise NotImplementedError
+
+    def symlink(self, dir_fh: bytes, name: str, target: str, sattr: Sattr) -> NfsReply:
+        raise NotImplementedError
+
+    def mkdir(self, dir_fh: bytes, name: str, sattr: Sattr) -> NfsReply:
+        raise NotImplementedError
+
+    def rmdir(self, dir_fh: bytes, name: str) -> NfsReply:
+        raise NotImplementedError
+
+    def readdir(self, fh: bytes) -> NfsReply:
+        raise NotImplementedError
+
+    def statfs(self, fh: bytes) -> NfsReply:
+        raise NotImplementedError
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def call(self, request: NfsCall) -> NfsReply:
+        """Route a decoded protocol call to the matching method."""
+        if isinstance(request, GetattrCall):
+            return self.getattr(request.fh)
+        if isinstance(request, SetattrCall):
+            return self.setattr(request.fh, request.sattr)
+        if isinstance(request, LookupCall):
+            return self.lookup(request.dir_fh, request.name)
+        if isinstance(request, ReadlinkCall):
+            return self.readlink(request.fh)
+        if isinstance(request, ReadCall):
+            return self.read(request.fh, request.offset, request.count)
+        if isinstance(request, WriteCall):
+            return self.write(request.fh, request.offset, request.data)
+        if isinstance(request, CreateCall):
+            return self.create(request.dir_fh, request.name, request.sattr)
+        if isinstance(request, RemoveCall):
+            return self.remove(request.dir_fh, request.name)
+        if isinstance(request, RenameCall):
+            return self.rename(
+                request.from_dir, request.from_name, request.to_dir, request.to_name
+            )
+        if isinstance(request, SymlinkCall):
+            return self.symlink(request.dir_fh, request.name, request.target, request.sattr)
+        if isinstance(request, MkdirCall):
+            return self.mkdir(request.dir_fh, request.name, request.sattr)
+        if isinstance(request, RmdirCall):
+            return self.rmdir(request.dir_fh, request.name)
+        if isinstance(request, ReaddirCall):
+            return self.readdir(request.fh)
+        if isinstance(request, StatfsCall):
+            return self.statfs(request.fh)
+        return error_reply(NFSERR_IO)

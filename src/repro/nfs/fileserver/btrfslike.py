@@ -1,0 +1,446 @@
+"""BtrFS: a copy-on-write, extent-based file server ("vendor E").
+
+Concrete representation: file data lives in immutable *extents* keyed by
+(ino, file-offset); a write never mutates an extent — it writes new extents
+and bumps a per-filesystem transaction id, leaving old extents as garbage
+for a lazy cleaner.  Directory entries are kept in a sorted-by-inode-number
+structure, so readdir returns entries in **inode order** (creation order
+with gaps), unlike every other vendor.  Timestamps tick in milliseconds.
+Inode numbers start at a random point and advance by random strides.
+
+The fifth independent implementation: the paper notes that competition
+yields "four or more distinct implementations" of common services.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.nfs.fileserver.api import Clock, NFSServer, name_error
+from repro.nfs.protocol import (
+    NFDIR,
+    NFLNK,
+    NFREG,
+    NFSERR_EXIST,
+    NFSERR_IO,
+    NFSERR_ISDIR,
+    NFSERR_NOENT,
+    NFSERR_NOTDIR,
+    NFSERR_NOTEMPTY,
+    NFSERR_STALE,
+    NFS_OK,
+    Fattr,
+    NfsReply,
+    Sattr,
+    error_reply,
+)
+from repro.util.errors import FaultInjected
+from repro.util.xdr import XdrDecoder, XdrEncoder
+
+_SB = "btrfs:superblock"
+_INODES = "btrfs:inodes"
+_EXTENTS = "btrfs:extents"
+
+EXTENT_SIZE = 4096
+_CLEAN_THRESHOLD = 2048  # extents before the lazy cleaner runs
+
+
+class BtrFS(NFSServer):
+    """Copy-on-write extent file server with inode-order readdir."""
+
+    def __init__(
+        self,
+        disk: Optional[dict] = None,
+        clock: Optional[Clock] = None,
+        seed: int = 0,
+        clock_skew: float = 0.0,
+        aging_threshold: Optional[int] = None,
+    ) -> None:
+        self.disk = disk if disk is not None else {}
+        self._clock = clock or (lambda: 0.0)
+        self._skew = clock_skew
+        self._rng = random.Random(seed)
+        self._aging_threshold = aging_threshold
+        self._leaked = 0
+
+        if _SB not in self.disk:
+            self.disk[_SB] = {
+                "fsid": self._rng.randrange(1, 2**28),
+                "next_ino": self._rng.randrange(256, 512),
+                "transaction": 0,
+            }
+            self.disk[_INODES] = {}
+            self.disk[_EXTENTS] = {}  # (ino, offset) -> bytes
+            root = self._alloc_inode(NFDIR)
+            self.disk[_SB]["root"] = root
+        self.fsid = self.disk[_SB]["fsid"]
+
+    # -- allocation / transactions --------------------------------------------------
+
+    def _inodes(self) -> Dict[int, dict]:
+        return self.disk[_INODES]
+
+    def _extents(self) -> Dict[Tuple[int, int], bytes]:
+        return self.disk[_EXTENTS]
+
+    def _now(self) -> int:
+        micros = int((self._clock() + self._skew) * 1_000_000)
+        return micros - (micros % 1000)  # millisecond granularity
+
+    def _leak(self, amount: int) -> None:
+        self._leaked += amount
+        if self._aging_threshold is not None and self._leaked > self._aging_threshold:
+            raise FaultInjected(f"BtrFS aged out ({self._leaked} bytes leaked)")
+
+    def _transaction(self) -> int:
+        self.disk[_SB]["transaction"] += 1
+        return self.disk[_SB]["transaction"]
+
+    def _alloc_inode(self, ftype: int) -> int:
+        sb = self.disk[_SB]
+        ino = sb["next_ino"]
+        sb["next_ino"] = ino + self._rng.randrange(1, 4)  # gappy inode numbers
+        now = self._now()
+        self._inodes()[ino] = {
+            "type": ftype,
+            "mode": 0o755 if ftype == NFDIR else 0o644,
+            "uid": 0,
+            "gid": 0,
+            "size": 0,
+            "entries": {},  # name -> ino; readdir sorts by ino
+            "target": "",
+            "birth": self._transaction(),
+            "atime": now,
+            "mtime": now,
+            "ctime": now,
+        }
+        return ino
+
+    def _free_inode(self, ino: int) -> None:
+        inode = self._inodes().pop(ino, None)
+        if inode is None:
+            return
+        # Extents become garbage; the lazy cleaner reclaims them.
+        self._maybe_clean()
+
+    def _maybe_clean(self) -> None:
+        extents = self._extents()
+        if len(extents) < _CLEAN_THRESHOLD:
+            return
+        live = set(self._inodes())
+        for key in [k for k in extents if k[0] not in live]:
+            del extents[key]
+
+    # -- extent-based file data -----------------------------------------------------------
+
+    def _read_data(self, ino: int) -> bytes:
+        inode = self._inodes()[ino]
+        extents = self._extents()
+        out = bytearray(inode["size"])
+        for offset in range(0, inode["size"], EXTENT_SIZE):
+            chunk = extents.get((ino, offset), b"")
+            out[offset : offset + len(chunk)] = chunk
+        return bytes(out[: inode["size"]])
+
+    def _write_data(self, ino: int, data: bytes) -> None:
+        """COW: write fresh extents; stale ones are cleaner's business."""
+        inode = self._inodes()[ino]
+        extents = self._extents()
+        for offset in range(0, max(len(data), 1), EXTENT_SIZE):
+            chunk = data[offset : offset + EXTENT_SIZE]
+            if chunk:
+                extents[(ino, offset)] = chunk
+        # Truncate: remove extents past the new end.
+        for key in [k for k in extents if k[0] == ino and k[1] >= len(data)]:
+            del extents[key]
+        inode["size"] = len(data)
+        self._transaction()
+
+    # -- handles / attrs ----------------------------------------------------------------------
+
+    def _handle(self, ino: int) -> bytes:
+        inode = self._inodes()[ino]
+        return (
+            XdrEncoder()
+            .pack_string("BTR")
+            .pack_u64(self.fsid)
+            .pack_u64(ino)
+            .pack_u64(inode["birth"])
+            .getvalue()
+        )
+
+    def _resolve(self, fh: bytes) -> Optional[int]:
+        try:
+            dec = XdrDecoder(fh)
+            tag = dec.unpack_string()
+            fsid = dec.unpack_u64()
+            ino = dec.unpack_u64()
+            birth = dec.unpack_u64()
+            dec.done()
+        except Exception:
+            return None
+        if tag != "BTR" or fsid != self.fsid:
+            return None
+        inode = self._inodes().get(ino)
+        if inode is None or inode["birth"] != birth:
+            return None
+        return ino
+
+    def _attr(self, ino: int) -> Fattr:
+        inode = self._inodes()[ino]
+        if inode["type"] == NFREG:
+            size = inode["size"]
+        elif inode["type"] == NFDIR:
+            size = 16384  # btrfs-style fixed directory item size
+        else:
+            size = len(inode["target"])
+        return Fattr(
+            ftype=inode["type"],
+            mode=inode["mode"],
+            nlink=1,
+            uid=inode["uid"],
+            gid=inode["gid"],
+            size=size,
+            fsid=self.fsid,
+            fileid=ino,
+            atime=inode["atime"],
+            mtime=inode["mtime"],
+            ctime=inode["ctime"],
+        )
+
+    def _reply(self, ino: int, **extra) -> NfsReply:
+        return NfsReply(status=NFS_OK, fh=self._handle(ino), attr=self._attr(ino), **extra)
+
+    def _apply_sattr(self, ino: int, sattr: Sattr) -> None:
+        inode = self._inodes()[ino]
+        if sattr.mode is not None:
+            inode["mode"] = sattr.mode
+        if sattr.uid is not None:
+            inode["uid"] = sattr.uid
+        if sattr.gid is not None:
+            inode["gid"] = sattr.gid
+        if sattr.size is not None and inode["type"] == NFREG:
+            data = self._read_data(ino)
+            if sattr.size <= len(data):
+                data = data[: sattr.size]
+            else:
+                data = data + b"\x00" * (sattr.size - len(data))
+            self._write_data(ino, data)
+        if sattr.atime is not None:
+            inode["atime"] = sattr.atime
+        if sattr.mtime is not None:
+            inode["mtime"] = sattr.mtime
+        inode["ctime"] = self._now()
+
+    # -- protocol ---------------------------------------------------------------------------------
+
+    def root_handle(self) -> bytes:
+        return self._handle(self.disk[_SB]["root"])
+
+    def getattr(self, fh: bytes) -> NfsReply:
+        ino = self._resolve(fh)
+        if ino is None:
+            return error_reply(NFSERR_STALE)
+        return self._reply(ino)
+
+    def setattr(self, fh: bytes, sattr: Sattr) -> NfsReply:
+        ino = self._resolve(fh)
+        if ino is None:
+            return error_reply(NFSERR_STALE)
+        if sattr.size is not None and self._inodes()[ino]["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        self._leak(20)
+        self._apply_sattr(ino, sattr)
+        return self._reply(ino)
+
+    def lookup(self, dir_fh: bytes, name: str) -> NfsReply:
+        dir_ino = self._resolve(dir_fh)
+        if dir_ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inodes()[dir_ino]
+        if inode["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        child = inode["entries"].get(name)
+        if child is None:
+            return error_reply(NFSERR_NOENT)
+        self._leak(8)
+        return self._reply(child)
+
+    def readlink(self, fh: bytes) -> NfsReply:
+        ino = self._resolve(fh)
+        if ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inodes()[ino]
+        if inode["type"] != NFLNK:
+            return error_reply(NFSERR_IO)
+        return NfsReply(status=NFS_OK, target=inode["target"])
+
+    def read(self, fh: bytes, offset: int, count: int) -> NfsReply:
+        ino = self._resolve(fh)
+        if ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inodes()[ino]
+        if inode["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        if inode["type"] != NFREG:
+            return error_reply(NFSERR_IO)
+        inode["atime"] = self._now()
+        return self._reply(ino, data=self._read_data(ino)[offset : offset + count])
+
+    def write(self, fh: bytes, offset: int, data: bytes) -> NfsReply:
+        ino = self._resolve(fh)
+        if ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inodes()[ino]
+        if inode["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        if inode["type"] != NFREG:
+            return error_reply(NFSERR_IO)
+        self._leak(len(data) // 14 + 10)
+        current = self._read_data(ino)
+        if offset > len(current):
+            current = current + b"\x00" * (offset - len(current))
+        self._write_data(ino, current[:offset] + data + current[offset + len(data) :])
+        now = self._now()
+        inode["mtime"] = now
+        inode["ctime"] = now
+        return self._reply(ino)
+
+    def _create_common(self, dir_fh: bytes, name: str, ftype: int) -> Tuple[int, Optional[NfsReply]]:
+        dir_ino = self._resolve(dir_fh)
+        if dir_ino is None:
+            return 0, error_reply(NFSERR_STALE)
+        inode = self._inodes()[dir_ino]
+        if inode["type"] != NFDIR:
+            return 0, error_reply(NFSERR_NOTDIR)
+        bad = name_error(name)
+        if bad is not None:
+            return 0, error_reply(bad)
+        if name in inode["entries"]:
+            return 0, error_reply(NFSERR_EXIST)
+        self._leak(44)
+        child = self._alloc_inode(ftype)
+        inode["entries"][name] = child
+        now = self._now()
+        inode["mtime"] = now
+        inode["ctime"] = now
+        return child, None
+
+    def create(self, dir_fh: bytes, name: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFREG)
+        if err is not None:
+            return err
+        self._apply_sattr(child, sattr)
+        return self._reply(child)
+
+    def mkdir(self, dir_fh: bytes, name: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFDIR)
+        if err is not None:
+            return err
+        self._apply_sattr(child, sattr)
+        return self._reply(child)
+
+    def symlink(self, dir_fh: bytes, name: str, target: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFLNK)
+        if err is not None:
+            return err
+        self._inodes()[child]["target"] = target
+        self._apply_sattr(child, sattr)
+        return self._reply(child)
+
+    def remove(self, dir_fh: bytes, name: str) -> NfsReply:
+        return self._unlink(dir_fh, name, want_dir=False)
+
+    def rmdir(self, dir_fh: bytes, name: str) -> NfsReply:
+        return self._unlink(dir_fh, name, want_dir=True)
+
+    def _unlink(self, dir_fh: bytes, name: str, want_dir: bool) -> NfsReply:
+        dir_ino = self._resolve(dir_fh)
+        if dir_ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inodes()[dir_ino]
+        if inode["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        child = inode["entries"].get(name)
+        if child is None:
+            return error_reply(NFSERR_NOENT)
+        target = self._inodes()[child]
+        if want_dir:
+            if target["type"] != NFDIR:
+                return error_reply(NFSERR_NOTDIR)
+            if target["entries"]:
+                return error_reply(NFSERR_NOTEMPTY)
+        else:
+            if target["type"] == NFDIR:
+                return error_reply(NFSERR_ISDIR)
+        self._leak(22)
+        del inode["entries"][name]
+        self._free_inode(child)
+        now = self._now()
+        inode["mtime"] = now
+        inode["ctime"] = now
+        return NfsReply(status=NFS_OK)
+
+    def rename(self, from_dir: bytes, from_name: str, to_dir: bytes, to_name: str) -> NfsReply:
+        src_ino = self._resolve(from_dir)
+        dst_ino = self._resolve(to_dir)
+        if src_ino is None or dst_ino is None:
+            return error_reply(NFSERR_STALE)
+        src = self._inodes()[src_ino]
+        dst = self._inodes()[dst_ino]
+        if src["type"] != NFDIR or dst["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        bad = name_error(to_name)
+        if bad is not None:
+            return error_reply(bad)
+        moving = src["entries"].get(from_name)
+        if moving is None:
+            return error_reply(NFSERR_NOENT)
+        existing = dst["entries"].get(to_name)
+        if existing is not None and existing != moving:
+            target = self._inodes()[existing]
+            mover = self._inodes()[moving]
+            if target["type"] == NFDIR:
+                if mover["type"] != NFDIR:
+                    return error_reply(NFSERR_ISDIR)
+                if target["entries"]:
+                    return error_reply(NFSERR_NOTEMPTY)
+            elif mover["type"] == NFDIR:
+                return error_reply(NFSERR_NOTDIR)
+            del dst["entries"][to_name]
+            self._free_inode(existing)
+        self._leak(28)
+        del src["entries"][from_name]
+        dst["entries"][to_name] = moving
+        now = self._now()
+        for d in (src, dst):
+            d["mtime"] = now
+            d["ctime"] = now
+        return NfsReply(status=NFS_OK)
+
+    def readdir(self, fh: bytes) -> NfsReply:
+        dir_ino = self._resolve(fh)
+        if dir_ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inodes()[dir_ino]
+        if inode["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        entries = [
+            (name, self._handle(child))
+            for name, child in sorted(inode["entries"].items(), key=lambda kv: kv[1])
+        ]  # inode-number order: creation order with random gaps
+        return NfsReply(status=NFS_OK, entries=entries, attr=self._attr(dir_ino))
+
+    def statfs(self, fh: bytes) -> NfsReply:
+        if self._resolve(fh) is None:
+            return error_reply(NFSERR_STALE)
+        payload = (
+            XdrEncoder()
+            .pack_u32(8192)
+            .pack_u32(EXTENT_SIZE)
+            .pack_u64(1 << 24)
+            .pack_u64((1 << 24) - len(self._extents()))
+            .getvalue()
+        )
+        return NfsReply(status=NFS_OK, data=payload)

@@ -1,0 +1,471 @@
+"""FFS: a cylinder-group file server ("vendor C").
+
+Concrete representation: inodes live in cylinder groups; new directories are
+spread **round-robin across groups** while files are allocated **in their
+parent directory's group** (the classic FFS locality policy), so fileids are
+⟨group, slot⟩ encodings whose values depend on allocation history.
+Directory entries live in hash buckets and readdir returns **bucket order**
+(an arbitrary, stable, thoroughly unsorted order).  File handles carry a
+**random salt** chosen at object creation (persisted, so handles are stable,
+but unpredictable — two replicas running this same code disagree).
+Timestamps tick in 10-microsecond units.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.nfs.fileserver.api import Clock, NFSServer, name_error
+from repro.nfs.protocol import (
+    NFDIR,
+    NFLNK,
+    NFREG,
+    NFSERR_EXIST,
+    NFSERR_IO,
+    NFSERR_ISDIR,
+    NFSERR_NOENT,
+    NFSERR_NOSPC,
+    NFSERR_NOTDIR,
+    NFSERR_NOTEMPTY,
+    NFSERR_STALE,
+    NFS_OK,
+    Fattr,
+    NfsReply,
+    Sattr,
+    error_reply,
+)
+from repro.util.errors import FaultInjected
+from repro.util.xdr import XdrDecoder, XdrEncoder
+
+_SB = "ffs:superblock"
+_GROUPS = "ffs:groups"
+
+N_BUCKETS = 17
+
+
+def _bucket(name: str) -> int:
+    value = 5381
+    for ch in name:
+        value = ((value * 33) ^ ord(ch)) & 0xFFFFFFFF
+    return value % N_BUCKETS
+
+
+class FFS(NFSServer):
+    """Cylinder-group file server with hash-order readdir and salted handles."""
+
+    def __init__(
+        self,
+        disk: Optional[dict] = None,
+        clock: Optional[Clock] = None,
+        seed: int = 0,
+        clock_skew: float = 0.0,
+        aging_threshold: Optional[int] = None,
+        num_groups: int = 8,
+        inodes_per_group: int = 512,
+    ) -> None:
+        self.disk = disk if disk is not None else {}
+        self._clock = clock or (lambda: 0.0)
+        self._skew = clock_skew
+        self._rng = random.Random(seed)
+        self._aging_threshold = aging_threshold
+        self._leaked = 0
+
+        if _SB not in self.disk:
+            self.disk[_SB] = {
+                "fsid": self._rng.randrange(1, 2**30),
+                "num_groups": num_groups,
+                "inodes_per_group": inodes_per_group,
+                "next_dir_group": self._rng.randrange(num_groups),
+            }
+            self.disk[_GROUPS] = [
+                {"inodes": {}} for _ in range(num_groups)
+            ]
+            root = self._alloc_inode(NFDIR, preferred_group=0)
+            self.disk[_SB]["root"] = root
+        self.fsid = self.disk[_SB]["fsid"]
+
+    # -- allocation policy -----------------------------------------------------------
+
+    def _groups(self) -> List[dict]:
+        return self.disk[_GROUPS]
+
+    def _now(self) -> int:
+        micros = int((self._clock() + self._skew) * 1_000_000)
+        return micros - (micros % 10)  # 10-microsecond ticks
+
+    def _leak(self, amount: int) -> None:
+        self._leaked += amount
+        if self._aging_threshold is not None and self._leaked > self._aging_threshold:
+            raise FaultInjected(f"FFS aged out ({self._leaked} bytes leaked)")
+
+    def _alloc_inode(self, ftype: int, preferred_group: int) -> int:
+        sb = self.disk[_SB]
+        groups = self._groups()
+        if ftype == NFDIR:
+            # Directories rotate across cylinder groups.
+            group_order = list(range(sb["num_groups"]))
+            start = sb["next_dir_group"]
+            sb["next_dir_group"] = (start + 1) % sb["num_groups"]
+            group_order = group_order[start:] + group_order[:start]
+        else:
+            # Files try their parent's group first.
+            group_order = [preferred_group] + [
+                g for g in range(sb["num_groups"]) if g != preferred_group
+            ]
+        for group in group_order:
+            table = groups[group]["inodes"]
+            for slot in range(sb["inodes_per_group"]):
+                if slot not in table:
+                    now = self._now()
+                    table[slot] = {
+                        "type": ftype,
+                        "mode": 0o755 if ftype == NFDIR else 0o644,
+                        "uid": 0,
+                        "gid": 0,
+                        "data": b"",
+                        "buckets": [[] for _ in range(N_BUCKETS)],
+                        "target": "",
+                        "salt": self._rng.randrange(2**32),  # nondeterministic
+                        "atime": now,
+                        "mtime": now,
+                        "ctime": now,
+                    }
+                    return group * sb["inodes_per_group"] + slot
+        raise MemoryError("all cylinder groups full")
+
+    def _inode(self, fileid: int) -> Optional[dict]:
+        sb = self.disk[_SB]
+        group, slot = divmod(fileid, sb["inodes_per_group"])
+        if not 0 <= group < sb["num_groups"]:
+            return None
+        return self._groups()[group]["inodes"].get(slot)
+
+    def _free(self, fileid: int) -> None:
+        sb = self.disk[_SB]
+        group, slot = divmod(fileid, sb["inodes_per_group"])
+        self._groups()[group]["inodes"].pop(slot, None)
+
+    def _group_of(self, fileid: int) -> int:
+        return fileid // self.disk[_SB]["inodes_per_group"]
+
+    # -- directory buckets ----------------------------------------------------------------
+
+    def _dir_find(self, inode: dict, name: str) -> Optional[int]:
+        for entry_name, child in inode["buckets"][_bucket(name)]:
+            if entry_name == name:
+                return child
+        return None
+
+    def _dir_insert(self, inode: dict, name: str, child: int) -> None:
+        inode["buckets"][_bucket(name)].append((name, child))
+
+    def _dir_remove(self, inode: dict, name: str) -> None:
+        bucket = inode["buckets"][_bucket(name)]
+        inode["buckets"][_bucket(name)] = [(n, c) for n, c in bucket if n != name]
+
+    def _dir_entries(self, inode: dict) -> List[Tuple[str, int]]:
+        out: List[Tuple[str, int]] = []
+        for bucket in inode["buckets"]:
+            out.extend(bucket)  # bucket order: stable but unsorted
+        return out
+
+    def _dir_empty(self, inode: dict) -> bool:
+        return all(not bucket for bucket in inode["buckets"])
+
+    # -- handles / attrs --------------------------------------------------------------------
+
+    def _handle(self, fileid: int) -> bytes:
+        inode = self._inode(fileid)
+        assert inode is not None
+        return (
+            XdrEncoder()
+            .pack_string("FFS")
+            .pack_u64(self.fsid)
+            .pack_u64(fileid)
+            .pack_u32(inode["salt"])
+            .getvalue()
+        )
+
+    def _resolve(self, fh: bytes) -> Optional[int]:
+        try:
+            dec = XdrDecoder(fh)
+            tag = dec.unpack_string()
+            fsid = dec.unpack_u64()
+            fileid = dec.unpack_u64()
+            salt = dec.unpack_u32()
+            dec.done()
+        except Exception:
+            return None
+        if tag != "FFS" or fsid != self.fsid:
+            return None
+        inode = self._inode(fileid)
+        if inode is None or inode["salt"] != salt:
+            return None
+        return fileid
+
+    def _attr(self, fileid: int) -> Fattr:
+        inode = self._inode(fileid)
+        assert inode is not None
+        if inode["type"] == NFREG:
+            size = len(inode["data"])
+        elif inode["type"] == NFDIR:
+            size = sum(len(b) for b in inode["buckets"]) * 24 + 48
+        else:
+            size = len(inode["target"])
+        return Fattr(
+            ftype=inode["type"],
+            mode=inode["mode"],
+            nlink=1,
+            uid=inode["uid"],
+            gid=inode["gid"],
+            size=size,
+            fsid=self.fsid,
+            fileid=fileid,
+            atime=inode["atime"],
+            mtime=inode["mtime"],
+            ctime=inode["ctime"],
+        )
+
+    def _reply(self, fileid: int, **extra) -> NfsReply:
+        return NfsReply(
+            status=NFS_OK, fh=self._handle(fileid), attr=self._attr(fileid), **extra
+        )
+
+    def _apply_sattr(self, fileid: int, sattr: Sattr) -> None:
+        inode = self._inode(fileid)
+        assert inode is not None
+        if sattr.mode is not None:
+            inode["mode"] = sattr.mode
+        if sattr.uid is not None:
+            inode["uid"] = sattr.uid
+        if sattr.gid is not None:
+            inode["gid"] = sattr.gid
+        if sattr.size is not None and inode["type"] == NFREG:
+            data = inode["data"]
+            if sattr.size <= len(data):
+                inode["data"] = data[: sattr.size]
+            else:
+                inode["data"] = data + b"\x00" * (sattr.size - len(data))
+        if sattr.atime is not None:
+            inode["atime"] = sattr.atime
+        if sattr.mtime is not None:
+            inode["mtime"] = sattr.mtime
+        inode["ctime"] = self._now()
+
+    # -- protocol --------------------------------------------------------------------------------
+
+    def root_handle(self) -> bytes:
+        return self._handle(self.disk[_SB]["root"])
+
+    def getattr(self, fh: bytes) -> NfsReply:
+        fileid = self._resolve(fh)
+        if fileid is None:
+            return error_reply(NFSERR_STALE)
+        return self._reply(fileid)
+
+    def setattr(self, fh: bytes, sattr: Sattr) -> NfsReply:
+        fileid = self._resolve(fh)
+        if fileid is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(fileid)
+        if sattr.size is not None and inode["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        self._leak(24)
+        self._apply_sattr(fileid, sattr)
+        return self._reply(fileid)
+
+    def lookup(self, dir_fh: bytes, name: str) -> NfsReply:
+        dir_id = self._resolve(dir_fh)
+        if dir_id is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(dir_id)
+        if inode["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        child = self._dir_find(inode, name)
+        if child is None:
+            return error_reply(NFSERR_NOENT)
+        self._leak(8)
+        return self._reply(child)
+
+    def readlink(self, fh: bytes) -> NfsReply:
+        fileid = self._resolve(fh)
+        if fileid is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(fileid)
+        if inode["type"] != NFLNK:
+            return error_reply(NFSERR_IO)
+        return NfsReply(status=NFS_OK, target=inode["target"])
+
+    def read(self, fh: bytes, offset: int, count: int) -> NfsReply:
+        fileid = self._resolve(fh)
+        if fileid is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(fileid)
+        if inode["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        if inode["type"] != NFREG:
+            return error_reply(NFSERR_IO)
+        inode["atime"] = self._now()
+        return self._reply(fileid, data=inode["data"][offset : offset + count])
+
+    def write(self, fh: bytes, offset: int, data: bytes) -> NfsReply:
+        fileid = self._resolve(fh)
+        if fileid is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(fileid)
+        if inode["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        if inode["type"] != NFREG:
+            return error_reply(NFSERR_IO)
+        self._leak(len(data) // 12 + 8)
+        current = inode["data"]
+        if offset > len(current):
+            current = current + b"\x00" * (offset - len(current))
+        inode["data"] = current[:offset] + data + current[offset + len(data) :]
+        now = self._now()
+        inode["mtime"] = now
+        inode["ctime"] = now
+        return self._reply(fileid)
+
+    def _create_common(self, dir_fh: bytes, name: str, ftype: int) -> Tuple[int, Optional[NfsReply]]:
+        dir_id = self._resolve(dir_fh)
+        if dir_id is None:
+            return 0, error_reply(NFSERR_STALE)
+        inode = self._inode(dir_id)
+        if inode["type"] != NFDIR:
+            return 0, error_reply(NFSERR_NOTDIR)
+        bad = name_error(name)
+        if bad is not None:
+            return 0, error_reply(bad)
+        if self._dir_find(inode, name) is not None:
+            return 0, error_reply(NFSERR_EXIST)
+        self._leak(48)
+        try:
+            child = self._alloc_inode(ftype, preferred_group=self._group_of(dir_id))
+        except MemoryError:
+            return 0, error_reply(NFSERR_NOSPC)
+        self._dir_insert(inode, name, child)
+        now = self._now()
+        inode["mtime"] = now
+        inode["ctime"] = now
+        return child, None
+
+    def create(self, dir_fh: bytes, name: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFREG)
+        if err is not None:
+            return err
+        self._apply_sattr(child, sattr)
+        return self._reply(child)
+
+    def mkdir(self, dir_fh: bytes, name: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFDIR)
+        if err is not None:
+            return err
+        self._apply_sattr(child, sattr)
+        return self._reply(child)
+
+    def symlink(self, dir_fh: bytes, name: str, target: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFLNK)
+        if err is not None:
+            return err
+        self._inode(child)["target"] = target
+        self._apply_sattr(child, sattr)
+        return self._reply(child)
+
+    def remove(self, dir_fh: bytes, name: str) -> NfsReply:
+        return self._unlink(dir_fh, name, want_dir=False)
+
+    def rmdir(self, dir_fh: bytes, name: str) -> NfsReply:
+        return self._unlink(dir_fh, name, want_dir=True)
+
+    def _unlink(self, dir_fh: bytes, name: str, want_dir: bool) -> NfsReply:
+        dir_id = self._resolve(dir_fh)
+        if dir_id is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(dir_id)
+        if inode["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        child = self._dir_find(inode, name)
+        if child is None:
+            return error_reply(NFSERR_NOENT)
+        target = self._inode(child)
+        if want_dir:
+            if target["type"] != NFDIR:
+                return error_reply(NFSERR_NOTDIR)
+            if not self._dir_empty(target):
+                return error_reply(NFSERR_NOTEMPTY)
+        else:
+            if target["type"] == NFDIR:
+                return error_reply(NFSERR_ISDIR)
+        self._leak(24)
+        self._dir_remove(inode, name)
+        self._free(child)
+        now = self._now()
+        inode["mtime"] = now
+        inode["ctime"] = now
+        return NfsReply(status=NFS_OK)
+
+    def rename(self, from_dir: bytes, from_name: str, to_dir: bytes, to_name: str) -> NfsReply:
+        src_id = self._resolve(from_dir)
+        dst_id = self._resolve(to_dir)
+        if src_id is None or dst_id is None:
+            return error_reply(NFSERR_STALE)
+        src = self._inode(src_id)
+        dst = self._inode(dst_id)
+        if src["type"] != NFDIR or dst["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        bad = name_error(to_name)
+        if bad is not None:
+            return error_reply(bad)
+        moving = self._dir_find(src, from_name)
+        if moving is None:
+            return error_reply(NFSERR_NOENT)
+        existing = self._dir_find(dst, to_name)
+        if existing is not None and existing != moving:
+            target = self._inode(existing)
+            mover = self._inode(moving)
+            if target["type"] == NFDIR:
+                if mover["type"] != NFDIR:
+                    return error_reply(NFSERR_ISDIR)
+                if not self._dir_empty(target):
+                    return error_reply(NFSERR_NOTEMPTY)
+            elif mover["type"] == NFDIR:
+                return error_reply(NFSERR_NOTDIR)
+            self._dir_remove(dst, to_name)
+            self._free(existing)
+        self._leak(32)
+        self._dir_remove(src, from_name)
+        self._dir_insert(dst, to_name, moving)
+        now = self._now()
+        for d in (src, dst):
+            d["mtime"] = now
+            d["ctime"] = now
+        return NfsReply(status=NFS_OK)
+
+    def readdir(self, fh: bytes) -> NfsReply:
+        dir_id = self._resolve(fh)
+        if dir_id is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(dir_id)
+        if inode["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        entries = [
+            (name, self._handle(child)) for name, child in self._dir_entries(inode)
+        ]
+        return NfsReply(status=NFS_OK, entries=entries, attr=self._attr(dir_id))
+
+    def statfs(self, fh: bytes) -> NfsReply:
+        if self._resolve(fh) is None:
+            return error_reply(NFSERR_STALE)
+        sb = self.disk[_SB]
+        used = sum(len(g["inodes"]) for g in self._groups())
+        payload = (
+            XdrEncoder()
+            .pack_u32(8192)
+            .pack_u32(1024)
+            .pack_u64(sb["num_groups"] * sb["inodes_per_group"])
+            .pack_u64(sb["num_groups"] * sb["inodes_per_group"] - used)
+            .getvalue()
+        )
+        return NfsReply(status=NFS_OK, data=payload)

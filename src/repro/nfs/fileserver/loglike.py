@@ -1,0 +1,486 @@
+"""LogFS: a log-structured file server ("vendor D").
+
+Concrete representation: an append-only record log plus an inode map
+(ino -> log position of the newest inode record).  Updates never modify old
+records; they append a new inode version and bump the map.  A background-ish
+compaction squeezes the log when garbage accumulates.
+
+The properties that matter to BASE:
+
+* **file handles do not survive restarts** — they embed a per-boot epoch, so
+  every handle goes stale when the server reboots.  This is the exact
+  behaviour that motivates the paper's ⟨fsid, fileid⟩→oid map (section 3.4);
+* readdir returns entries **newest-first** (reverse insertion);
+* timestamps are real microseconds but from this replica's skewed clock.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.nfs.fileserver.api import Clock, NFSServer, name_error
+from repro.nfs.protocol import (
+    NFDIR,
+    NFLNK,
+    NFREG,
+    NFSERR_EXIST,
+    NFSERR_IO,
+    NFSERR_ISDIR,
+    NFSERR_NOENT,
+    NFSERR_NOSPC,
+    NFSERR_NOTDIR,
+    NFSERR_NOTEMPTY,
+    NFSERR_STALE,
+    NFS_OK,
+    Fattr,
+    NfsReply,
+    Sattr,
+    error_reply,
+)
+from repro.util.errors import FaultInjected
+from repro.util.xdr import XdrDecoder, XdrEncoder
+
+_LOG = "logfs:log"
+_IMAP = "logfs:imap"
+_SB = "logfs:superblock"
+
+_COMPACT_THRESHOLD = 4096  # live/total ratio check kicks in past this length
+
+
+class LogFS(NFSServer):
+    """Log-structured file server with per-boot (volatile) handles."""
+
+    def __init__(
+        self,
+        disk: Optional[dict] = None,
+        clock: Optional[Clock] = None,
+        seed: int = 0,
+        clock_skew: float = 0.0,
+        aging_threshold: Optional[int] = None,
+    ) -> None:
+        self.disk = disk if disk is not None else {}
+        self._clock = clock or (lambda: 0.0)
+        self._skew = clock_skew
+        self._rng = random.Random(seed)
+        self._aging_threshold = aging_threshold
+        self._leaked = 0
+        # The boot epoch changes on every restart (a persisted boot counter
+        # mixed with randomness), so all handles from previous incarnations
+        # are stale — as with a real NFS server restart.
+        boots = self.disk.get("logfs:boots", 0) + 1
+        self.disk["logfs:boots"] = boots
+        self._boot_epoch = (boots * 0x9E3779B1 + self._rng.randrange(2**16)) % 2**32
+
+        if _SB not in self.disk:
+            self.disk[_SB] = {
+                "fsid": self._rng.randrange(1, 2**29),
+                "next_ino": self._rng.randrange(100, 200),
+            }
+            self.disk[_LOG] = []
+            self.disk[_IMAP] = {}
+            root = self._append_inode(None, NFDIR)
+            self.disk[_SB]["root"] = root
+        self.fsid = self.disk[_SB]["fsid"]
+
+    # -- the log ----------------------------------------------------------------------
+
+    def _log(self) -> List[dict]:
+        return self.disk[_LOG]
+
+    def _imap(self) -> Dict[int, int]:
+        return self.disk[_IMAP]
+
+    def _now(self) -> int:
+        return int((self._clock() + self._skew) * 1_000_000)
+
+    def _leak(self, amount: int) -> None:
+        self._leaked += amount
+        if self._aging_threshold is not None and self._leaked > self._aging_threshold:
+            raise FaultInjected(f"LogFS aged out ({self._leaked} bytes leaked)")
+
+    def _append_inode(self, ino: Optional[int], ftype: Optional[int] = None, base: Optional[dict] = None) -> int:
+        """Write a new inode version record; returns the ino."""
+        if ino is None:
+            ino = self.disk[_SB]["next_ino"]
+            self.disk[_SB]["next_ino"] = ino + 1
+        if base is None:
+            now = self._now()
+            base = {
+                "ino": ino,
+                "type": ftype,
+                "mode": 0o755 if ftype == NFDIR else 0o644,
+                "uid": 0,
+                "gid": 0,
+                "data": b"",
+                "entries": [],  # (name, ino), insertion order; readdir reverses
+                "target": "",
+                "atime": now,
+                "mtime": now,
+                "ctime": now,
+                "dead": False,
+            }
+        record = dict(base)
+        record["ino"] = ino
+        self._log().append(record)
+        self._imap()[ino] = len(self._log()) - 1
+        self._maybe_compact()
+        return ino
+
+    def _inode(self, ino: int) -> Optional[dict]:
+        position = self._imap().get(ino)
+        if position is None:
+            return None
+        record = self._log()[position]
+        if record.get("dead"):
+            return None
+        return record
+
+    def _update(self, ino: int, **changes) -> dict:
+        """Log-structured update: append a modified copy."""
+        current = self._inode(ino)
+        assert current is not None
+        updated = dict(current)
+        updated.update(changes)
+        self._log().append(updated)
+        self._imap()[ino] = len(self._log()) - 1
+        self._maybe_compact()
+        return updated
+
+    def _delete(self, ino: int) -> None:
+        self._update(ino, dead=True)
+        del self._imap()[ino]
+
+    def _maybe_compact(self) -> None:
+        log = self._log()
+        if len(log) < _COMPACT_THRESHOLD:
+            return
+        live_positions = set(self._imap().values())
+        if len(live_positions) * 2 > len(log):
+            return
+        # Rewrite the log with only live records (the cleaner).
+        new_log: List[dict] = []
+        new_imap: Dict[int, int] = {}
+        for position in sorted(live_positions):
+            record = log[position]
+            new_imap[record["ino"]] = len(new_log)
+            new_log.append(record)
+        self.disk[_LOG] = new_log
+        self.disk[_IMAP] = new_imap
+
+    # -- handles ------------------------------------------------------------------------------
+
+    def _handle(self, ino: int) -> bytes:
+        return (
+            XdrEncoder()
+            .pack_string("LOG")
+            .pack_u32(self._boot_epoch)
+            .pack_u64(ino)
+            .getvalue()
+        )
+
+    def _resolve(self, fh: bytes) -> Optional[int]:
+        try:
+            dec = XdrDecoder(fh)
+            tag = dec.unpack_string()
+            epoch = dec.unpack_u32()
+            ino = dec.unpack_u64()
+            dec.done()
+        except Exception:
+            return None
+        if tag != "LOG" or epoch != self._boot_epoch:
+            return None  # handles from before the last reboot are stale
+        if self._inode(ino) is None:
+            return None
+        return ino
+
+    def _attr(self, ino: int) -> Fattr:
+        inode = self._inode(ino)
+        assert inode is not None
+        if inode["type"] == NFREG:
+            size = len(inode["data"])
+        elif inode["type"] == NFDIR:
+            size = len(inode["entries"])
+        else:
+            size = len(inode["target"])
+        return Fattr(
+            ftype=inode["type"],
+            mode=inode["mode"],
+            nlink=1,
+            uid=inode["uid"],
+            gid=inode["gid"],
+            size=size,
+            fsid=self.fsid,
+            fileid=ino,
+            atime=inode["atime"],
+            mtime=inode["mtime"],
+            ctime=inode["ctime"],
+        )
+
+    def _reply(self, ino: int, **extra) -> NfsReply:
+        return NfsReply(status=NFS_OK, fh=self._handle(ino), attr=self._attr(ino), **extra)
+
+    def _sattr_changes(self, inode: dict, sattr: Sattr) -> dict:
+        changes: dict = {}
+        if sattr.mode is not None:
+            changes["mode"] = sattr.mode
+        if sattr.uid is not None:
+            changes["uid"] = sattr.uid
+        if sattr.gid is not None:
+            changes["gid"] = sattr.gid
+        if sattr.size is not None and inode["type"] == NFREG:
+            data = inode["data"]
+            if sattr.size <= len(data):
+                changes["data"] = data[: sattr.size]
+            else:
+                changes["data"] = data + b"\x00" * (sattr.size - len(data))
+        if sattr.atime is not None:
+            changes["atime"] = sattr.atime
+        if sattr.mtime is not None:
+            changes["mtime"] = sattr.mtime
+        changes["ctime"] = self._now()
+        return changes
+
+    # -- protocol ----------------------------------------------------------------------------------
+
+    def root_handle(self) -> bytes:
+        return self._handle(self.disk[_SB]["root"])
+
+    def getattr(self, fh: bytes) -> NfsReply:
+        ino = self._resolve(fh)
+        if ino is None:
+            return error_reply(NFSERR_STALE)
+        return self._reply(ino)
+
+    def setattr(self, fh: bytes, sattr: Sattr) -> NfsReply:
+        ino = self._resolve(fh)
+        if ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(ino)
+        if sattr.size is not None and inode["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        self._leak(16)
+        self._update(ino, **self._sattr_changes(inode, sattr))
+        return self._reply(ino)
+
+    def lookup(self, dir_fh: bytes, name: str) -> NfsReply:
+        dir_ino = self._resolve(dir_fh)
+        if dir_ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(dir_ino)
+        if inode["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        for entry_name, child in inode["entries"]:
+            if entry_name == name:
+                self._leak(8)
+                return self._reply(child)
+        return error_reply(NFSERR_NOENT)
+
+    def readlink(self, fh: bytes) -> NfsReply:
+        ino = self._resolve(fh)
+        if ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(ino)
+        if inode["type"] != NFLNK:
+            return error_reply(NFSERR_IO)
+        return NfsReply(status=NFS_OK, target=inode["target"])
+
+    def read(self, fh: bytes, offset: int, count: int) -> NfsReply:
+        ino = self._resolve(fh)
+        if ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(ino)
+        if inode["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        if inode["type"] != NFREG:
+            return error_reply(NFSERR_IO)
+        # Log-structured purists never update atime in place; neither do we.
+        return self._reply(ino, data=inode["data"][offset : offset + count])
+
+    def write(self, fh: bytes, offset: int, data: bytes) -> NfsReply:
+        ino = self._resolve(fh)
+        if ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(ino)
+        if inode["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        if inode["type"] != NFREG:
+            return error_reply(NFSERR_IO)
+        self._leak(len(data) // 10 + 12)
+        current = inode["data"]
+        if offset > len(current):
+            current = current + b"\x00" * (offset - len(current))
+        merged = current[:offset] + data + current[offset + len(data) :]
+        now = self._now()
+        self._update(ino, data=merged, mtime=now, ctime=now)
+        return self._reply(ino)
+
+    def _create_common(self, dir_fh: bytes, name: str, ftype: int) -> Tuple[int, Optional[NfsReply]]:
+        dir_ino = self._resolve(dir_fh)
+        if dir_ino is None:
+            return 0, error_reply(NFSERR_STALE)
+        inode = self._inode(dir_ino)
+        if inode["type"] != NFDIR:
+            return 0, error_reply(NFSERR_NOTDIR)
+        bad = name_error(name)
+        if bad is not None:
+            return 0, error_reply(bad)
+        if any(entry_name == name for entry_name, _ in inode["entries"]):
+            return 0, error_reply(NFSERR_EXIST)
+        self._leak(40)
+        child = self._append_inode(None, ftype)
+        now = self._now()
+        self._update(
+            dir_ino,
+            entries=inode["entries"] + [(name, child)],
+            mtime=now,
+            ctime=now,
+        )
+        return child, None
+
+    def create(self, dir_fh: bytes, name: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFREG)
+        if err is not None:
+            return err
+        self._update(child, **self._sattr_changes(self._inode(child), sattr))
+        return self._reply(child)
+
+    def mkdir(self, dir_fh: bytes, name: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFDIR)
+        if err is not None:
+            return err
+        self._update(child, **self._sattr_changes(self._inode(child), sattr))
+        return self._reply(child)
+
+    def symlink(self, dir_fh: bytes, name: str, target: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFLNK)
+        if err is not None:
+            return err
+        changes = self._sattr_changes(self._inode(child), sattr)
+        changes["target"] = target
+        self._update(child, **changes)
+        return self._reply(child)
+
+    def remove(self, dir_fh: bytes, name: str) -> NfsReply:
+        return self._unlink(dir_fh, name, want_dir=False)
+
+    def rmdir(self, dir_fh: bytes, name: str) -> NfsReply:
+        return self._unlink(dir_fh, name, want_dir=True)
+
+    def _unlink(self, dir_fh: bytes, name: str, want_dir: bool) -> NfsReply:
+        dir_ino = self._resolve(dir_fh)
+        if dir_ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(dir_ino)
+        if inode["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        child = None
+        for entry_name, entry_ino in inode["entries"]:
+            if entry_name == name:
+                child = entry_ino
+                break
+        if child is None:
+            return error_reply(NFSERR_NOENT)
+        target = self._inode(child)
+        if want_dir:
+            if target["type"] != NFDIR:
+                return error_reply(NFSERR_NOTDIR)
+            if target["entries"]:
+                return error_reply(NFSERR_NOTEMPTY)
+        else:
+            if target["type"] == NFDIR:
+                return error_reply(NFSERR_ISDIR)
+        self._leak(24)
+        now = self._now()
+        self._update(
+            dir_ino,
+            entries=[(n, c) for n, c in inode["entries"] if n != name],
+            mtime=now,
+            ctime=now,
+        )
+        self._delete(child)
+        return NfsReply(status=NFS_OK)
+
+    def rename(self, from_dir: bytes, from_name: str, to_dir: bytes, to_name: str) -> NfsReply:
+        src_ino = self._resolve(from_dir)
+        dst_ino = self._resolve(to_dir)
+        if src_ino is None or dst_ino is None:
+            return error_reply(NFSERR_STALE)
+        src = self._inode(src_ino)
+        dst = self._inode(dst_ino)
+        if src["type"] != NFDIR or dst["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        bad = name_error(to_name)
+        if bad is not None:
+            return error_reply(bad)
+        moving = None
+        for entry_name, entry_ino in src["entries"]:
+            if entry_name == from_name:
+                moving = entry_ino
+                break
+        if moving is None:
+            return error_reply(NFSERR_NOENT)
+        existing = None
+        for entry_name, entry_ino in dst["entries"]:
+            if entry_name == to_name:
+                existing = entry_ino
+                break
+        if existing is not None and existing != moving:
+            target = self._inode(existing)
+            mover = self._inode(moving)
+            if target["type"] == NFDIR:
+                if mover["type"] != NFDIR:
+                    return error_reply(NFSERR_ISDIR)
+                if target["entries"]:
+                    return error_reply(NFSERR_NOTEMPTY)
+            elif mover["type"] == NFDIR:
+                return error_reply(NFSERR_NOTDIR)
+            self._delete(existing)
+            dst = self._inode(dst_ino)  # re-read: _delete appended records
+        self._leak(32)
+        now = self._now()
+        if src_ino == dst_ino:
+            entries = [(n, c) for n, c in src["entries"] if n not in (from_name, to_name)]
+            entries.append((to_name, moving))
+            self._update(src_ino, entries=entries, mtime=now, ctime=now)
+        else:
+            self._update(
+                src_ino,
+                entries=[(n, c) for n, c in src["entries"] if n != from_name],
+                mtime=now,
+                ctime=now,
+            )
+            dst = self._inode(dst_ino)
+            self._update(
+                dst_ino,
+                entries=[(n, c) for n, c in dst["entries"] if n != to_name] + [(to_name, moving)],
+                mtime=now,
+                ctime=now,
+            )
+        return NfsReply(status=NFS_OK)
+
+    def readdir(self, fh: bytes) -> NfsReply:
+        dir_ino = self._resolve(fh)
+        if dir_ino is None:
+            return error_reply(NFSERR_STALE)
+        inode = self._inode(dir_ino)
+        if inode["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        entries = [
+            (name, self._handle(child))
+            for name, child in reversed(inode["entries"])  # newest first
+        ]
+        return NfsReply(status=NFS_OK, entries=entries, attr=self._attr(dir_ino))
+
+    def statfs(self, fh: bytes) -> NfsReply:
+        if self._resolve(fh) is None:
+            return error_reply(NFSERR_STALE)
+        payload = (
+            XdrEncoder()
+            .pack_u32(8192)
+            .pack_u32(4096)
+            .pack_u64(1 << 22)
+            .pack_u64((1 << 22) - len(self._log()))
+            .getvalue()
+        )
+        return NfsReply(status=NFS_OK, data=payload)

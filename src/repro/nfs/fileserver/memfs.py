@@ -1,0 +1,399 @@
+"""MemFS: a flat-table in-memory file server ("vendor A").
+
+Concrete representation: one flat node table keyed by fileid; directories map
+name -> fileid in a plain dict; readdir returns entries **sorted by name**.
+File handles are stable ⟨tag, fsid, fileid⟩ triples.  Timestamps have
+microsecond granularity taken from the server's own (skewed) clock — a
+nondeterminism the conformance wrapper must hide.
+
+Everything lives in the ``disk`` dict, so the server state survives reboots;
+the lookup cache and leaked allocations are in-core only.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.nfs.fileserver.api import Clock, NFSServer, name_error
+from repro.nfs.protocol import (
+    NFDIR,
+    NFLNK,
+    NFREG,
+    NFSERR_EXIST,
+    NFSERR_IO,
+    NFSERR_ISDIR,
+    NFSERR_NOENT,
+    NFSERR_NOTDIR,
+    NFSERR_NOTEMPTY,
+    NFSERR_STALE,
+    NFS_OK,
+    Fattr,
+    NfsReply,
+    Sattr,
+    error_reply,
+)
+from repro.util.errors import FaultInjected
+from repro.util.xdr import XdrDecoder, XdrEncoder
+
+_META = "memfs:meta"
+_NODES = "memfs:nodes"
+
+
+def _pack_handle(fsid: int, fileid: int) -> bytes:
+    return XdrEncoder().pack_string("MEM").pack_u64(fsid).pack_u64(fileid).getvalue()
+
+
+class MemFS(NFSServer):
+    """Flat-table file server with sorted readdir."""
+
+    def __init__(
+        self,
+        disk: Optional[dict] = None,
+        clock: Optional[Clock] = None,
+        seed: int = 0,
+        clock_skew: float = 0.0,
+        aging_threshold: Optional[int] = None,
+    ) -> None:
+        self.disk = disk if disk is not None else {}
+        self._clock = clock or (lambda: 0.0)
+        self._skew = clock_skew
+        self._rng = random.Random(seed)
+        self._aging_threshold = aging_threshold
+        self._leaked = 0  # in-core only: cleared by reboot
+        self._lookup_cache: Dict[Tuple[int, str], int] = {}  # in-core only
+
+        if _META not in self.disk:
+            self.disk[_META] = {
+                "fsid": self._rng.randrange(1, 2**32),  # nondeterministic
+                "next_fileid": self._rng.randrange(2, 1000),
+            }
+            self.disk[_NODES] = {}
+            root_id = self._alloc_fileid()
+            self._nodes()[root_id] = self._new_node(NFDIR)
+            self.disk[_META]["root"] = root_id
+        self.fsid = self.disk[_META]["fsid"]
+
+    # -- internals -------------------------------------------------------------
+
+    def _nodes(self) -> Dict[int, dict]:
+        return self.disk[_NODES]
+
+    def _alloc_fileid(self) -> int:
+        fileid = self.disk[_META]["next_fileid"]
+        self.disk[_META]["next_fileid"] = fileid + 1
+        return fileid
+
+    def _now(self) -> int:
+        return int((self._clock() + self._skew) * 1_000_000)
+
+    def _new_node(self, ftype: int) -> dict:
+        now = self._now()
+        node = {
+            "type": ftype,
+            "mode": 0o755 if ftype == NFDIR else 0o644,
+            "uid": 0,
+            "gid": 0,
+            "atime": now,
+            "mtime": now,
+            "ctime": now,
+        }
+        if ftype == NFREG:
+            node["data"] = b""
+        elif ftype == NFDIR:
+            node["entries"] = {}
+        elif ftype == NFLNK:
+            node["target"] = ""
+        return node
+
+    def _leak(self, amount: int) -> None:
+        """Model software aging: every mutation leaks a little memory; past
+        the threshold the server crashes until rebooted."""
+        self._leaked += amount
+        if self._aging_threshold is not None and self._leaked > self._aging_threshold:
+            raise FaultInjected(f"MemFS aged out ({self._leaked} bytes leaked)")
+
+    def _resolve(self, fh: bytes) -> Optional[int]:
+        try:
+            dec = XdrDecoder(fh)
+            tag = dec.unpack_string()
+            fsid = dec.unpack_u64()
+            fileid = dec.unpack_u64()
+            dec.done()
+        except Exception:
+            return None
+        if tag != "MEM" or fsid != self.fsid:
+            return None
+        if fileid not in self._nodes():
+            return None
+        return fileid
+
+    def _attr(self, fileid: int) -> Fattr:
+        node = self._nodes()[fileid]
+        if node["type"] == NFREG:
+            size = len(node["data"])
+        elif node["type"] == NFDIR:
+            size = len(node["entries"])
+        else:
+            size = len(node["target"])
+        return Fattr(
+            ftype=node["type"],
+            mode=node["mode"],
+            nlink=1,
+            uid=node["uid"],
+            gid=node["gid"],
+            size=size,
+            fsid=self.fsid,
+            fileid=fileid,
+            atime=node["atime"],
+            mtime=node["mtime"],
+            ctime=node["ctime"],
+        )
+
+    def _reply(self, fileid: int, **extra) -> NfsReply:
+        return NfsReply(
+            status=NFS_OK, fh=_pack_handle(self.fsid, fileid), attr=self._attr(fileid), **extra
+        )
+
+    def _apply_sattr(self, fileid: int, sattr: Sattr) -> None:
+        node = self._nodes()[fileid]
+        if sattr.mode is not None:
+            node["mode"] = sattr.mode
+        if sattr.uid is not None:
+            node["uid"] = sattr.uid
+        if sattr.gid is not None:
+            node["gid"] = sattr.gid
+        if sattr.size is not None and node["type"] == NFREG:
+            data = node["data"]
+            if sattr.size <= len(data):
+                node["data"] = data[: sattr.size]
+            else:
+                node["data"] = data + b"\x00" * (sattr.size - len(data))
+        if sattr.atime is not None:
+            node["atime"] = sattr.atime
+        if sattr.mtime is not None:
+            node["mtime"] = sattr.mtime
+        node["ctime"] = self._now()
+
+    # -- protocol ------------------------------------------------------------------
+
+    def root_handle(self) -> bytes:
+        return _pack_handle(self.fsid, self.disk[_META]["root"])
+
+    def getattr(self, fh: bytes) -> NfsReply:
+        fileid = self._resolve(fh)
+        if fileid is None:
+            return error_reply(NFSERR_STALE)
+        return self._reply(fileid)
+
+    def setattr(self, fh: bytes, sattr: Sattr) -> NfsReply:
+        fileid = self._resolve(fh)
+        if fileid is None:
+            return error_reply(NFSERR_STALE)
+        node = self._nodes()[fileid]
+        if sattr.size is not None and node["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        self._leak(32)
+        self._apply_sattr(fileid, sattr)
+        return self._reply(fileid)
+
+    def lookup(self, dir_fh: bytes, name: str) -> NfsReply:
+        dir_id = self._resolve(dir_fh)
+        if dir_id is None:
+            return error_reply(NFSERR_STALE)
+        node = self._nodes()[dir_id]
+        if node["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        cached = self._lookup_cache.get((dir_id, name))
+        if cached is not None and cached in self._nodes():
+            return self._reply(cached)
+        child = node["entries"].get(name)
+        if child is None:
+            return error_reply(NFSERR_NOENT)
+        self._lookup_cache[(dir_id, name)] = child
+        self._leak(16)
+        return self._reply(child)
+
+    def readlink(self, fh: bytes) -> NfsReply:
+        fileid = self._resolve(fh)
+        if fileid is None:
+            return error_reply(NFSERR_STALE)
+        node = self._nodes()[fileid]
+        if node["type"] != NFLNK:
+            return error_reply(NFSERR_IO)
+        return NfsReply(status=NFS_OK, target=node["target"])
+
+    def read(self, fh: bytes, offset: int, count: int) -> NfsReply:
+        fileid = self._resolve(fh)
+        if fileid is None:
+            return error_reply(NFSERR_STALE)
+        node = self._nodes()[fileid]
+        if node["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        if node["type"] != NFREG:
+            return error_reply(NFSERR_IO)
+        data = node["data"][offset : offset + count]
+        node["atime"] = self._now()
+        return self._reply(fileid, data=data)
+
+    def write(self, fh: bytes, offset: int, data: bytes) -> NfsReply:
+        fileid = self._resolve(fh)
+        if fileid is None:
+            return error_reply(NFSERR_STALE)
+        node = self._nodes()[fileid]
+        if node["type"] == NFDIR:
+            return error_reply(NFSERR_ISDIR)
+        if node["type"] != NFREG:
+            return error_reply(NFSERR_IO)
+        self._leak(len(data) // 8 + 16)
+        current = node["data"]
+        if offset > len(current):
+            current = current + b"\x00" * (offset - len(current))
+        node["data"] = current[:offset] + data + current[offset + len(data) :]
+        now = self._now()
+        node["mtime"] = now
+        node["ctime"] = now
+        return self._reply(fileid)
+
+    def _create_common(self, dir_fh: bytes, name: str, ftype: int) -> Tuple[int, Optional[NfsReply]]:
+        dir_id = self._resolve(dir_fh)
+        if dir_id is None:
+            return 0, error_reply(NFSERR_STALE)
+        node = self._nodes()[dir_id]
+        if node["type"] != NFDIR:
+            return 0, error_reply(NFSERR_NOTDIR)
+        bad = name_error(name)
+        if bad is not None:
+            return 0, error_reply(bad)
+        if name in node["entries"]:
+            return 0, error_reply(NFSERR_EXIST)
+        self._leak(64)
+        child = self._alloc_fileid()
+        self._nodes()[child] = self._new_node(ftype)
+        node["entries"][name] = child
+        now = self._now()
+        node["mtime"] = now
+        node["ctime"] = now
+        return child, None
+
+    def create(self, dir_fh: bytes, name: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFREG)
+        if err is not None:
+            return err
+        self._apply_sattr(child, sattr)
+        return self._reply(child)
+
+    def mkdir(self, dir_fh: bytes, name: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFDIR)
+        if err is not None:
+            return err
+        self._apply_sattr(child, sattr)
+        return self._reply(child)
+
+    def symlink(self, dir_fh: bytes, name: str, target: str, sattr: Sattr) -> NfsReply:
+        child, err = self._create_common(dir_fh, name, NFLNK)
+        if err is not None:
+            return err
+        self._nodes()[child]["target"] = target
+        self._apply_sattr(child, sattr)
+        return self._reply(child)
+
+    def remove(self, dir_fh: bytes, name: str) -> NfsReply:
+        return self._unlink(dir_fh, name, want_dir=False)
+
+    def rmdir(self, dir_fh: bytes, name: str) -> NfsReply:
+        return self._unlink(dir_fh, name, want_dir=True)
+
+    def _unlink(self, dir_fh: bytes, name: str, want_dir: bool) -> NfsReply:
+        dir_id = self._resolve(dir_fh)
+        if dir_id is None:
+            return error_reply(NFSERR_STALE)
+        node = self._nodes()[dir_id]
+        if node["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        child = node["entries"].get(name)
+        if child is None:
+            return error_reply(NFSERR_NOENT)
+        target = self._nodes()[child]
+        if want_dir:
+            if target["type"] != NFDIR:
+                return error_reply(NFSERR_NOTDIR)
+            if target["entries"]:
+                return error_reply(NFSERR_NOTEMPTY)
+        else:
+            if target["type"] == NFDIR:
+                return error_reply(NFSERR_ISDIR)
+        self._leak(32)
+        del node["entries"][name]
+        del self._nodes()[child]
+        self._lookup_cache.pop((dir_id, name), None)
+        now = self._now()
+        node["mtime"] = now
+        node["ctime"] = now
+        return NfsReply(status=NFS_OK)
+
+    def rename(self, from_dir: bytes, from_name: str, to_dir: bytes, to_name: str) -> NfsReply:
+        src_id = self._resolve(from_dir)
+        dst_id = self._resolve(to_dir)
+        if src_id is None or dst_id is None:
+            return error_reply(NFSERR_STALE)
+        src = self._nodes()[src_id]
+        dst = self._nodes()[dst_id]
+        if src["type"] != NFDIR or dst["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        bad = name_error(to_name)
+        if bad is not None:
+            return error_reply(bad)
+        moving = src["entries"].get(from_name)
+        if moving is None:
+            return error_reply(NFSERR_NOENT)
+        existing = dst["entries"].get(to_name)
+        if existing is not None and existing != moving:
+            target = self._nodes()[existing]
+            mover = self._nodes()[moving]
+            if target["type"] == NFDIR:
+                if mover["type"] != NFDIR:
+                    return error_reply(NFSERR_ISDIR)
+                if target["entries"]:
+                    return error_reply(NFSERR_NOTEMPTY)
+            elif mover["type"] == NFDIR:
+                return error_reply(NFSERR_NOTDIR)
+            del self._nodes()[existing]
+        self._leak(48)
+        del src["entries"][from_name]
+        dst["entries"][to_name] = moving
+        self._lookup_cache.clear()
+        now = self._now()
+        for d in (src, dst):
+            d["mtime"] = now
+            d["ctime"] = now
+        return NfsReply(status=NFS_OK)
+
+    def readdir(self, fh: bytes) -> NfsReply:
+        dir_id = self._resolve(fh)
+        if dir_id is None:
+            return error_reply(NFSERR_STALE)
+        node = self._nodes()[dir_id]
+        if node["type"] != NFDIR:
+            return error_reply(NFSERR_NOTDIR)
+        entries = [
+            (name, _pack_handle(self.fsid, child))
+            for name, child in sorted(node["entries"].items())  # this vendor sorts
+        ]
+        return NfsReply(status=NFS_OK, entries=entries, attr=self._attr(dir_id))
+
+    def statfs(self, fh: bytes) -> NfsReply:
+        if self._resolve(fh) is None:
+            return error_reply(NFSERR_STALE)
+        used = sum(
+            len(n.get("data", b"")) for n in self._nodes().values()
+        )
+        payload = (
+            XdrEncoder()
+            .pack_u32(8192)
+            .pack_u32(512)
+            .pack_u64(1 << 20)
+            .pack_u64((1 << 20) - used // 512)
+            .getvalue()
+        )
+        return NfsReply(status=NFS_OK, data=payload)

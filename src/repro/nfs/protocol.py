@@ -1,0 +1,481 @@
+"""NFS protocol structures (subset of RFC 1094, NFS version 2).
+
+These are the *on-the-wire* types shared by every party: the client façade,
+the relay, the conformance wrapper, and the file-system implementations.  In
+the replicated service the file handles inside calls and replies are oids
+(abstract object identifiers); when talking directly to an implementation
+they are whatever opaque handle that implementation chose — the protocol
+layer does not care.
+
+Calls and replies have canonical XDR encodings because they travel through
+the BFT library as request/result byte strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.util.xdr import XdrDecoder, XdrEncoder
+
+# --- status codes (RFC 1094 section 2.2.6) -------------------------------------
+
+NFS_OK = 0
+NFSERR_PERM = 1
+NFSERR_NOENT = 2
+NFSERR_IO = 5
+NFSERR_EXIST = 17
+NFSERR_NOTDIR = 20
+NFSERR_ISDIR = 21
+NFSERR_FBIG = 27
+NFSERR_NOSPC = 28
+NFSERR_ROFS = 30
+NFSERR_NAMETOOLONG = 63
+NFSERR_NOTEMPTY = 66
+NFSERR_STALE = 70
+
+STATUS_NAMES = {
+    NFS_OK: "NFS_OK",
+    NFSERR_PERM: "NFSERR_PERM",
+    NFSERR_NOENT: "NFSERR_NOENT",
+    NFSERR_IO: "NFSERR_IO",
+    NFSERR_EXIST: "NFSERR_EXIST",
+    NFSERR_NOTDIR: "NFSERR_NOTDIR",
+    NFSERR_ISDIR: "NFSERR_ISDIR",
+    NFSERR_FBIG: "NFSERR_FBIG",
+    NFSERR_NOSPC: "NFSERR_NOSPC",
+    NFSERR_ROFS: "NFSERR_ROFS",
+    NFSERR_NAMETOOLONG: "NFSERR_NAMETOOLONG",
+    NFSERR_NOTEMPTY: "NFSERR_NOTEMPTY",
+    NFSERR_STALE: "NFSERR_STALE",
+}
+
+MAX_NAME_LEN = 255
+MAX_DATA = 8192  # NFSv2 transfer size
+
+# --- file types ------------------------------------------------------------------
+
+NFNON = 0
+NFREG = 1
+NFDIR = 2
+NFLNK = 5
+
+TYPE_NAMES = {NFNON: "NFNON", NFREG: "NFREG", NFDIR: "NFDIR", NFLNK: "NFLNK"}
+
+_DONT_SET = 0xFFFFFFFF
+_DONT_SET64 = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class Fattr:
+    """File attributes (RFC 1094 fattr, times as integer microseconds)."""
+
+    ftype: int = NFNON
+    mode: int = 0
+    nlink: int = 1
+    uid: int = 0
+    gid: int = 0
+    size: int = 0
+    fsid: int = 0
+    fileid: int = 0
+    atime: int = 0
+    mtime: int = 0
+    ctime: int = 0
+
+    def pack(self, enc: XdrEncoder) -> None:
+        enc.pack_u32(self.ftype).pack_u32(self.mode).pack_u32(self.nlink)
+        enc.pack_u32(self.uid).pack_u32(self.gid).pack_u64(self.size)
+        enc.pack_u64(self.fsid).pack_u64(self.fileid)
+        enc.pack_u64(self.atime).pack_u64(self.mtime).pack_u64(self.ctime)
+
+    @classmethod
+    def unpack(cls, dec: XdrDecoder) -> "Fattr":
+        return cls(
+            ftype=dec.unpack_u32(),
+            mode=dec.unpack_u32(),
+            nlink=dec.unpack_u32(),
+            uid=dec.unpack_u32(),
+            gid=dec.unpack_u32(),
+            size=dec.unpack_u64(),
+            fsid=dec.unpack_u64(),
+            fileid=dec.unpack_u64(),
+            atime=dec.unpack_u64(),
+            mtime=dec.unpack_u64(),
+            ctime=dec.unpack_u64(),
+        )
+
+
+@dataclass
+class Sattr:
+    """Settable attributes; ``None`` fields are left unchanged."""
+
+    mode: Optional[int] = None
+    uid: Optional[int] = None
+    gid: Optional[int] = None
+    size: Optional[int] = None
+    atime: Optional[int] = None
+    mtime: Optional[int] = None
+
+    def pack(self, enc: XdrEncoder) -> None:
+        enc.pack_u32(_DONT_SET if self.mode is None else self.mode)
+        enc.pack_u32(_DONT_SET if self.uid is None else self.uid)
+        enc.pack_u32(_DONT_SET if self.gid is None else self.gid)
+        enc.pack_u64(_DONT_SET64 if self.size is None else self.size)
+        enc.pack_u64(_DONT_SET64 if self.atime is None else self.atime)
+        enc.pack_u64(_DONT_SET64 if self.mtime is None else self.mtime)
+
+    @classmethod
+    def unpack(cls, dec: XdrDecoder) -> "Sattr":
+        def opt32(value: int) -> Optional[int]:
+            return None if value == _DONT_SET else value
+
+        def opt64(value: int) -> Optional[int]:
+            return None if value == _DONT_SET64 else value
+
+        return cls(
+            mode=opt32(dec.unpack_u32()),
+            uid=opt32(dec.unpack_u32()),
+            gid=opt32(dec.unpack_u32()),
+            size=opt64(dec.unpack_u64()),
+            atime=opt64(dec.unpack_u64()),
+            mtime=opt64(dec.unpack_u64()),
+        )
+
+
+# --- calls -------------------------------------------------------------------------
+
+_CALL_REGISTRY: Dict[int, Type["NfsCall"]] = {}
+
+
+def _register(proc: int):
+    def wrap(cls):
+        cls.PROC = proc
+        _CALL_REGISTRY[proc] = cls
+        return cls
+
+    return wrap
+
+
+@dataclass
+class NfsCall:
+    """Base class for protocol calls."""
+
+    PROC = -1
+
+    def encode(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_u32(self.PROC)
+        self._pack_args(enc)
+        return enc.getvalue()
+
+    def _pack_args(self, enc: XdrEncoder) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def _unpack_args(cls, dec: XdrDecoder) -> "NfsCall":
+        raise NotImplementedError
+
+    @staticmethod
+    def decode(data: bytes) -> "NfsCall":
+        dec = XdrDecoder(data)
+        proc = dec.unpack_u32()
+        cls = _CALL_REGISTRY.get(proc)
+        if cls is None:
+            raise ValueError(f"unknown NFS procedure {proc}")
+        call = cls._unpack_args(dec)
+        dec.done()
+        return call
+
+    @property
+    def is_read_only(self) -> bool:
+        return self.PROC in _READ_ONLY_PROCS
+
+
+@_register(1)
+@dataclass
+class GetattrCall(NfsCall):
+    fh: bytes = b""
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.fh)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(fh=dec.unpack_opaque())
+
+
+@_register(2)
+@dataclass
+class SetattrCall(NfsCall):
+    fh: bytes = b""
+    sattr: Sattr = field(default_factory=Sattr)
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.fh)
+        self.sattr.pack(enc)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(fh=dec.unpack_opaque(), sattr=Sattr.unpack(dec))
+
+
+@_register(4)
+@dataclass
+class LookupCall(NfsCall):
+    dir_fh: bytes = b""
+    name: str = ""
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.dir_fh)
+        enc.pack_string(self.name)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(dir_fh=dec.unpack_opaque(), name=dec.unpack_string())
+
+
+@_register(5)
+@dataclass
+class ReadlinkCall(NfsCall):
+    fh: bytes = b""
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.fh)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(fh=dec.unpack_opaque())
+
+
+@_register(6)
+@dataclass
+class ReadCall(NfsCall):
+    fh: bytes = b""
+    offset: int = 0
+    count: int = 0
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.fh)
+        enc.pack_u64(self.offset)
+        enc.pack_u32(self.count)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(fh=dec.unpack_opaque(), offset=dec.unpack_u64(), count=dec.unpack_u32())
+
+
+@_register(8)
+@dataclass
+class WriteCall(NfsCall):
+    fh: bytes = b""
+    offset: int = 0
+    data: bytes = b""
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.fh)
+        enc.pack_u64(self.offset)
+        enc.pack_opaque(self.data)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(fh=dec.unpack_opaque(), offset=dec.unpack_u64(), data=dec.unpack_opaque())
+
+
+@_register(9)
+@dataclass
+class CreateCall(NfsCall):
+    dir_fh: bytes = b""
+    name: str = ""
+    sattr: Sattr = field(default_factory=Sattr)
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.dir_fh)
+        enc.pack_string(self.name)
+        self.sattr.pack(enc)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(dir_fh=dec.unpack_opaque(), name=dec.unpack_string(), sattr=Sattr.unpack(dec))
+
+
+@_register(10)
+@dataclass
+class RemoveCall(NfsCall):
+    dir_fh: bytes = b""
+    name: str = ""
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.dir_fh)
+        enc.pack_string(self.name)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(dir_fh=dec.unpack_opaque(), name=dec.unpack_string())
+
+
+@_register(11)
+@dataclass
+class RenameCall(NfsCall):
+    from_dir: bytes = b""
+    from_name: str = ""
+    to_dir: bytes = b""
+    to_name: str = ""
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.from_dir)
+        enc.pack_string(self.from_name)
+        enc.pack_opaque(self.to_dir)
+        enc.pack_string(self.to_name)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(
+            from_dir=dec.unpack_opaque(),
+            from_name=dec.unpack_string(),
+            to_dir=dec.unpack_opaque(),
+            to_name=dec.unpack_string(),
+        )
+
+
+@_register(13)
+@dataclass
+class SymlinkCall(NfsCall):
+    dir_fh: bytes = b""
+    name: str = ""
+    target: str = ""
+    sattr: Sattr = field(default_factory=Sattr)
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.dir_fh)
+        enc.pack_string(self.name)
+        enc.pack_string(self.target)
+        self.sattr.pack(enc)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(
+            dir_fh=dec.unpack_opaque(),
+            name=dec.unpack_string(),
+            target=dec.unpack_string(),
+            sattr=Sattr.unpack(dec),
+        )
+
+
+@_register(14)
+@dataclass
+class MkdirCall(NfsCall):
+    dir_fh: bytes = b""
+    name: str = ""
+    sattr: Sattr = field(default_factory=Sattr)
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.dir_fh)
+        enc.pack_string(self.name)
+        self.sattr.pack(enc)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(dir_fh=dec.unpack_opaque(), name=dec.unpack_string(), sattr=Sattr.unpack(dec))
+
+
+@_register(15)
+@dataclass
+class RmdirCall(NfsCall):
+    dir_fh: bytes = b""
+    name: str = ""
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.dir_fh)
+        enc.pack_string(self.name)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(dir_fh=dec.unpack_opaque(), name=dec.unpack_string())
+
+
+@_register(16)
+@dataclass
+class ReaddirCall(NfsCall):
+    fh: bytes = b""
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.fh)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(fh=dec.unpack_opaque())
+
+
+@_register(17)
+@dataclass
+class StatfsCall(NfsCall):
+    fh: bytes = b""
+
+    def _pack_args(self, enc):
+        enc.pack_opaque(self.fh)
+
+    @classmethod
+    def _unpack_args(cls, dec):
+        return cls(fh=dec.unpack_opaque())
+
+
+_READ_ONLY_PROCS = {
+    GetattrCall.PROC,
+    LookupCall.PROC,
+    ReadlinkCall.PROC,
+    ReadCall.PROC,
+    ReaddirCall.PROC,
+    StatfsCall.PROC,
+}
+
+
+# --- replies ------------------------------------------------------------------------
+
+
+@dataclass
+class NfsReply:
+    """Uniform reply: status plus the fields the procedure fills in."""
+
+    status: int = NFS_OK
+    fh: bytes = b""
+    attr: Optional[Fattr] = None
+    data: bytes = b""
+    target: str = ""
+    entries: List[Tuple[str, bytes]] = field(default_factory=list)  # (name, fh)
+
+    def encode(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_u32(self.status)
+        enc.pack_opaque(self.fh)
+        enc.pack_bool(self.attr is not None)
+        if self.attr is not None:
+            self.attr.pack(enc)
+        enc.pack_opaque(self.data)
+        enc.pack_string(self.target)
+        enc.pack_u32(len(self.entries))
+        for name, fh in self.entries:
+            enc.pack_string(name)
+            enc.pack_opaque(fh)
+        return enc.getvalue()
+
+    @staticmethod
+    def decode(data: bytes) -> "NfsReply":
+        dec = XdrDecoder(data)
+        reply = NfsReply(status=dec.unpack_u32())
+        reply.fh = dec.unpack_opaque()
+        if dec.unpack_bool():
+            reply.attr = Fattr.unpack(dec)
+        reply.data = dec.unpack_opaque()
+        reply.target = dec.unpack_string()
+        count = dec.unpack_u32()
+        reply.entries = [(dec.unpack_string(), dec.unpack_opaque()) for _ in range(count)]
+        dec.done()
+        return reply
+
+    @property
+    def ok(self) -> bool:
+        return self.status == NFS_OK
+
+
+def error_reply(status: int) -> NfsReply:
+    return NfsReply(status=status)

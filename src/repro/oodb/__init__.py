@@ -1,0 +1,28 @@
+"""The object-oriented database example.
+
+The paper's abstract: "an object-oriented database where the replicas ran
+the same, non-deterministic implementation".  :class:`~repro.oodb.db.ThorDB`
+is a small OODB whose object identifiers are memory-address-like values
+(random base + allocation order) -- running the *same* code on every replica
+still yields divergent concrete states.  The conformance wrapper
+(:mod:`repro.oodb.wrapper`) hides the handles and iteration orders behind
+the abstract specification in :mod:`repro.oodb.spec`, making the service
+replicable with BASE.
+"""
+
+from repro.oodb.db import Ref, ThorDB, ThorError
+from repro.oodb.spec import OODBAbstractSpec
+from repro.oodb.wrapper import OODBConformanceWrapper
+from repro.oodb.client import AOid, OODBClient, OODBDeployment, OODBError
+
+__all__ = [
+    "Ref",
+    "ThorDB",
+    "ThorError",
+    "OODBAbstractSpec",
+    "OODBConformanceWrapper",
+    "AOid",
+    "OODBClient",
+    "OODBDeployment",
+    "OODBError",
+]

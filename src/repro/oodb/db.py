@@ -1,0 +1,133 @@
+"""ThorDB: a small object-oriented database with nondeterministic object
+identifiers.
+
+The database stores typed objects (class name + named attributes) whose
+values are integers, strings, byte strings, or references to other objects.
+Object handles are *memory-address-like*: a random per-database heap base
+plus an allocation-order offset with random padding — so two replicas running
+this exact code produce entirely different handle values and iteration
+orders, the nondeterminism the paper's abstract calls out.
+
+State persists in a plain ``disk`` dict (survives simulated reboots).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Union
+
+from repro.util.errors import FaultInjected
+
+Value = Union[int, str, bytes, "Ref"]
+
+_HEAP = "thor:heap"
+_META = "thor:meta"
+
+
+class Ref:
+    """A reference to another database object (by concrete handle)."""
+
+    __slots__ = ("handle",)
+
+    def __init__(self, handle: int) -> None:
+        self.handle = handle
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ref) and other.handle == self.handle
+
+    def __hash__(self) -> int:
+        return hash(("Ref", self.handle))
+
+    def __repr__(self) -> str:
+        return f"Ref(0x{self.handle:x})"
+
+
+class ThorError(Exception):
+    """Raised for invalid handles and schema violations."""
+
+
+class ThorDB:
+    """The wrapped, nondeterministic OODB implementation."""
+
+    def __init__(
+        self,
+        disk: Optional[dict] = None,
+        seed: int = 0,
+        aging_threshold: Optional[int] = None,
+    ) -> None:
+        self.disk = disk if disk is not None else {}
+        self._rng = random.Random(seed)
+        self._aging_threshold = aging_threshold
+        self._leaked = 0
+        if _META not in self.disk:
+            # Nondeterministic heap layout: random base, random stride jitter.
+            self.disk[_META] = {
+                "heap_base": self._rng.randrange(0x10000, 0x7FFF0000) & ~0xF,
+                "bump": 0,
+            }
+            self.disk[_HEAP] = {}
+            root = self.allocate("Root")
+            self.disk[_META]["root"] = root
+
+    # -- allocation ---------------------------------------------------------------
+
+    def _heap(self) -> Dict[int, dict]:
+        return self.disk[_HEAP]
+
+    def _leak(self, amount: int) -> None:
+        self._leaked += amount
+        if self._aging_threshold is not None and self._leaked > self._aging_threshold:
+            raise FaultInjected(f"ThorDB aged out ({self._leaked} bytes leaked)")
+
+    def root(self) -> int:
+        return self.disk[_META]["root"]
+
+    def allocate(self, class_name: str) -> int:
+        """New object; returns its memory-address-like handle."""
+        meta = self.disk[_META]
+        meta["bump"] += 16 + self._rng.randrange(0, 4) * 16  # jittered stride
+        handle = meta["heap_base"] + meta["bump"]
+        self._heap()[handle] = {"class": class_name, "attrs": {}}
+        self._leak(32)
+        return handle
+
+    def free(self, handle: int) -> None:
+        if handle == self.root():
+            raise ThorError("cannot free the root object")
+        if self._heap().pop(handle, None) is None:
+            raise ThorError(f"free of invalid handle 0x{handle:x}")
+
+    # -- access ----------------------------------------------------------------------
+
+    def _object(self, handle: int) -> dict:
+        obj = self._heap().get(handle)
+        if obj is None:
+            raise ThorError(f"invalid handle 0x{handle:x}")
+        return obj
+
+    def exists(self, handle: int) -> bool:
+        return handle in self._heap()
+
+    def class_of(self, handle: int) -> str:
+        return self._object(handle)["class"]
+
+    def get_attr(self, handle: int, name: str) -> Optional[Value]:
+        return self._object(handle)["attrs"].get(name)
+
+    def set_attr(self, handle: int, name: str, value: Value) -> None:
+        if isinstance(value, Ref) and not self.exists(value.handle):
+            raise ThorError(f"dangling reference 0x{value.handle:x}")
+        self._leak(16)
+        self._object(handle)["attrs"][name] = value
+
+    def del_attr(self, handle: int, name: str) -> None:
+        self._object(handle)["attrs"].pop(name, None)
+
+    def attrs(self, handle: int) -> Dict[str, Value]:
+        """Attribute mapping in *insertion order* (nondeterministic across
+        replicas, since it depends on operation interleaving history)."""
+        return dict(self._object(handle)["attrs"])
+
+    def handles(self) -> List[int]:
+        """Every live handle, in heap-address order (nondeterministic)."""
+        return sorted(self._heap())

@@ -1,0 +1,259 @@
+"""Common abstract specification for the replicated OODB.
+
+Abstract state: a fixed array of ⟨object, generation⟩ pairs, like the file
+service.  An abstract object is a class name plus a lexicographically sorted
+attribute list; attribute values are integers, strings, byte strings, or
+references to other abstract objects (by oid = ⟨index, generation⟩).  The
+object at index 0 is the database root.  Abstract oids are assigned by the
+deterministic lowest-free-index rule, hiding the implementation's
+memory-address handles.
+
+Operations (all XDR-encoded): NEW / FREE / SET / DEL / GET / CLASSOF / FIND.
+GET, CLASSOF, and FIND are read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from repro.base.abstraction import AbstractSpec
+from repro.util.xdr import XdrDecoder, XdrEncoder
+
+# -- status codes ------------------------------------------------------------------
+
+OODB_OK = 0
+OODB_STALE = 1
+OODB_NOSPC = 2
+OODB_BADOP = 3
+OODB_DANGLING = 4
+OODB_READONLY = 5
+OODB_NOATTR = 6
+
+# -- abstract oids -------------------------------------------------------------------
+
+
+def make_aoid(index: int, generation: int) -> bytes:
+    return XdrEncoder().pack_u32(index).pack_u32(generation).getvalue()
+
+
+def parse_aoid(aoid: bytes) -> Tuple[int, int]:
+    dec = XdrDecoder(aoid)
+    out = (dec.unpack_u32(), dec.unpack_u32())
+    dec.done()
+    return out
+
+
+ROOT_AOID = make_aoid(0, 0)
+
+
+@dataclass(frozen=True)
+class AbstractRef:
+    """An abstract reference value (oid of the target object)."""
+
+    aoid: bytes
+
+
+AbstractValue = Union[int, str, bytes, AbstractRef]
+
+_TAG_INT = 0
+_TAG_STR = 1
+_TAG_BYTES = 2
+_TAG_REF = 3
+
+
+def pack_value(enc: XdrEncoder, value: AbstractValue) -> None:
+    if isinstance(value, bool):
+        raise TypeError("booleans are not an OODB value type")
+    if isinstance(value, int):
+        enc.pack_u32(_TAG_INT).pack_i64(value)
+    elif isinstance(value, str):
+        enc.pack_u32(_TAG_STR).pack_string(value)
+    elif isinstance(value, bytes):
+        enc.pack_u32(_TAG_BYTES).pack_opaque(value)
+    elif isinstance(value, AbstractRef):
+        enc.pack_u32(_TAG_REF).pack_fixed_opaque(value.aoid, 8)
+    else:
+        raise TypeError(f"unsupported OODB value: {value!r}")
+
+
+def unpack_value(dec: XdrDecoder) -> AbstractValue:
+    tag = dec.unpack_u32()
+    if tag == _TAG_INT:
+        return dec.unpack_i64()
+    if tag == _TAG_STR:
+        return dec.unpack_string()
+    if tag == _TAG_BYTES:
+        return dec.unpack_opaque()
+    if tag == _TAG_REF:
+        return AbstractRef(dec.unpack_fixed_opaque(8))
+    raise ValueError(f"bad OODB value tag {tag}")
+
+
+# -- abstract objects ------------------------------------------------------------------
+
+
+@dataclass
+class AbstractDBObject:
+    """One entry of the abstract array (class NUL == free entry)."""
+
+    generation: int = 0
+    class_name: str = ""  # "" means the entry is free
+    attrs: Dict[str, AbstractValue] = field(default_factory=dict)
+    mtime: int = 0
+
+    @property
+    def is_null(self) -> bool:
+        return self.class_name == ""
+
+    def encode(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_u32(self.generation)
+        enc.pack_string(self.class_name)
+        if self.is_null:
+            return enc.getvalue()
+        enc.pack_u64(self.mtime)
+        items = sorted(self.attrs.items())  # lexicographic, deterministic
+        enc.pack_u32(len(items))
+        for name, value in items:
+            enc.pack_string(name)
+            pack_value(enc, value)
+        return enc.getvalue()
+
+    @staticmethod
+    def decode(blob: bytes) -> "AbstractDBObject":
+        dec = XdrDecoder(blob)
+        obj = AbstractDBObject(generation=dec.unpack_u32(), class_name=dec.unpack_string())
+        if obj.is_null:
+            dec.done()
+            return obj
+        obj.mtime = dec.unpack_u64()
+        count = dec.unpack_u32()
+        for _ in range(count):
+            name = dec.unpack_string()
+            obj.attrs[name] = unpack_value(dec)
+        dec.done()
+        return obj
+
+
+class OODBAbstractSpec(AbstractSpec):
+    """Abstract-state definition handed to the BASE library."""
+
+    def __init__(self, num_objects: int = 256) -> None:
+        if num_objects < 1:
+            raise ValueError("need at least the root object")
+        self.num_objects = num_objects
+
+    def initial_object(self, index: int) -> bytes:
+        if index == 0:
+            return AbstractDBObject(generation=0, class_name="Root").encode()
+        return AbstractDBObject(generation=0).encode()
+
+    def validate_object(self, index: int, data: bytes) -> bool:
+        try:
+            obj = AbstractDBObject.decode(data)
+        except Exception:
+            return False
+        if index == 0 and obj.is_null:
+            return False
+        for value in obj.attrs.values():
+            if isinstance(value, AbstractRef):
+                target, _gen = parse_aoid(value.aoid)
+                if not 0 <= target < self.num_objects:
+                    return False
+        return True
+
+
+# -- operations ------------------------------------------------------------------------------
+
+
+def encode_new(class_name: str) -> bytes:
+    return XdrEncoder().pack_string("NEW").pack_string(class_name).getvalue()
+
+
+def encode_free(aoid: bytes) -> bytes:
+    return XdrEncoder().pack_string("FREE").pack_fixed_opaque(aoid, 8).getvalue()
+
+
+def encode_set(aoid: bytes, name: str, value: AbstractValue) -> bytes:
+    enc = XdrEncoder().pack_string("SET").pack_fixed_opaque(aoid, 8).pack_string(name)
+    pack_value(enc, value)
+    return enc.getvalue()
+
+
+def encode_del(aoid: bytes, name: str) -> bytes:
+    return (
+        XdrEncoder().pack_string("DEL").pack_fixed_opaque(aoid, 8).pack_string(name).getvalue()
+    )
+
+
+def encode_get(aoid: bytes) -> bytes:
+    return XdrEncoder().pack_string("GET").pack_fixed_opaque(aoid, 8).getvalue()
+
+
+def encode_classof(aoid: bytes) -> bytes:
+    return XdrEncoder().pack_string("CLASSOF").pack_fixed_opaque(aoid, 8).getvalue()
+
+
+def encode_find(class_name: str) -> bytes:
+    """All live objects of a class, in deterministic (index) order."""
+    return XdrEncoder().pack_string("FIND").pack_string(class_name).getvalue()
+
+
+READ_ONLY_OPS = {"GET", "CLASSOF", "FIND"}
+
+
+def op_name(op: bytes) -> str:
+    return XdrDecoder(op).unpack_string()
+
+
+def is_read_only_op(op: bytes) -> bool:
+    try:
+        return op_name(op) in READ_ONLY_OPS
+    except Exception:
+        return False
+
+
+# -- replies -----------------------------------------------------------------------------------
+
+
+@dataclass
+class OODBReply:
+    status: int = OODB_OK
+    aoid: bytes = b""
+    class_name: str = ""
+    attrs: Dict[str, AbstractValue] = field(default_factory=dict)
+    mtime: int = 0
+    matches: List[bytes] = field(default_factory=list)  # FIND results (aoids)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OODB_OK
+
+    def encode(self) -> bytes:
+        enc = XdrEncoder().pack_u32(self.status).pack_opaque(self.aoid)
+        enc.pack_string(self.class_name).pack_u64(self.mtime)
+        items = sorted(self.attrs.items())
+        enc.pack_u32(len(items))
+        for name, value in items:
+            enc.pack_string(name)
+            pack_value(enc, value)
+        enc.pack_u32(len(self.matches))
+        for match in self.matches:
+            enc.pack_fixed_opaque(match, 8)
+        return enc.getvalue()
+
+    @staticmethod
+    def decode(blob: bytes) -> "OODBReply":
+        dec = XdrDecoder(blob)
+        reply = OODBReply(status=dec.unpack_u32(), aoid=dec.unpack_opaque())
+        reply.class_name = dec.unpack_string()
+        reply.mtime = dec.unpack_u64()
+        count = dec.unpack_u32()
+        for _ in range(count):
+            name = dec.unpack_string()
+            reply.attrs[name] = unpack_value(dec)
+        match_count = dec.unpack_u32()
+        reply.matches = [dec.unpack_fixed_opaque(8) for _ in range(match_count)]
+        dec.done()
+        return reply

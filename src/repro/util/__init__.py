@@ -1,0 +1,32 @@
+"""Shared utilities: errors, XDR encoding, virtual clocks, metrics.
+
+These helpers are deliberately dependency-free; every other subpackage may
+import them.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ProtocolError,
+    AuthenticationError,
+    StateTransferError,
+    ConfigurationError,
+    FaultInjected,
+)
+from repro.util.xdr import XdrEncoder, XdrDecoder, XdrError
+from repro.util.clock import VirtualClock, ManualClock
+from repro.util.stats import Counters
+
+__all__ = [
+    "ReproError",
+    "ProtocolError",
+    "AuthenticationError",
+    "StateTransferError",
+    "ConfigurationError",
+    "FaultInjected",
+    "XdrEncoder",
+    "XdrDecoder",
+    "XdrError",
+    "VirtualClock",
+    "ManualClock",
+    "Counters",
+]

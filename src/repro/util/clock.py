@@ -1,0 +1,41 @@
+"""Virtual clocks.
+
+Replicas never read the host's wall clock: all time in the reproduction is
+virtual and owned by the simulation kernel, which makes protocol runs
+deterministic.  A :class:`VirtualClock` is the read-only view handed to
+protocol code; :class:`ManualClock` is a trivially advanceable clock for unit
+tests that do not need the full simulator.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Read-only view of simulated time, in seconds (float)."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def now_micros(self) -> int:
+        """Simulated time as integer microseconds (for timestamps on wire)."""
+        return int(self.now() * 1_000_000)
+
+
+class ManualClock(VirtualClock):
+    """A clock advanced explicitly by tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> None:
+        if delta < 0:
+            raise ValueError("cannot move a clock backwards")
+        self._now += delta
+
+    def set(self, value: float) -> None:
+        if value < self._now:
+            raise ValueError("cannot move a clock backwards")
+        self._now = float(value)

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProtocolError(ReproError):
+    """A message violated the replication protocol (malformed, out of
+    sequence, or sent by a node not entitled to send it)."""
+
+
+class AuthenticationError(ProtocolError):
+    """A message failed MAC/authenticator verification."""
+
+
+class StateTransferError(ReproError):
+    """State transfer could not complete (missing proof, digest mismatch)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid system configuration (e.g. n < 3f + 1)."""
+
+
+class FaultInjected(ReproError):
+    """Raised by fault-injection hooks to simulate an implementation crash.
+
+    The BFT layer treats an escaping :class:`FaultInjected` as a replica
+    failure; tests use it to script crash faults inside service code.
+    """

@@ -1,0 +1,71 @@
+"""Structured event tracing.
+
+A :class:`Tracer` is a bounded, in-memory log of protocol events (view
+changes, stable checkpoints, state transfers, recoveries...).  It exists for
+debugging and for tests that assert *why* something happened, not just the
+end state.  Tracing is opt-in: components hold ``tracer = None`` by default
+and emitting is a no-op unless a tracer is attached.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    source: str
+    kind: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:10.4f}] {self.source:<8} {self.kind:<24} {details}"
+
+
+class Tracer:
+    """Bounded structured event log."""
+
+    def __init__(
+        self, clock: Optional[Callable[[], float]] = None, capacity: int = 50_000
+    ) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def emit(self, source: str, kind: str, **fields: object) -> None:
+        self._events.append(TraceEvent(self._clock(), source, kind, fields))
+
+    def events(
+        self, kind: Optional[str] = None, source: Optional[str] = None
+    ) -> List[TraceEvent]:
+        return [
+            event
+            for event in self._events
+            if (kind is None or event.kind == kind)
+            and (source is None or event.source == source)
+        ]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self._events if event.kind == kind)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def dump(self, limit: int = 200) -> str:
+        """The newest ``limit`` events, formatted one per line."""
+        tail = list(self._events)[-limit:]
+        return "\n".join(str(event) for event in tail)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def emit(tracer: Optional[Tracer], source: str, kind: str, **fields: object) -> None:
+    """No-op-when-disabled emit helper."""
+    if tracer is not None:
+        tracer.emit(source, kind, **fields)

@@ -1,0 +1,127 @@
+"""BASEService: the glue between a conformance wrapper and the engine."""
+
+import pytest
+
+from repro.base.abstraction import AbstractSpec
+from repro.base.library import BASEService
+from repro.base.wrapper import ConformanceWrapper
+from repro.bft.nondet import decode_timestamp, encode_timestamp
+from repro.util.clock import ManualClock
+from repro.util.xdr import XdrEncoder
+
+
+class TinySpec(AbstractSpec):
+    def __init__(self, num_objects=4):
+        self.num_objects = num_objects
+
+    def initial_object(self, index):
+        return b""
+
+
+class TinyWrapper(ConformanceWrapper):
+    """Stores one byte string per object; op = XDR(index, value)."""
+
+    def __init__(self):
+        super().__init__(TinySpec())
+        self.values = [b""] * self.spec.num_objects
+        self.seen_timestamps = []
+        self.saved = 0
+
+    def execute(self, op, client_id, timestamp_micros, read_only=False):
+        from repro.util.xdr import XdrDecoder
+
+        dec = XdrDecoder(op)
+        index = dec.unpack_u32()
+        value = dec.unpack_opaque()
+        self.seen_timestamps.append(timestamp_micros)
+        if read_only:
+            return self.values[index]
+        self.modify(index)
+        self.values[index] = value
+        return b"ok"
+
+    def get_obj(self, index):
+        return self.values[index]
+
+    def put_objs(self, objects):
+        for index, value in objects.items():
+            self.values[index] = value
+
+    def save_for_recovery(self):
+        self.saved += 1
+
+
+def op(index, value=b"x"):
+    return XdrEncoder().pack_u32(index).pack_opaque(value).getvalue()
+
+
+@pytest.fixture
+def service():
+    return BASEService(TinyWrapper(), ManualClock(start=5.0), arity=2)
+
+
+def test_execute_decodes_agreed_timestamp(service):
+    service.execute(op(0), "C0", encode_timestamp(7_000_000))
+    assert service.wrapper.seen_timestamps == [7_000_000]
+
+
+def test_read_only_gets_zero_timestamp(service):
+    service.execute(op(0), "C0", b"", read_only=True)
+    assert service.wrapper.seen_timestamps == [0]
+
+
+def test_nondet_round_trip(service):
+    proposal = service.propose_nondet()
+    assert service.check_nondet(proposal)
+    assert decode_timestamp(proposal) == 5_000_000
+
+
+def test_check_rejects_garbage_nondet(service):
+    assert not service.check_nondet(b"nope")
+
+
+def test_modify_wired_into_wrapper(service):
+    service.execute(op(1, b"new"), "C0", encode_timestamp(6_000_000))
+    service.take_checkpoint(10)
+    service.execute(op(1, b"newer"), "C0", encode_timestamp(6_100_000))
+    assert service.get_object_at(10, 1) == b"new"
+
+
+def test_checkpoint_and_root_digest(service):
+    digest_a = service.take_checkpoint(10)
+    assert service.root_digest(10) == digest_a
+    service.execute(op(2, b"dirty"), "C0", encode_timestamp(6_000_000))
+    digest_b = service.take_checkpoint(20)
+    assert digest_a != digest_b
+    assert service.checkpoint_seqnos() == [10, 20]
+    service.discard_checkpoints_below(20)
+    assert service.checkpoint_seqnos() == [20]
+
+
+def test_genesis_digest_is_cached_and_matches_fresh_state(service):
+    genesis = service.genesis_root_digest()
+    assert genesis == service.genesis_root_digest()  # cached
+    assert service.current_node(0, 0)[1] == genesis  # fresh service == genesis
+
+
+def test_install_fetched_routes_through_put_objs(service):
+    root = service.install_fetched({1: (b"installed", 3)}, seqno=30)
+    assert service.wrapper.values[1] == b"installed"
+    assert service.root_digest(30) == root
+
+
+def test_record_reply_round_trip(service):
+    assert service.last_recorded("C9") is None
+    service.record_reply("C9", 4, b"res")
+    assert service.last_recorded("C9") == (4, b"res")
+
+
+def test_save_for_recovery_delegates(service):
+    service.save_for_recovery()
+    assert service.wrapper.saved == 1
+
+
+def test_wrapper_base_defaults():
+    wrapper = TinyWrapper()
+    wrapper.modify(1)  # default callback: no-op, must not raise
+    assert wrapper.spec.validate_object(0, b"anything")  # default: True

@@ -1,0 +1,123 @@
+"""Partition tree: shape, digests, lm propagation, snapshots, verification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.base.partition import PartitionTree, verify_children
+from repro.crypto.digest import digest
+
+
+def test_depth_scales_with_object_count():
+    assert PartitionTree(8, arity=8).num_levels() == 1
+    assert PartitionTree(9, arity=8).num_levels() == 2
+    assert PartitionTree(64, arity=8).num_levels() == 2
+    assert PartitionTree(65, arity=8).num_levels() == 3
+
+
+def test_leaf_count_matches_objects():
+    tree = PartitionTree(10, arity=4)
+    assert tree.nodes_at(tree.num_levels()) == 10
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        PartitionTree(0)
+    with pytest.raises(ValueError):
+        PartitionTree(4, arity=1)
+
+
+def test_update_leaf_changes_root():
+    tree = PartitionTree(16, arity=4)
+    _, root0 = tree.root()
+    tree.update_leaf(5, digest(b"v"), seqno=3)
+    _, root1 = tree.root()
+    assert root0 != root1
+
+
+def test_lm_propagates_to_root():
+    tree = PartitionTree(16, arity=4)
+    tree.update_leaf(5, digest(b"v"), seqno=7)
+    lm, _ = tree.root()
+    assert lm == 7
+    leaf_lm, _ = tree.leaf(5)
+    assert leaf_lm == 7
+
+
+def test_same_updates_same_root():
+    a = PartitionTree(16, arity=4)
+    b = PartitionTree(16, arity=4)
+    for index in (3, 7, 15):
+        a.update_leaf(index, digest(bytes([index])), seqno=index)
+        b.update_leaf(index, digest(bytes([index])), seqno=index)
+    assert a.root() == b.root()
+
+
+def test_lm_is_part_of_digest():
+    a = PartitionTree(4, arity=4)
+    b = PartitionTree(4, arity=4)
+    a.update_leaf(0, digest(b"v"), seqno=1)
+    b.update_leaf(0, digest(b"v"), seqno=2)
+    assert a.root()[1] != b.root()[1]
+
+
+def test_children_verify_against_parent():
+    tree = PartitionTree(64, arity=8)
+    tree.update_leaf(13, digest(b"x"), seqno=1)
+    for level in range(tree.num_levels()):
+        for index in range(tree.nodes_at(level)):
+            _, parent = tree.node(level, index)
+            assert verify_children(parent, tree.children(level, index))
+
+
+def test_tampered_children_fail_verification():
+    tree = PartitionTree(16, arity=4)
+    _, parent = tree.node(0, 0)
+    children = tree.children(0, 0)
+    children[0] = (children[0][0] + 1, children[0][1])
+    assert not verify_children(parent, children)
+
+
+def test_child_range_right_edge():
+    tree = PartitionTree(10, arity=4)  # leaves 0..9 under interior nodes 0..3
+    level = tree.num_levels() - 1
+    assert list(tree.child_range(level, 2)) == [8, 9]  # partial node
+    assert list(tree.child_range(level, 3)) == []  # past the leaf count
+
+
+def test_leaves_have_no_children():
+    tree = PartitionTree(4, arity=4)
+    with pytest.raises(ValueError):
+        tree.child_range(tree.num_levels(), 0)
+
+
+def test_snapshot_is_immutable_copy():
+    tree = PartitionTree(16, arity=4)
+    tree.update_leaf(1, digest(b"a"), seqno=1)
+    snap = tree.snapshot()
+    root_before = snap.root()
+    tree.update_leaf(1, digest(b"b"), seqno=2)
+    assert snap.root() == root_before
+    assert tree.root() != root_before
+    assert snap.children(0, 0) is not None
+    assert snap.leaf(1)[0] == 1
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.binary(min_size=1, max_size=8), st.integers(1, 100)),
+        max_size=30,
+    )
+)
+def test_root_depends_only_on_final_leaf_state(updates):
+    """Property: the root is a pure function of the final (digest, lm) leaf
+    vector, independent of update order/history."""
+    tree = PartitionTree(31, arity=4)
+    final = {}
+    for index, blob, seqno in updates:
+        tree.update_leaf(index, digest(blob), seqno)
+        final[index] = (digest(blob), seqno)
+    fresh = PartitionTree(31, arity=4)
+    for index, (d, seqno) in final.items():
+        fresh.update_leaf(index, d, seqno)
+    assert tree.root() == fresh.root()

@@ -1,0 +1,220 @@
+"""Abstract-state manager: COW checkpoints, reads-at-checkpoint, installs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.base.statemgr import AbstractStateManager
+from repro.crypto.digest import digest
+
+
+class Store:
+    """Backing array standing in for a wrapped implementation."""
+
+    def __init__(self, n):
+        self.cells = [b""] * n
+
+    def get(self, index):
+        return self.cells[index]
+
+
+@pytest.fixture
+def rig():
+    store = Store(16)
+    mgr = AbstractStateManager(16, store.get, arity=4)
+    return store, mgr
+
+
+def write(store, mgr, index, value):
+    mgr.modify(index)
+    store.cells[index] = value
+
+
+def test_initial_root_is_deterministic():
+    a = AbstractStateManager(16, Store(16).get, arity=4)
+    b = AbstractStateManager(16, Store(16).get, arity=4)
+    assert a.tree.root() == b.tree.root()
+
+
+def test_modify_out_of_range(rig):
+    _store, mgr = rig
+    with pytest.raises(IndexError):
+        mgr.modify(mgr.total_leaves)
+    mgr.modify(mgr.total_leaves - 1)  # client-table shards are valid leaves
+
+
+def test_checkpoint_digest_reflects_writes(rig):
+    store, mgr = rig
+    d0 = mgr.take_checkpoint(10)
+    write(store, mgr, 3, b"x")
+    d1 = mgr.take_checkpoint(20)
+    assert d0 != d1
+
+
+def test_checkpoint_seqnos_must_increase(rig):
+    _store, mgr = rig
+    mgr.take_checkpoint(10)
+    with pytest.raises(ValueError):
+        mgr.take_checkpoint(10)
+
+
+def test_cow_preserves_value_at_checkpoint(rig):
+    store, mgr = rig
+    write(store, mgr, 5, b"old")
+    mgr.take_checkpoint(10)
+    write(store, mgr, 5, b"new")
+    assert mgr.get_object_at(10, 5) == b"old"
+    assert store.cells[5] == b"new"
+
+
+def test_unmodified_object_read_through(rig):
+    store, mgr = rig
+    write(store, mgr, 2, b"stable")
+    mgr.take_checkpoint(10)
+    assert mgr.get_object_at(10, 2) == b"stable"
+
+
+def test_multi_checkpoint_cow_scan(rig):
+    store, mgr = rig
+    write(store, mgr, 1, b"v1")
+    mgr.take_checkpoint(10)          # value at 10 is v1
+    write(store, mgr, 1, b"v2")
+    mgr.take_checkpoint(20)          # value at 20 is v2
+    write(store, mgr, 1, b"v3")
+    assert mgr.get_object_at(10, 1) == b"v1"
+    assert mgr.get_object_at(20, 1) == b"v2"
+
+
+def test_object_unchanged_between_checkpoints(rig):
+    store, mgr = rig
+    write(store, mgr, 1, b"v1")
+    mgr.take_checkpoint(10)
+    mgr.take_checkpoint(20)
+    write(store, mgr, 1, b"v2")
+    # Copy lives in checkpoint 20; checkpoint 10 must see it too.
+    assert mgr.get_object_at(10, 1) == b"v1"
+
+
+def test_get_object_at_unknown_checkpoint(rig):
+    _store, mgr = rig
+    assert mgr.get_object_at(99, 0) is None
+
+
+def test_modify_only_copies_once(rig):
+    store, mgr = rig
+    mgr.take_checkpoint(10)
+    write(store, mgr, 4, b"a")
+    write(store, mgr, 4, b"b")
+    assert mgr.counters.get("cow_copies") == 1
+    assert mgr.get_object_at(10, 4) == b""
+
+
+def test_discard_checkpoints(rig):
+    _store, mgr = rig
+    mgr.take_checkpoint(10)
+    mgr.take_checkpoint(20)
+    mgr.discard_checkpoints_below(20)
+    assert mgr.checkpoint_seqnos() == [20]
+    assert mgr.get_object_at(10, 0) is None
+
+
+def test_root_digest_stable_across_later_writes(rig):
+    store, mgr = rig
+    write(store, mgr, 7, b"x")
+    d = mgr.take_checkpoint(10)
+    write(store, mgr, 7, b"y")
+    assert mgr.root_digest(10) == d
+
+
+def test_meta_matches_checkpoint_tree(rig):
+    store, mgr = rig
+    write(store, mgr, 0, b"z")
+    mgr.take_checkpoint(10)
+    children = mgr.get_meta(10, 0, 0)
+    assert children is not None
+    assert len(children) == 4
+
+
+def test_install_fetched_applies_and_checkpoints(rig):
+    store, mgr = rig
+    applied = {}
+
+    def apply(values):
+        applied.update(values)
+        for index, value in values.items():
+            store.cells[index] = value
+
+    root = mgr.install_fetched({3: (b"fetched", 5)}, seqno=40, apply_objects=apply)
+    assert applied == {3: b"fetched"}
+    assert store.cells[3] == b"fetched"
+    assert mgr.checkpoint_seqnos() == [40]
+    assert mgr.root_digest(40) == root
+    assert mgr.tree.leaf(3) == (5, digest(b"fetched"))
+
+
+def test_install_fetched_matches_donor_root():
+    """Donor and fetcher converge to identical roots after a transfer."""
+    donor_store, donor = Store(16), None
+    donor = AbstractStateManager(16, donor_store.get, arity=4)
+    for index in (1, 5, 9):
+        donor.modify(index)
+        donor_store.cells[index] = bytes([index]) * 3
+    donor_root = donor.take_checkpoint(10)
+
+    fetcher_store = Store(16)
+    fetcher = AbstractStateManager(16, fetcher_store.get, arity=4)
+
+    def apply(values):
+        for index, value in values.items():
+            fetcher_store.cells[index] = value
+
+    objects = {
+        index: (donor.get_object_at(10, index), donor.tree.leaf(index)[0])
+        for index in (1, 5, 9)
+    }
+    root = fetcher.install_fetched(objects, 10, apply)
+    assert root == donor_root
+
+
+def test_set_leaf_lm_keeps_digest(rig):
+    store, mgr = rig
+    write(store, mgr, 2, b"q")
+    mgr.take_checkpoint(10)
+    _, d = mgr.tree.leaf(2)
+    mgr.set_leaf_lm(2, 77)
+    assert mgr.tree.leaf(2) == (77, d)
+
+
+def test_reset_to_current_recomputes(rig):
+    store, mgr = rig
+    write(store, mgr, 2, b"q")
+    mgr.take_checkpoint(10)
+    store.cells[2] = b"corrupted-behind-our-back"
+    mgr.reset_to_current()
+    assert mgr.checkpoint_seqnos() == []
+    assert mgr.tree.leaf(2)[1] == digest(b"corrupted-behind-our-back")
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.binary(max_size=6)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_checkpoint_reads_are_frozen_property(writes):
+    """Property: reads at a checkpoint always return the value the object had
+    when the checkpoint was taken, whatever happens afterwards."""
+    store = Store(8)
+    mgr = AbstractStateManager(8, store.get, arity=2)
+    mid = len(writes) // 2
+    for index, value in writes[:mid]:
+        mgr.modify(index)
+        store.cells[index] = value
+    frozen = list(store.cells)
+    mgr.take_checkpoint(10)
+    for index, value in writes[mid:]:
+        mgr.modify(index)
+        store.cells[index] = value
+    for index in range(8):
+        assert mgr.get_object_at(10, index) == frozen[index]

@@ -1,0 +1,77 @@
+"""A Byzantine primary proposing bogus non-deterministic values loses its
+view; correct timestamps resume under the next primary (paper section 2.2's
+agreement mechanism, adversarial case).
+
+Uses the BASE file service, whose ``check_nondet`` actually validates the
+primary's timestamp proposals (the KV test service deliberately ignores
+non-determinism)."""
+
+import pytest
+
+from repro.bft.config import BFTConfig
+from repro.bft.nondet import encode_timestamp
+from repro.nfs.client import NFSClient
+from repro.nfs.fileserver import MemFS
+from repro.nfs.relay import NFSDeployment
+
+
+def deployment():
+    return NFSDeployment(
+        {
+            rid: (lambda disk, i=i: MemFS(disk=disk, seed=60 + i))
+            for i, rid in enumerate(["R0", "R1", "R2", "R3"])
+        },
+        num_objects=32,
+        config=BFTConfig(checkpoint_interval=8, log_window=16),
+    )
+
+
+def test_backups_refuse_future_timestamps():
+    dep = deployment()
+    service = dep.cluster.service("R1")
+    assert not service.check_nondet(encode_timestamp(10**15))
+    assert not service.check_nondet(b"garbage")
+    assert service.check_nondet(service.propose_nondet())
+
+
+def test_backups_refuse_non_monotone_timestamps():
+    dep = deployment()
+    fs = NFSClient(dep.relay("C0"))
+    fs.write_file("/f", b"x")  # executions advance last-accepted
+    dep.sim.run_for(0.5)
+    service = dep.cluster.service("R1")
+    assert not service.check_nondet(encode_timestamp(0))
+
+
+def test_bogus_nondet_forces_view_change():
+    dep = deployment()
+    primary_service = dep.cluster.service("R0")
+    primary_service.propose_nondet = lambda: encode_timestamp(10**15)  # type: ignore[method-assign]
+
+    fs = NFSClient(dep.relay("C0"))
+    fs.write_file("/survived", b"yes")
+    assert fs.read_file("/survived") == b"yes"
+    views = {r.view for r in dep.cluster.replicas if r.node_id != "R0"}
+    assert min(views) >= 1
+    refused = sum(
+        r.counters.get("pre_prepare_bad_nondet") for r in dep.cluster.replicas
+    )
+    assert refused >= 1
+
+
+def test_correct_replicas_converge_despite_nondet_attack():
+    dep = deployment()
+    dep.cluster.service("R0").propose_nondet = lambda: b"garbage"  # type: ignore[method-assign]
+    fs = NFSClient(dep.relay("C0"))
+    for i in range(6):
+        fs.write_file(f"/f{i}", bytes([i]) * 10)
+    dep.sim.run_for(1.0)
+    roots = {
+        rid: dep.cluster.service(rid).current_node(0, 0)[1]
+        for rid in dep.cluster.hosts
+        if rid != "R0"
+    }
+    assert len(set(roots.values())) == 1
+    # Timestamps of executed operations are still strictly monotone.
+    stamps = [fs.stat(f"/f{i}").mtime for i in range(6)]
+    assert stamps == sorted(stamps)

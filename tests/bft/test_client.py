@@ -1,0 +1,138 @@
+"""BFT client behaviour: retries, quorums, read-only fallback, cancellation."""
+
+import pytest
+
+from repro.bft.client import InvocationTimeout
+from repro.bft.config import BFTConfig
+from repro.bft.messages import Reply
+from repro.bft.testing import encode_get, encode_set, kv_cluster
+from repro.util.errors import ProtocolError
+
+
+def test_result_needs_weak_quorum_of_matching_replies():
+    """A single lying replica cannot convince the client."""
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    client.invoke(encode_set(0, b"true"))
+
+    # Intercept replies from R1 to the client and corrupt them.
+    def corrupt(src, dst, message):
+        if src == "R1" and dst == "C0" and isinstance(message, Reply):
+            return Reply(
+                view=message.view,
+                reqid=message.reqid,
+                client_id=message.client_id,
+                replica_id=message.replica_id,
+                result=b"LIES",
+                read_only=message.read_only,
+                auth=message.auth,
+            )
+        return message
+
+    cluster.network.add_interceptor(corrupt)
+    assert client.invoke(encode_get(0)) == b"true"
+
+
+def test_forged_reply_auth_rejected():
+    """A reply whose MAC does not verify is ignored entirely."""
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+
+    def forge(src, dst, message):
+        if src == "R1" and dst == "C0" and isinstance(message, Reply):
+            message = Reply(
+                view=message.view,
+                reqid=message.reqid,
+                client_id=message.client_id,
+                replica_id=message.replica_id,
+                result=b"FORGED",
+                auth=None,
+            )
+        return message
+
+    cluster.network.add_interceptor(forge)
+    assert client.invoke(encode_set(0, b"v")) == b"OK"
+    assert client.counters.get("replies_accepted") >= 1
+
+
+def test_retransmission_on_lost_request():
+    cluster = kv_cluster(seed=2)
+
+    # Drop the client's first transmission entirely.
+    dropped = {"count": 0}
+
+    def drop_first(src, dst, message):
+        from repro.bft.messages import Request
+
+        if src == "C0" and isinstance(message, Request) and dropped["count"] < 4:
+            dropped["count"] += 1
+            return None
+        return message
+
+    remove = cluster.network.add_interceptor(drop_first)
+    client = cluster.client("C0")
+    assert client.invoke(encode_set(0, b"v"), timeout=30) == b"OK"
+    assert client.counters.get("request_retransmissions") >= 1
+    remove()
+
+
+def test_read_only_fallback_on_quorum_failure():
+    """Read-only needs 2f+1 matching; with two replicas down it cannot get
+    them and must fall back to an ordered request — which also stalls here
+    (only 2 alive), so after restoring one replica the fallback completes."""
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    client.invoke(encode_set(0, b"v"))
+    cluster.crash("R3")
+    cluster.crash("R2")
+
+    box = []
+    client.invoke_async(encode_get(0), box.append, read_only=True)
+    cluster.sim.run_for(1.0)
+    assert not box  # neither path can complete with 2 alive
+    assert client.counters.get("read_only_fallbacks") == 1
+    cluster.restart("R2")
+    cluster.sim.run_until_condition(lambda: bool(box), timeout=60)
+    assert box == [b"v"]
+
+
+def test_read_only_succeeds_with_one_crash():
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    client.invoke(encode_set(0, b"v"))
+    cluster.crash("R3")
+    assert client.invoke(encode_get(0), read_only=True, timeout=30) == b"v"
+
+
+def test_one_outstanding_invocation_enforced():
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    client.invoke_async(encode_set(0, b"a"), lambda r: None)
+    with pytest.raises(ProtocolError):
+        client.invoke_async(encode_set(0, b"b"), lambda r: None)
+
+
+def test_cancel_allows_next_invocation():
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    client.invoke_async(encode_set(0, b"a"), lambda r: None)
+    client.cancel()
+    assert client.invoke(encode_set(1, b"b"), timeout=30) == b"OK"
+
+
+def test_invoke_timeout_raises():
+    cluster = kv_cluster()
+    for rid in ("R1", "R2", "R3"):
+        cluster.crash(rid)
+    client = cluster.client("C0")
+    with pytest.raises(InvocationTimeout):
+        client.invoke(encode_set(0, b"x"), timeout=1.0)
+
+
+def test_reqids_strictly_increase():
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    first = client.invoke_async(encode_set(0, b"a"), lambda r: None)
+    client.cancel()
+    second = client.invoke_async(encode_set(0, b"b"), lambda r: None)
+    assert second == first + 1

@@ -1,0 +1,75 @@
+"""The protocol generalizes beyond n=4: seven replicas tolerating f=2."""
+
+import pytest
+
+from repro.bft.config import BFTConfig
+from repro.bft.testing import encode_get, encode_set, kv_cluster
+
+SEVEN = [f"R{i}" for i in range(7)]
+
+
+def seven_cluster(**overrides):
+    defaults = dict(replica_ids=list(SEVEN), f=2, checkpoint_interval=8, log_window=16)
+    defaults.update(overrides)
+    return kv_cluster(config=BFTConfig(**defaults))
+
+
+def test_normal_case_with_seven_replicas():
+    cluster = seven_cluster()
+    client = cluster.client("C0")
+    for i in range(20):
+        assert client.invoke(encode_set(i % 8, bytes([i])), timeout=60) == b"OK"
+    cluster.settle()
+    assert len({r.last_executed for r in cluster.replicas}) == 1
+
+
+def test_two_crashes_masked():
+    cluster = seven_cluster()
+    client = cluster.client("C0")
+    client.invoke(encode_set(0, b"before"))
+    cluster.crash("R3")
+    cluster.crash("R5")
+    for i in range(10):
+        assert client.invoke(encode_set(1 + (i % 4), bytes([i])), timeout=60) == b"OK"
+    assert client.invoke(encode_get(0), timeout=60) == b"before"
+
+
+def test_three_crashes_stall():
+    cluster = seven_cluster()
+    client = cluster.client("C0")
+    client.invoke(encode_set(0, b"x"))
+    for victim in ("R2", "R4", "R6"):
+        cluster.crash(victim)
+    from repro.bft.client import InvocationTimeout
+
+    with pytest.raises(InvocationTimeout):
+        client.invoke(encode_set(1, b"y"), timeout=3)
+
+
+def test_primary_crash_with_f2():
+    cluster = seven_cluster()
+    client = cluster.client("C0")
+    client.invoke(encode_set(0, b"x"))
+    cluster.crash("R0")
+    cluster.crash("R6")  # a backup too: still only f = 2 faults
+    assert client.invoke(encode_set(1, b"after"), timeout=60) == b"OK"
+    live_views = {r.view for r in cluster.replicas if r.node_id not in ("R0", "R6")}
+    assert live_views == {1}
+
+
+def test_read_only_needs_2f_plus_1_matching():
+    cluster = seven_cluster()
+    client = cluster.client("C0")
+    client.invoke(encode_set(3, b"ro"))
+    assert client.invoke(encode_get(3), read_only=True, timeout=60) == b"ro"
+
+
+def test_state_transfer_with_seven():
+    cluster = seven_cluster()
+    client = cluster.client("C0")
+    cluster.crash("R6")
+    for i in range(40):
+        client.invoke(encode_set(i % 8, bytes([i % 251])), timeout=60)
+    cluster.restart("R6")
+    cluster.settle(5.0)
+    assert cluster.replica("R6").last_executed >= 40

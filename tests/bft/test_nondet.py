@@ -1,0 +1,71 @@
+"""Non-determinism agreement: monotone, validated timestamps (E11)."""
+
+import pytest
+
+from repro.bft.nondet import TimestampAgreement, decode_timestamp, encode_timestamp
+from repro.util.clock import ManualClock
+
+
+def test_encode_decode_roundtrip():
+    assert decode_timestamp(encode_timestamp(123456)) == 123456
+
+
+def test_decode_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        decode_timestamp(b"\x00" * 7)
+
+
+def test_propose_tracks_clock():
+    clock = ManualClock(start=2.0)
+    agreement = TimestampAgreement(clock)
+    assert decode_timestamp(agreement.propose()) == 2_000_000
+
+
+def test_back_to_back_proposals_strictly_increase():
+    clock = ManualClock(start=1.0)
+    agreement = TimestampAgreement(clock)
+    first = decode_timestamp(agreement.propose())
+    second = decode_timestamp(agreement.propose())
+    assert second == first + 1
+
+
+def test_check_accepts_fresh_value():
+    clock = ManualClock(start=1.0)
+    agreement = TimestampAgreement(clock)
+    assert agreement.check(encode_timestamp(1_000_000))
+
+
+def test_check_rejects_far_future():
+    clock = ManualClock(start=1.0)
+    agreement = TimestampAgreement(clock, max_skew=0.5)
+    assert not agreement.check(encode_timestamp(10_000_000))
+
+
+def test_check_rejects_non_monotone():
+    clock = ManualClock(start=2.0)
+    agreement = TimestampAgreement(clock)
+    agreement.accept(encode_timestamp(1_500_000))
+    assert not agreement.check(encode_timestamp(1_500_000))
+    assert not agreement.check(encode_timestamp(1_000_000))
+    assert agreement.check(encode_timestamp(1_500_001))
+
+
+def test_check_rejects_garbage():
+    agreement = TimestampAgreement(ManualClock())
+    assert not agreement.check(b"junk")
+
+
+def test_accept_returns_decoded_value():
+    agreement = TimestampAgreement(ManualClock(start=5.0))
+    assert agreement.accept(encode_timestamp(4_000_000)) == 4_000_000
+
+
+def test_replicas_agree_on_proposed_value():
+    """The whole point: N replicas applying the same nondet value produce
+    identical timestamps regardless of their local clocks."""
+    primary_clock = ManualClock(start=3.0)
+    primary = TimestampAgreement(primary_clock)
+    proposal = primary.propose()
+    backups = [TimestampAgreement(ManualClock(start=3.0 + i * 0.1)) for i in range(3)]
+    accepted = {b.accept(proposal) for b in backups if b.check(proposal)}
+    assert accepted == {3_000_000}

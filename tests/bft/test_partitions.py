@@ -1,0 +1,64 @@
+"""Network partitions: safety always, liveness once healed."""
+
+import pytest
+
+from repro.bft.client import InvocationTimeout
+from repro.bft.config import BFTConfig
+from repro.bft.testing import encode_get, encode_set, kv_cluster
+
+from tests.conftest import kv_cluster as _kv  # noqa: F401  (back-compat import)
+
+
+def test_minority_partition_cannot_commit():
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    client.invoke(encode_set(0, b"pre"))
+    # Primary isolated with one backup: 2 < quorum of 3.
+    cluster.network.partition(["R0", "R1"], ["R2", "R3"])
+    with pytest.raises(InvocationTimeout):
+        client.invoke(encode_set(1, b"split"), timeout=2)
+    client.cancel()
+    # No replica executed the request during the partition.
+    cluster.settle(0.5)
+    for replica in cluster.replicas:
+        assert replica.last_executed == 1
+
+
+def test_heals_and_resumes():
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    client.invoke(encode_set(0, b"pre"))
+    cluster.network.partition(["R0"], ["R1", "R2", "R3"])
+    # Majority side (3 = quorum) elects a new primary and keeps going.
+    assert client.invoke(encode_set(1, b"majority side"), timeout=30) == b"OK"
+    cluster.network.heal_partition()
+    cluster.settle(3.0)
+    assert client.invoke(encode_get(1), timeout=30) == b"majority side"
+    # The isolated ex-primary rejoins the later view.
+    assert cluster.replica("R0").view == cluster.replica("R1").view
+
+
+def test_flapping_partition_preserves_safety():
+    cluster = kv_cluster(seed=11)
+    client = cluster.client("C0")
+    done = 0
+    for round_number in range(4):
+        cluster.network.partition(["R%d" % (round_number % 4)],
+                                  [r for r in ("R0", "R1", "R2", "R3")
+                                   if r != "R%d" % (round_number % 4)])
+        try:
+            client.invoke(encode_set(round_number, bytes([round_number])), timeout=20)
+            done += 1
+        except InvocationTimeout:
+            client.cancel()
+        cluster.network.heal_partition()
+        cluster.settle(1.0)
+    cluster.settle(3.0)
+    # All replicas converge to a single history.
+    from tests.conftest import Cluster  # noqa: F401
+
+    states = {
+        rid: b"\x1f".join(cluster.service(rid).cells) for rid in cluster.hosts
+    }
+    assert len(set(states.values())) == 1
+    assert done >= 3  # a 3-replica majority existed in every round

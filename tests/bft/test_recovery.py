@@ -1,0 +1,126 @@
+"""Proactive recovery: reboots, key refresh, corrupt-state repair (E5/E10)."""
+
+import pytest
+
+from repro.bft.config import BFTConfig
+from repro.bft.testing import encode_get, encode_set
+
+from tests.conftest import assert_converged, kv_cluster
+
+
+def run_ops(cluster, client, count, width=8):
+    for i in range(count):
+        client.invoke(encode_set(i % width, bytes([i % 251])), timeout=60)
+
+
+def test_manual_recovery_completes():
+    disks = {}
+    cluster = kv_cluster(disks=disks)
+    client = cluster.client("C0")
+    run_ops(cluster, client, 20)
+    host = cluster.hosts["R2"]
+    assert host.recover_now()
+    cluster.settle(3.0)
+    replica = host.replica
+    assert not replica.recovering
+    assert replica.counters.get("recoveries_completed") == 1
+    assert len(host.recovery_log) == 1
+    assert_converged(cluster)
+
+
+def test_recovery_skipped_before_any_state():
+    cluster = kv_cluster()
+    assert not cluster.hosts["R0"].recover_now()
+
+
+def test_recovery_replaces_service_instance():
+    disks = {}
+    cluster = kv_cluster(disks=disks)
+    client = cluster.client("C0")
+    run_ops(cluster, client, 20)
+    old_service = cluster.hosts["R1"].service
+    cluster.hosts["R1"].recover_now()
+    cluster.settle(3.0)
+    assert cluster.hosts["R1"].service is not old_service
+
+
+def test_recovery_refreshes_session_keys():
+    disks = {}
+    cluster = kv_cluster(disks=disks)
+    client = cluster.client("C0")
+    run_ops(cluster, client, 20)
+    epoch_before = cluster.keys.epoch_of("R1")
+    cluster.hosts["R1"].recover_now()
+    cluster.settle(3.0)
+    assert cluster.keys.epoch_of("R1") == epoch_before + 1
+
+
+def test_recovery_repairs_corrupt_disk_state():
+    """Concrete-state corruption (bit rot, bugs) is healed from the abstract
+    state of the correct replicas — the paper's availability argument."""
+    disks = {}
+    cluster = kv_cluster(disks=disks)
+    client = cluster.client("C0")
+    run_ops(cluster, client, 20)
+    cluster.settle(1.0)
+    # Corrupt R2's persistent state behind the service's back.
+    disks["R2"][3] = b"CORRUPTED"
+    host = cluster.hosts["R2"]
+    host.recover_now()
+    cluster.settle(3.0)
+    assert host.replica.counters.get("objects_fetched") >= 1
+    run_ops(cluster, client, 4)
+    cluster.settle(1.0)
+    assert_converged(cluster)
+
+
+def test_corruption_of_untouched_object_detected():
+    disks = {}
+    cluster = kv_cluster(disks=disks, num_slots=32)
+    client = cluster.client("C0")
+    run_ops(cluster, client, 20, width=4)  # objects 4..31 never written
+    cluster.settle(1.0)
+    disks["R2"][20] = b"ROT"  # corrupt an object that was never written
+    host = cluster.hosts["R2"]
+    host.recover_now()
+    cluster.settle(3.0)
+    assert host.replica.counters.get("objects_fetched") >= 1
+    assert cluster.service("R2").cells[20] == b""
+
+
+def test_staggered_schedule_under_load():
+    disks = {}
+    config = BFTConfig(recovery_period=2.0)
+    cluster = kv_cluster(config=config, disks=disks)
+    cluster.start_proactive_recovery()
+    client = cluster.client("C0")
+    for i in range(150):
+        client.invoke(encode_set(i % 8, bytes([i % 251])), timeout=120)
+        cluster.sim.run_for(0.02)
+    cluster.settle(4.0)
+    completed = {
+        rid: host.replica.counters.get("recoveries_completed")
+        for rid, host in cluster.hosts.items()
+    }
+    assert all(count >= 1 for count in completed.values()), completed
+    # No two recoveries overlap (staggering keeps < 1/3 recovering).
+    intervals = sorted(
+        interval for host in cluster.hosts.values() for interval in host.recovery_log
+    )
+    for (start_a, end_a), (start_b, _end_b) in zip(intervals, intervals[1:]):
+        assert end_a <= start_b + 1e-9
+    # Service stayed correct throughout.
+    assert client.invoke(encode_get(0), timeout=60) is not None
+
+
+def test_recovery_durations_recorded():
+    disks = {}
+    cluster = kv_cluster(disks=disks)
+    client = cluster.client("C0")
+    run_ops(cluster, client, 20)
+    host = cluster.hosts["R3"]
+    host.recover_now()
+    cluster.settle(3.0)
+    durations = host.recovery_durations()
+    assert len(durations) == 1
+    assert durations[0] >= host.reboot_time

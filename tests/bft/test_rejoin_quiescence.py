@@ -1,0 +1,49 @@
+"""A crashed primary that already executed in-flight work must rejoin
+*quietly*: no stale request tracking, no idle view-change churn.
+
+Regression test for a liveness bug: the rejoining replica re-tracked
+requests re-proposed by the new view's O-set even though it had executed
+them before crashing; the orphaned entries kept its request timer firing and
+it escalated view changes forever."""
+
+import pytest
+
+from repro.bft.config import BFTConfig
+from repro.bft.testing import encode_set, kv_cluster
+
+
+def test_rejoining_primary_quiesces():
+    cluster = kv_cluster(config=BFTConfig(checkpoint_interval=8, log_window=16))
+    client = cluster.client("C0")
+    for i in range(10):
+        client.invoke(encode_set(i % 4, bytes([i])))
+    # R0 (primary) executed everything it proposed, then drops off.
+    cluster.crash("R0")
+    client.invoke(encode_set(0, b"post-failover"), timeout=30)
+    cluster.restart("R0")
+    cluster.settle(4.0)
+
+    r0 = cluster.replica("R0")
+    assert r0.view == 1  # caught up to the view change it missed
+    assert r0.last_executed == 11
+    assert not r0.in_flight, f"stale tracking: {sorted(r0.in_flight)}"
+    assert not r0.view_changes.in_view_change
+
+    # The whole cluster is quiescent: more idle time moves no views.
+    views_before = [r.view for r in cluster.replicas]
+    cluster.settle(5.0)
+    assert [r.view for r in cluster.replicas] == views_before
+
+
+def test_idle_cluster_starts_no_view_changes_after_failover():
+    cluster = kv_cluster(config=BFTConfig(checkpoint_interval=8, log_window=16))
+    client = cluster.client("C0")
+    client.invoke(encode_set(0, b"x"))
+    cluster.crash("R0")
+    client.invoke(encode_set(1, b"y"), timeout=30)
+    cluster.restart("R0")
+    cluster.settle(3.0)
+    started_before = sum(r.counters.get("view_changes_started") for r in cluster.replicas)
+    cluster.settle(6.0)
+    started_after = sum(r.counters.get("view_changes_started") for r in cluster.replicas)
+    assert started_after == started_before

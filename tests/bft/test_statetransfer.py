@@ -1,0 +1,95 @@
+"""Hierarchical state transfer: lagging replicas fetch only what changed (E9)."""
+
+import pytest
+
+from repro.bft.config import BFTConfig
+from repro.bft.testing import encode_set
+
+from tests.conftest import assert_converged, kv_cluster
+
+
+def run_ops(cluster, client, count, width=8, tag=0):
+    for i in range(count):
+        client.invoke(encode_set(i % width, bytes([tag, i % 251])), timeout=60)
+
+
+def test_lagging_replica_catches_up_via_transfer():
+    config = BFTConfig(checkpoint_interval=8, log_window=16)
+    cluster = kv_cluster(config=config)
+    client = cluster.client("C0")
+    run_ops(cluster, client, 5)
+    cluster.crash("R3")
+    run_ops(cluster, client, 40)  # far beyond R3's log window
+    cluster.restart("R3")
+    cluster.settle(5.0)
+    r3 = cluster.replica("R3")
+    assert r3.counters.get("state_transfers_completed") >= 1
+    assert r3.last_executed >= 40
+    assert_converged(cluster)
+
+
+def test_transfer_fetches_only_modified_objects():
+    config = BFTConfig(checkpoint_interval=8, log_window=16)
+    cluster = kv_cluster(config=config, num_slots=32)
+    client = cluster.client("C0")
+    run_ops(cluster, client, 10, width=32)
+    cluster.crash("R3")
+    # Touch only 2 of 32 objects while R3 is away.
+    for i in range(40):
+        client.invoke(encode_set(i % 2, bytes([7, i % 251])), timeout=60)
+    cluster.restart("R3")
+    cluster.settle(5.0)
+    r3 = cluster.replica("R3")
+    fetched = r3.counters.get("objects_fetched")
+    assert 1 <= fetched <= 8, f"expected a handful of objects, fetched {fetched}"
+    assert_converged(cluster)
+
+
+def test_transfer_verifies_object_digests():
+    """A fetched object whose bytes do not match the certified leaf digest is
+    rejected (donor cannot poison the fetcher)."""
+    config = BFTConfig(checkpoint_interval=8, log_window=16)
+    cluster = kv_cluster(config=config)
+    client = cluster.client("C0")
+    run_ops(cluster, client, 5)
+    cluster.crash("R3")
+    run_ops(cluster, client, 30)
+
+    from repro.bft.messages import ObjectReply
+
+    def corrupt_object_replies(src, dst, message):
+        if isinstance(message, ObjectReply) and dst == "R3":
+            return ObjectReply(
+                replica_id=message.replica_id,
+                index=message.index,
+                seqno=message.seqno,
+                data=message.data + b"POISON",
+            )
+        return message
+
+    remove = cluster.network.add_interceptor(corrupt_object_replies)
+    cluster.restart("R3")
+    cluster.settle(1.0)
+    r3 = cluster.replica("R3")
+    assert r3.counters.get("object_reply_bad_digest") >= 1
+    assert r3.counters.get("state_transfers_completed") == 0
+    remove()
+    cluster.settle(5.0)
+    assert cluster.replica("R3").counters.get("state_transfers_completed") >= 1
+    assert_converged(cluster)
+
+
+def test_transfer_survives_donor_churn():
+    """Donors GC the session checkpoint mid-fetch; the fetcher re-anchors."""
+    config = BFTConfig(checkpoint_interval=4, log_window=8)
+    cluster = kv_cluster(config=config)
+    client = cluster.client("C0")
+    run_ops(cluster, client, 6)
+    cluster.crash("R3")
+    run_ops(cluster, client, 30)
+    cluster.restart("R3")
+    # Keep writing while R3 transfers, forcing checkpoint churn.
+    run_ops(cluster, client, 30, tag=1)
+    cluster.settle(5.0)
+    assert cluster.replica("R3").last_executed >= 60
+    assert_converged(cluster)

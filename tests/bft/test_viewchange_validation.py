@@ -1,0 +1,146 @@
+"""View-change message validation: forged or malformed certificates are
+rejected (the safety half of the view-change protocol)."""
+
+import pytest
+
+from repro.bft.messages import (
+    Checkpoint,
+    NewView,
+    Prepare,
+    PrePrepare,
+    PreparedProof,
+    Request,
+    ViewChange,
+)
+from repro.bft.testing import encode_set, kv_cluster
+
+
+@pytest.fixture
+def rig():
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    client.invoke(encode_set(0, b"warm"))
+    return cluster
+
+
+def make_view_change(cluster, sender, new_view=1, sign_as=None):
+    replica = cluster.replica(sender)
+    vc = ViewChange(
+        new_view=new_view,
+        stable_seqno=0,
+        checkpoint_proof=[],
+        prepared=[],
+        replica_id=sender,
+    )
+    signer = cluster.sigs.keygen(sign_as or sender)
+    vc.sig = signer.sign(vc.signable_bytes())
+    return vc
+
+
+def test_view_change_with_bad_signature_rejected(rig):
+    cluster = rig
+    target = cluster.replica("R1")
+    vc = make_view_change(cluster, "R2")
+    vc.sig = b"\x00" * 32
+    target.view_changes.on_view_change(vc, "R2")
+    assert target.counters.get("view_change_bad_sig") == 1
+    assert "R2" not in target.view_changes.messages.get(1, {})
+
+
+def test_view_change_from_wrong_sender_rejected(rig):
+    cluster = rig
+    target = cluster.replica("R1")
+    vc = make_view_change(cluster, "R2")
+    target.view_changes.on_view_change(vc, "R3")  # relayed under wrong identity
+    assert "R2" not in target.view_changes.messages.get(1, {})
+
+
+def test_prepared_proof_with_too_few_prepares_rejected(rig):
+    cluster = rig
+    target = cluster.replica("R1")
+    request = Request(client_id="C0", reqid=99, op=b"fake")
+    pp = PrePrepare(view=0, seqno=5, requests=[request], nondet=b"", primary_id="R0")
+    pp.sig = cluster.sigs.keygen("R0").sign(pp.signable_bytes())
+    prepare = Prepare(view=0, seqno=5, digest=pp.batch_digest(), replica_id="R2")
+    prepare.sig = cluster.sigs.keygen("R2").sign(prepare.signable_bytes())
+    proof = PreparedProof(pre_prepare=pp, prepares=[prepare])  # only 1 < 2f
+    vc = ViewChange(
+        new_view=1, stable_seqno=0, checkpoint_proof=[], prepared=[proof], replica_id="R2"
+    )
+    vc.sig = cluster.sigs.keygen("R2").sign(vc.signable_bytes())
+    target.view_changes.on_view_change(vc, "R2")
+    assert target.counters.get("view_change_invalid") == 1
+
+
+def test_checkpoint_proof_must_be_quorum(rig):
+    cluster = rig
+    target = cluster.replica("R1")
+    ckpt = Checkpoint(seqno=16, state_digest=b"\x01" * 32, replica_id="R2")
+    ckpt.sig = cluster.sigs.keygen("R2").sign(ckpt.signable_bytes())
+    vc = ViewChange(
+        new_view=1,
+        stable_seqno=16,
+        checkpoint_proof=[ckpt],  # 1 < 2f+1
+        prepared=[],
+        replica_id="R2",
+    )
+    vc.sig = cluster.sigs.keygen("R2").sign(vc.signable_bytes())
+    target.view_changes.on_view_change(vc, "R2")
+    assert target.counters.get("view_change_invalid") == 1
+
+
+def test_new_view_from_wrong_primary_rejected(rig):
+    cluster = rig
+    target = cluster.replica("R2")
+    vcs = [make_view_change(cluster, sender) for sender in ("R1", "R2", "R3")]
+    nv = NewView(view=1, view_changes=vcs, pre_prepares=[], primary_id="R3")
+    nv.sig = cluster.sigs.keygen("R3").sign(nv.signable_bytes())
+    target.view_changes.on_new_view(nv, "R3")
+    assert target.view == 0  # primary(1) is R1, not R3
+
+
+def test_new_view_with_tampered_o_rejected(rig):
+    cluster = rig
+    target = cluster.replica("R2")
+    vcs = [make_view_change(cluster, sender) for sender in ("R1", "R2", "R3")]
+    # Correct O would be empty (no prepared proofs, min_s == max_s == 0);
+    # a primary that sneaks in an extra pre-prepare must be rejected.
+    bogus_request = Request(client_id="evil", reqid=1, op=b"inject")
+    extra = PrePrepare(view=1, seqno=1, requests=[bogus_request], nondet=b"", primary_id="R1")
+    extra.sig = cluster.sigs.keygen("R1").sign(extra.signable_bytes())
+    nv = NewView(view=1, view_changes=vcs, pre_prepares=[extra], primary_id="R1")
+    nv.sig = cluster.sigs.keygen("R1").sign(nv.signable_bytes())
+    target.view_changes.on_new_view(nv, "R1")
+    assert target.view == 0
+    assert target.counters.get("new_view_bad_o") == 1
+
+
+def test_new_view_with_insufficient_view_changes_rejected(rig):
+    cluster = rig
+    target = cluster.replica("R2")
+    vcs = [make_view_change(cluster, sender) for sender in ("R1", "R3")]  # 2 < 2f+1
+    nv = NewView(view=1, view_changes=vcs, pre_prepares=[], primary_id="R1")
+    nv.sig = cluster.sigs.keygen("R1").sign(nv.signable_bytes())
+    target.view_changes.on_new_view(nv, "R1")
+    assert target.view == 0
+
+
+def test_valid_new_view_adopted(rig):
+    cluster = rig
+    target = cluster.replica("R2")
+    vcs = [make_view_change(cluster, sender) for sender in ("R1", "R2", "R3")]
+    nv = NewView(view=1, view_changes=vcs, pre_prepares=[], primary_id="R1")
+    nv.sig = cluster.sigs.keygen("R1").sign(nv.signable_bytes())
+    target.view_changes.on_new_view(nv, "R1")
+    assert target.view == 1
+
+
+def test_liveness_rule_joins_after_f_plus_one(rig):
+    cluster = rig
+    target = cluster.replica("R3")
+    assert not target.view_changes.in_view_change
+    target.view_changes.on_view_change(make_view_change(cluster, "R1", new_view=2), "R1")
+    assert not target.view_changes.in_view_change  # 1 < f+1
+    target.view_changes.on_view_change(make_view_change(cluster, "R2", new_view=2), "R2")
+    assert target.view_changes.in_view_change  # f+1 = 2 demand view 2: join
+    assert target.view_changes.pending_view == 2

@@ -1,0 +1,17 @@
+"""Shared test helpers: quick cluster construction over the KV service."""
+
+from repro.bft.cluster import Cluster
+from repro.bft.testing import kv_cluster  # re-exported for test modules
+
+
+def kv_states(cluster: Cluster):
+    """Concatenated cell contents per replica (for convergence asserts)."""
+    return {
+        replica_id: b"\x1f".join(cluster.service(replica_id).cells)
+        for replica_id in cluster.hosts
+    }
+
+
+def assert_converged(cluster: Cluster) -> None:
+    states = kv_states(cluster)
+    assert len(set(states.values())) == 1, f"replica states diverged: { {k: v[:40] for k, v in states.items()} }"

@@ -1,0 +1,72 @@
+"""MAC authenticators: per-receiver verification and key-epoch refresh."""
+
+import pytest
+
+from repro.crypto.auth import KeyTable, MacVerificationError, mac, verify_mac
+
+
+@pytest.fixture
+def keys():
+    return KeyTable()
+
+
+RECEIVERS = ["R0", "R1", "R2", "R3"]
+
+
+def test_mac_roundtrip():
+    key = b"k" * 32
+    tag = mac(key, b"payload")
+    assert verify_mac(key, b"payload", tag)
+    assert not verify_mac(key, b"payloae", tag)
+
+
+def test_authenticator_has_entry_per_receiver(keys):
+    auth = keys.make_authenticator("C0", RECEIVERS, b"msg")
+    assert set(auth.tags) == set(RECEIVERS)
+
+
+def test_sender_excluded_from_own_authenticator(keys):
+    auth = keys.make_authenticator("R0", RECEIVERS, b"msg")
+    assert "R0" not in auth.tags
+
+
+def test_each_receiver_verifies_own_entry(keys):
+    auth = keys.make_authenticator("C0", RECEIVERS, b"msg")
+    for receiver in RECEIVERS:
+        keys.check_authenticator(auth, receiver, b"msg")
+
+
+def test_wrong_data_fails(keys):
+    auth = keys.make_authenticator("C0", RECEIVERS, b"msg")
+    with pytest.raises(MacVerificationError):
+        keys.check_authenticator(auth, "R1", b"other")
+
+
+def test_missing_entry_fails(keys):
+    auth = keys.make_authenticator("C0", ["R0"], b"msg")
+    with pytest.raises(MacVerificationError):
+        keys.check_authenticator(auth, "R1", b"msg")
+
+
+def test_refresh_invalidates_old_macs(keys):
+    auth = keys.make_authenticator("C0", RECEIVERS, b"msg")
+    keys.refresh("R2")
+    keys.check_authenticator(auth, "R1", b"msg")  # others unaffected
+    with pytest.raises(MacVerificationError):
+        keys.check_authenticator(auth, "R2", b"msg")
+
+
+def test_new_macs_after_refresh_verify(keys):
+    keys.refresh("R2")
+    auth = keys.make_authenticator("C0", RECEIVERS, b"msg")
+    keys.check_authenticator(auth, "R2", b"msg")
+
+
+def test_epoch_monotone(keys):
+    assert keys.epoch_of("R0") == 0
+    assert keys.refresh("R0") == 1
+    assert keys.refresh("R0") == 2
+
+
+def test_keys_differ_per_direction(keys):
+    assert keys.key("A", "B") != keys.key("B", "A")

@@ -1,0 +1,38 @@
+"""Digest helpers: determinism and combination rules."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.digest import DIGEST_SIZE, EMPTY_DIGEST, combine_digests, digest, digest_hex
+
+
+def test_digest_size():
+    assert len(digest(b"x")) == DIGEST_SIZE
+    assert len(EMPTY_DIGEST) == DIGEST_SIZE
+
+
+def test_digest_deterministic():
+    assert digest(b"hello") == digest(b"hello")
+    assert digest(b"hello") != digest(b"hellp")
+
+
+def test_digest_hex_matches_digest():
+    assert bytes.fromhex(digest_hex(b"abc")) == digest(b"abc")
+
+
+def test_combine_is_order_sensitive():
+    a, b = digest(b"a"), digest(b"b")
+    assert combine_digests([a, b]) != combine_digests([b, a])
+
+
+def test_combine_length_prefix_prevents_ambiguity():
+    # Without length prefixes, ["ab","c"] and ["a","bc"] would collide.
+    assert combine_digests([b"ab", b"c"]) != combine_digests([b"a", b"bc"])
+
+
+def test_combine_empty():
+    assert len(combine_digests([])) == DIGEST_SIZE
+
+
+@given(st.lists(st.binary(min_size=32, max_size=32), max_size=10))
+def test_combine_deterministic_property(parts):
+    assert combine_digests(parts) == combine_digests(list(parts))

@@ -1,0 +1,38 @@
+"""Signature scheme: only the keyholder's signatures verify."""
+
+import pytest
+
+from repro.crypto.sign import SignatureError, SignatureScheme
+
+
+@pytest.fixture
+def scheme():
+    return SignatureScheme()
+
+
+def test_sign_verify_roundtrip(scheme):
+    signer = scheme.keygen("R0")
+    sig = signer.sign(b"data")
+    assert scheme.verify("R0", b"data", sig)
+
+
+def test_verify_rejects_other_principal(scheme):
+    sig = scheme.keygen("R0").sign(b"data")
+    assert not scheme.verify("R1", b"data", sig)
+
+
+def test_verify_rejects_tampered_data(scheme):
+    sig = scheme.keygen("R0").sign(b"data")
+    assert not scheme.verify("R0", b"datb", sig)
+
+
+def test_check_raises(scheme):
+    with pytest.raises(SignatureError):
+        scheme.check("R0", b"data", b"\x00" * 32)
+
+
+def test_distinct_schemes_do_not_cross_verify():
+    a = SignatureScheme(b"secret-a")
+    b = SignatureScheme(b"secret-b")
+    sig = a.keygen("R0").sign(b"data")
+    assert not b.verify("R0", b"data", sig)

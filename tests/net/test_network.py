@@ -1,0 +1,176 @@
+"""Simulated network: delivery, loss, partitions, interception, accounting."""
+
+import pytest
+
+from repro.net.network import Network, NetworkConfig
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+
+
+class Recorder(Node):
+    def __init__(self, node_id, sim, network):
+        super().__init__(node_id, sim, network)
+        self.received = []
+
+    def on_message(self, message, src):
+        self.received.append((src, message))
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(delay=0.001, jitter=0.0))
+    nodes = {name: Recorder(name, sim, net) for name in ["A", "B", "C"]}
+    return sim, net, nodes
+
+
+def test_basic_delivery(rig):
+    sim, net, nodes = rig
+    nodes["A"].send("B", "hello")
+    sim.run_until_idle()
+    assert nodes["B"].received == [("A", "hello")]
+
+
+def test_delivery_has_latency(rig):
+    sim, net, nodes = rig
+    nodes["A"].send("B", "x")
+    assert nodes["B"].received == []  # not synchronous
+    sim.run_until_idle()
+    assert sim.now() >= 0.001
+
+
+def test_multicast_excludes_sender(rig):
+    sim, net, nodes = rig
+    nodes["A"].multicast(["A", "B", "C"], "m")
+    sim.run_until_idle()
+    assert nodes["A"].received == []
+    assert nodes["B"].received == [("A", "m")]
+    assert nodes["C"].received == [("A", "m")]
+
+
+def test_unknown_destination_raises(rig):
+    _sim, net, nodes = rig
+    with pytest.raises(KeyError):
+        net.send("A", "nope", "m")
+
+
+def test_duplicate_registration_rejected(rig):
+    sim, net, _nodes = rig
+    with pytest.raises(ValueError):
+        Recorder("A", sim, net)
+
+
+def test_down_node_neither_sends_nor_receives(rig):
+    sim, net, nodes = rig
+    net.set_down("B")
+    nodes["A"].send("B", "m1")
+    nodes["B"].send("A", "m2")
+    sim.run_until_idle()
+    assert nodes["B"].received == []
+    assert nodes["A"].received == []
+    net.set_down("B", False)
+    nodes["A"].send("B", "m3")
+    sim.run_until_idle()
+    assert nodes["B"].received == [("A", "m3")]
+
+
+def test_message_in_flight_to_down_node_dropped(rig):
+    sim, net, nodes = rig
+    nodes["A"].send("B", "m")
+    net.set_down("B")
+    sim.run_until_idle()
+    assert nodes["B"].received == []
+
+
+def test_partition_blocks_cross_group_traffic(rig):
+    sim, net, nodes = rig
+    net.partition(["A"], ["B", "C"])
+    nodes["A"].send("B", "m")
+    nodes["B"].send("C", "m2")
+    sim.run_until_idle()
+    assert nodes["B"].received == [("B", "m2")] or nodes["C"].received == [("B", "m2")]
+    assert all(src != "A" for src, _ in nodes["B"].received)
+    net.heal_partition()
+    nodes["A"].send("B", "m3")
+    sim.run_until_idle()
+    assert ("A", "m3") in nodes["B"].received
+
+
+def test_unlisted_node_keeps_connectivity(rig):
+    sim, net, nodes = rig
+    net.partition(["A"], ["B"])  # C unlisted
+    nodes["C"].send("A", "m")
+    nodes["C"].send("B", "m")
+    sim.run_until_idle()
+    assert nodes["A"].received == [("C", "m")]
+    assert nodes["B"].received == [("C", "m")]
+
+
+def test_drop_rate_one_drops_everything():
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(delay=0.001, jitter=0.0, drop_rate=1.0))
+    a = Recorder("A", sim, net)
+    b = Recorder("B", sim, net)
+    for _ in range(20):
+        a.send("B", "m")
+    sim.run_until_idle()
+    assert b.received == []
+    assert net.counters.get("messages_dropped_loss") == 20
+
+
+def test_interceptor_can_swallow_and_replace(rig):
+    sim, net, nodes = rig
+    remove = net.add_interceptor(
+        lambda src, dst, msg: None if msg == "drop-me" else msg.upper()
+    )
+    nodes["A"].send("B", "drop-me")
+    nodes["A"].send("B", "pass")
+    sim.run_until_idle()
+    assert nodes["B"].received == [("A", "PASS")]
+    remove()
+    nodes["A"].send("B", "raw")
+    sim.run_until_idle()
+    assert nodes["B"].received[-1] == ("A", "raw")
+
+
+def test_stopped_node_ignores_messages(rig):
+    sim, net, nodes = rig
+    nodes["B"].stop()
+    nodes["A"].send("B", "m")
+    sim.run_until_idle()
+    assert nodes["B"].received == []
+
+
+def test_node_timer_fires_and_cancels_on_stop(rig):
+    sim, net, nodes = rig
+    fired = []
+    nodes["A"].set_timer(0.1, lambda: fired.append(1))
+    nodes["B"].set_timer(0.1, lambda: fired.append(2))
+    nodes["B"].stop()
+    sim.run_until_idle()
+    assert fired == [1]
+
+
+def test_byte_accounting(rig):
+    sim, net, nodes = rig
+
+    class Sized:
+        def wire_size(self):
+            return 100
+
+    nodes["A"].send("B", Sized())
+    sim.run_until_idle()
+    assert net.counters.get("bytes_sent") == 100
+    assert net.counters.get("messages_delivered") == 1
+
+
+def test_per_link_override():
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(delay=0.001, jitter=0.0))
+    a = Recorder("A", sim, net)
+    b = Recorder("B", sim, net)
+    net.set_link("A", "B", NetworkConfig(delay=1.0, jitter=0.0))
+    a.send("B", "slow")
+    sim.run_until_idle()
+    assert sim.now() >= 1.0
+    assert b.received == [("A", "slow")]

@@ -1,0 +1,67 @@
+"""Node identity takeover: the reboot mechanism at the network layer."""
+
+import pytest
+
+from repro.net.network import Network, NetworkConfig
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+
+
+class Recorder(Node):
+    def __init__(self, node_id, sim, network, takeover=False):
+        super().__init__(node_id, sim, network, takeover=takeover)
+        self.received = []
+
+    def on_message(self, message, src):
+        self.received.append((src, message))
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(delay=0.001, jitter=0.0))
+    return sim, net
+
+
+def test_takeover_redirects_delivery(rig):
+    sim, net = rig
+    first = Recorder("A", sim, net)
+    other = Recorder("B", sim, net)
+    other.send("A", "to-first")
+    sim.run_until_idle()
+    assert first.received == [("B", "to-first")]
+
+    second = Recorder("A", sim, net, takeover=True)
+    other.send("A", "to-second")
+    sim.run_until_idle()
+    assert second.received == [("B", "to-second")]
+    assert first.received == [("B", "to-first")]  # old instance sees nothing
+
+
+def test_takeover_of_unknown_id_rejected(rig):
+    sim, net = rig
+    with pytest.raises(KeyError):
+        Recorder("ghost", sim, net, takeover=True)
+
+
+def test_old_instance_timers_do_not_fire_after_takeover(rig):
+    sim, net = rig
+    first = Recorder("A", sim, net)
+    fired = []
+    first.set_timer(0.5, lambda: fired.append("old"))
+    first.stop()
+    second = Recorder("A", sim, net, takeover=True)
+    second.set_timer(0.5, lambda: fired.append("new"))
+    sim.run_until_idle()
+    assert fired == ["new"]
+
+
+def test_old_instance_cannot_send_after_stop(rig):
+    sim, net = rig
+    first = Recorder("A", sim, net)
+    target = Recorder("B", sim, net)
+    first.stop()
+    Recorder("A", sim, net, takeover=True)
+    first.send("B", "zombie")
+    sim.run_until_idle()
+    assert target.received == []

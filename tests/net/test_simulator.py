@@ -1,0 +1,102 @@
+"""Discrete-event simulator: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.3, lambda: fired.append("c"))
+    sim.schedule(0.1, lambda: fired.append("a"))
+    sim.schedule(0.2, lambda: fired.append("b"))
+    sim.run_until_idle()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    fired = []
+    for name in "abc":
+        sim.schedule(1.0, lambda n=name: fired.append(n))
+    sim.run_until_idle()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now()))
+    sim.run_until_idle()
+    assert seen == [2.5]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(0.1, lambda: fired.append(1))
+    handle.cancel()
+    sim.run_until_idle()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Simulator().schedule(-1, lambda: None)
+
+
+def test_run_until_stops_at_deadline():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(3.0, lambda: fired.append(3))
+    sim.run_until(2.0)
+    assert fired == [1]
+    assert sim.now() == 2.0
+    sim.run_until_idle()
+    assert fired == [1, 3]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(0.1, lambda: fired.append("inner"))
+
+    sim.schedule(0.1, outer)
+    sim.run_until_idle()
+    assert fired == ["outer", "inner"]
+
+
+def test_run_until_condition():
+    sim = Simulator()
+    box = []
+    sim.schedule(0.5, lambda: box.append(1))
+    assert sim.run_until_condition(lambda: bool(box), timeout=1.0)
+    assert sim.now() <= 1.0
+
+
+def test_run_until_condition_timeout():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(0.1, reschedule)
+
+    sim.schedule(0.1, reschedule)
+    assert not sim.run_until_condition(lambda: False, timeout=1.0)
+
+
+def test_determinism_same_seed():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        order = []
+        for i in range(20):
+            sim.schedule(sim.rng.random(), lambda i=i: order.append(i))
+        sim.run_until_idle()
+        return order
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

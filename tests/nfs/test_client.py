@@ -1,0 +1,104 @@
+"""Client façade over the direct (unreplicated) transport."""
+
+import pytest
+
+from repro.nfs.client import NFSClient, NFSError
+from repro.nfs.direct import direct_client
+from repro.nfs.fileserver import MemFS
+from repro.nfs.protocol import NFDIR, NFLNK, NFREG, NFSERR_NOENT, Sattr
+
+
+@pytest.fixture
+def fs():
+    return direct_client(MemFS(disk={}, seed=1))
+
+
+def test_write_and_read_roundtrip(fs):
+    fs.write_file("/hello.txt", b"hi there")
+    assert fs.read_file("/hello.txt") == b"hi there"
+
+
+def test_large_file_chunked_io(fs):
+    blob = bytes(range(256)) * 200  # > MAX_DATA, forces chunking
+    fs.write_file("/big.bin", blob)
+    assert fs.read_file("/big.bin") == blob
+    assert fs.stat("/big.bin").size == len(blob)
+
+
+def test_nested_paths(fs):
+    fs.mkdir("/a")
+    fs.mkdir("/a/b")
+    fs.mkdir("/a/b/c")
+    fs.write_file("/a/b/c/deep.txt", b"deep")
+    assert fs.read_file("/a/b/c/deep.txt") == b"deep"
+    assert fs.walk_tree("/") == ["/a", "/a/b", "/a/b/c", "/a/b/c/deep.txt"]
+
+
+def test_missing_path_raises_with_status(fs):
+    with pytest.raises(NFSError) as exc:
+        fs.stat("/nope")
+    assert exc.value.status == NFSERR_NOENT
+
+
+def test_exists(fs):
+    assert not fs.exists("/x")
+    fs.create("/x")
+    assert fs.exists("/x")
+
+
+def test_unlink_and_rmdir(fs):
+    fs.mkdir("/d")
+    fs.create("/d/f")
+    fs.unlink("/d/f")
+    fs.rmdir("/d")
+    assert not fs.exists("/d")
+
+
+def test_rename(fs):
+    fs.write_file("/old", b"v")
+    fs.rename("/old", "/new")
+    assert not fs.exists("/old")
+    assert fs.read_file("/new") == b"v"
+
+
+def test_symlink_roundtrip(fs):
+    fs.symlink("/somewhere", "/ln")
+    assert fs.readlink("/ln") == "/somewhere"
+    assert fs.stat("/ln").ftype == NFLNK
+
+
+def test_setattr_mode(fs):
+    fs.create("/f", mode=0o644)
+    attr = fs.setattr("/f", Sattr(mode=0o400))
+    assert attr.mode == 0o400
+
+
+def test_write_at_offset(fs):
+    fs.write_file("/f", b"AAAA")
+    fs.write("/f", b"BB", offset=1)
+    assert fs.read_file("/f") == b"ABBA"
+
+
+def test_write_file_truncates(fs):
+    fs.write_file("/f", b"long-old-content")
+    fs.write_file("/f", b"new")
+    assert fs.read_file("/f") == b"new"
+
+
+def test_listdir_and_types(fs):
+    fs.mkdir("/d")
+    fs.create("/f")
+    names = fs.listdir("/")
+    assert set(names) == {"d", "f"}
+    assert fs.stat("/d").ftype == NFDIR
+    assert fs.stat("/f").ftype == NFREG
+
+
+def test_statfs(fs):
+    assert len(fs.statfs("/")) > 0
+
+
+def test_direct_transport_counts_calls(fs):
+    before = fs.transport.counters.get("nfs_calls")
+    fs.write_file("/counted", b"x")
+    assert fs.transport.counters.get("nfs_calls") > before

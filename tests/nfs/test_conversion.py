@@ -1,0 +1,201 @@
+"""State conversion: the abstraction function and its inverse.
+
+The killer test is the *transplant*: extract the whole abstract state from a
+wrapper over vendor A and install it with ``put_objs`` into a fresh wrapper
+over vendor B; every abstract object must then read back identically even
+though the concrete representations share nothing."""
+
+import pytest
+
+from repro.nfs.conversion import abstraction_function, inverse_abstraction_function
+from repro.nfs.fileserver import BtrFS, Ext2FS, FFS, LogFS, MemFS
+from repro.nfs.protocol import (
+    NFDIR,
+    NFNON,
+    NFREG,
+    CreateCall,
+    MkdirCall,
+    NfsReply,
+    RemoveCall,
+    RenameCall,
+    RmdirCall,
+    Sattr,
+    SetattrCall,
+    SymlinkCall,
+    WriteCall,
+)
+from repro.nfs.spec import AbstractObject, NFSAbstractSpec, ROOT_OID, make_oid
+from repro.nfs.wrapper import NFSConformanceWrapper
+
+VENDORS = [MemFS, Ext2FS, FFS, LogFS, BtrFS]
+N_OBJECTS = 24
+
+
+def make_wrapper(vendor, seed=9):
+    impl = vendor(disk={}, seed=seed, clock=lambda: 50.0)
+    return NFSConformanceWrapper(impl, NFSAbstractSpec(N_OBJECTS), disk={})
+
+
+def run(wrapper, call, ts=1_000_000):
+    return NfsReply.decode(wrapper.execute(call.encode(), "C0", ts))
+
+
+def build_tree(wrapper):
+    """A small tree with every object type plus some churn."""
+    ts = iter(range(1_000_000, 9_000_000, 1000))
+    run(wrapper, MkdirCall(dir_fh=ROOT_OID, name="src", sattr=Sattr(mode=0o755)), next(ts))
+    src = make_oid(1, 1)
+    run(wrapper, CreateCall(dir_fh=src, name="main.c", sattr=Sattr(mode=0o644)), next(ts))
+    main = make_oid(2, 1)
+    run(wrapper, WriteCall(fh=main, offset=0, data=b"int main() {}\n" * 40), next(ts))
+    run(wrapper, SymlinkCall(dir_fh=ROOT_OID, name="latest", target="/src/main.c", sattr=Sattr()), next(ts))
+    run(wrapper, CreateCall(dir_fh=ROOT_OID, name="temp", sattr=Sattr()), next(ts))
+    run(wrapper, RemoveCall(dir_fh=ROOT_OID, name="temp"), next(ts))  # free + regen
+    run(wrapper, CreateCall(dir_fh=src, name="util.c", sattr=Sattr(mode=0o600)), next(ts))
+    run(wrapper, RenameCall(from_dir=src, from_name="util.c", to_dir=ROOT_OID, to_name="util.c"), next(ts))
+    run(wrapper, SetattrCall(fh=main, sattr=Sattr(mode=0o400)), next(ts))
+
+
+def full_abstract_state(wrapper):
+    return [abstraction_function(wrapper, index) for index in range(N_OBJECTS)]
+
+
+class TestAbstractionFunction:
+    def test_free_entry_is_null_with_generation(self):
+        wrapper = make_wrapper(MemFS)
+        run(wrapper, CreateCall(dir_fh=ROOT_OID, name="x", sattr=Sattr()))
+        run(wrapper, RemoveCall(dir_fh=ROOT_OID, name="x"))
+        obj = AbstractObject.decode(abstraction_function(wrapper, 1))
+        assert obj.ftype == NFNON
+        assert obj.generation == 1
+
+    def test_initial_state_matches_spec(self):
+        spec = NFSAbstractSpec(N_OBJECTS)
+        for vendor in VENDORS:
+            wrapper = make_wrapper(vendor)
+            for index in range(N_OBJECTS):
+                assert abstraction_function(wrapper, index) == spec.initial_object(index), (
+                    f"{vendor.__name__} initial object {index} deviates from the spec"
+                )
+
+    def test_directory_value_sorted_with_oids(self):
+        wrapper = make_wrapper(FFS)
+        run(wrapper, CreateCall(dir_fh=ROOT_OID, name="zz", sattr=Sattr()))
+        run(wrapper, CreateCall(dir_fh=ROOT_OID, name="aa", sattr=Sattr()))
+        root = AbstractObject.decode(abstraction_function(wrapper, 0))
+        assert root.ftype == NFDIR
+        assert [name for name, _ in root.entries] == ["aa", "zz"]
+        assert root.entries[0][1] == make_oid(2, 1)
+        assert root.entries[1][1] == make_oid(1, 1)
+
+
+@pytest.mark.parametrize("source_vendor", VENDORS, ids=lambda c: c.__name__)
+@pytest.mark.parametrize("target_vendor", VENDORS, ids=lambda c: c.__name__)
+class TestTransplant:
+    def test_full_state_transplant(self, source_vendor, target_vendor):
+        source = make_wrapper(source_vendor, seed=3)
+        build_tree(source)
+        state = full_abstract_state(source)
+
+        target = make_wrapper(target_vendor, seed=77)
+        changed = {
+            index: blob
+            for index, blob in enumerate(state)
+            if blob != NFSAbstractSpec(N_OBJECTS).initial_object(index)
+        }
+        inverse_abstraction_function(target, changed)
+        assert full_abstract_state(target) == state
+
+
+class TestInverseIncremental:
+    """put_objs applied to deltas, as state transfer does."""
+
+    def _pair(self):
+        source = make_wrapper(MemFS, seed=1)
+        target = make_wrapper(Ext2FS, seed=2)
+        return source, target
+
+    def _sync(self, source, target):
+        source_state = full_abstract_state(source)
+        delta = {
+            index: blob
+            for index, blob in enumerate(source_state)
+            if blob != abstraction_function(target, index)
+        }
+        if delta:
+            inverse_abstraction_function(target, delta)
+        assert full_abstract_state(target) == source_state
+        return len(delta)
+
+    def test_incremental_sync_after_each_step(self):
+        source, target = self._pair()
+        steps = [
+            MkdirCall(dir_fh=ROOT_OID, name="d", sattr=Sattr()),
+            CreateCall(dir_fh=make_oid(1, 1), name="f", sattr=Sattr()),
+            WriteCall(fh=make_oid(2, 1), offset=0, data=b"abc"),
+            WriteCall(fh=make_oid(2, 1), offset=1, data=b"ZZ"),
+            SetattrCall(fh=make_oid(2, 1), sattr=Sattr(mode=0o700)),
+            RenameCall(from_dir=make_oid(1, 1), from_name="f", to_dir=ROOT_OID, to_name="g"),
+            RemoveCall(dir_fh=ROOT_OID, name="g"),
+        ]
+        for step_number, call in enumerate(steps):
+            run(source, call, ts=2_000_000 + step_number * 1000)
+            self._sync(source, target)
+
+    def test_delta_touches_only_changed_objects(self):
+        source, target = self._pair()
+        run(source, MkdirCall(dir_fh=ROOT_OID, name="d", sattr=Sattr()))
+        first = self._sync(source, target)
+        assert first == 2  # root + new dir
+        run(source, CreateCall(dir_fh=make_oid(1, 1), name="f", sattr=Sattr()))
+        second = self._sync(source, target)
+        assert second == 2  # dir + new file; root untouched
+
+    def test_object_move_between_directories(self):
+        source, target = self._pair()
+        run(source, MkdirCall(dir_fh=ROOT_OID, name="a", sattr=Sattr()))
+        run(source, MkdirCall(dir_fh=ROOT_OID, name="b", sattr=Sattr()))
+        run(source, CreateCall(dir_fh=make_oid(1, 1), name="f", sattr=Sattr()))
+        run(source, WriteCall(fh=make_oid(3, 1), offset=0, data=b"move-me"))
+        self._sync(source, target)
+        run(
+            source,
+            RenameCall(from_dir=make_oid(1, 1), from_name="f", to_dir=make_oid(2, 1), to_name="f2"),
+        )
+        delta = self._sync(source, target)
+        assert delta == 2  # both directory objects; the file itself unchanged
+
+    def test_index_reuse_with_type_change(self):
+        source, target = self._pair()
+        run(source, CreateCall(dir_fh=ROOT_OID, name="f", sattr=Sattr()))
+        self._sync(source, target)
+        run(source, RemoveCall(dir_fh=ROOT_OID, name="f"))
+        run(source, MkdirCall(dir_fh=ROOT_OID, name="d", sattr=Sattr()))  # index 1, gen 2, DIR now
+        self._sync(source, target)
+        obj = AbstractObject.decode(abstraction_function(target, 1))
+        assert obj.ftype == NFDIR
+        assert obj.generation == 2
+
+    def test_symlink_retarget(self):
+        source, target = self._pair()
+        run(source, SymlinkCall(dir_fh=ROOT_OID, name="l", target="/one", sattr=Sattr()))
+        self._sync(source, target)
+        run(source, RemoveCall(dir_fh=ROOT_OID, name="l"))
+        run(source, SymlinkCall(dir_fh=ROOT_OID, name="l", target="/two", sattr=Sattr()))
+        self._sync(source, target)
+        obj = AbstractObject.decode(abstraction_function(target, 1))
+        assert obj.target == "/two"
+
+    def test_deep_tree_teardown(self):
+        source, target = self._pair()
+        run(source, MkdirCall(dir_fh=ROOT_OID, name="a", sattr=Sattr()))
+        run(source, MkdirCall(dir_fh=make_oid(1, 1), name="b", sattr=Sattr()))
+        run(source, CreateCall(dir_fh=make_oid(2, 1), name="f", sattr=Sattr()))
+        self._sync(source, target)
+        run(source, RemoveCall(dir_fh=make_oid(2, 1), name="f"))
+        run(source, RmdirCall(dir_fh=make_oid(1, 1), name="b"))
+        run(source, RmdirCall(dir_fh=ROOT_OID, name="a"))
+        self._sync(source, target)
+        for index in (1, 2, 3):
+            obj = AbstractObject.decode(abstraction_function(target, index))
+            assert obj.ftype == NFNON

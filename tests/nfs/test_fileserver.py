@@ -1,0 +1,279 @@
+"""Vendor conformance: all five file servers implement the same protocol
+semantics while differing in every concrete detail the paper lists."""
+
+import pytest
+
+from repro.nfs.fileserver import BtrFS, Ext2FS, FFS, LogFS, MemFS
+from repro.nfs.protocol import (
+    NFDIR,
+    NFLNK,
+    NFREG,
+    NFSERR_EXIST,
+    NFSERR_ISDIR,
+    NFSERR_NOENT,
+    NFSERR_NOTDIR,
+    NFSERR_NOTEMPTY,
+    NFSERR_STALE,
+    NFS_OK,
+    Sattr,
+)
+
+VENDORS = [MemFS, Ext2FS, FFS, LogFS, BtrFS]
+
+
+@pytest.fixture(params=VENDORS, ids=lambda cls: cls.__name__)
+def server(request):
+    return request.param(disk={}, seed=11)
+
+
+class TestBasicSemantics:
+    def test_root_is_directory(self, server):
+        reply = server.getattr(server.root_handle())
+        assert reply.ok
+        assert reply.attr.ftype == NFDIR
+
+    def test_create_lookup_read_write(self, server):
+        root = server.root_handle()
+        created = server.create(root, "a.txt", Sattr(mode=0o644))
+        assert created.ok and created.attr.ftype == NFREG
+        assert server.write(created.fh, 0, b"hello").ok
+        looked = server.lookup(root, "a.txt")
+        assert looked.ok
+        read = server.read(looked.fh, 0, 100)
+        assert read.ok and read.data == b"hello"
+
+    def test_write_with_hole_zero_fills(self, server):
+        root = server.root_handle()
+        fh = server.create(root, "f", Sattr()).fh
+        server.write(fh, 4, b"xy")
+        read = server.read(fh, 0, 10)
+        assert read.data == b"\x00\x00\x00\x00xy"
+
+    def test_overwrite_middle(self, server):
+        root = server.root_handle()
+        fh = server.create(root, "f", Sattr()).fh
+        server.write(fh, 0, b"abcdef")
+        server.write(fh, 2, b"XY")
+        assert server.read(fh, 0, 10).data == b"abXYef"
+
+    def test_setattr_truncate_and_extend(self, server):
+        root = server.root_handle()
+        fh = server.create(root, "f", Sattr()).fh
+        server.write(fh, 0, b"abcdef")
+        server.setattr(fh, Sattr(size=3))
+        assert server.read(fh, 0, 10).data == b"abc"
+        server.setattr(fh, Sattr(size=5))
+        assert server.read(fh, 0, 10).data == b"abc\x00\x00"
+
+    def test_create_duplicate_is_exist(self, server):
+        root = server.root_handle()
+        server.create(root, "dup", Sattr())
+        assert server.create(root, "dup", Sattr()).status == NFSERR_EXIST
+
+    def test_lookup_missing_is_noent(self, server):
+        assert server.lookup(server.root_handle(), "ghost").status == NFSERR_NOENT
+
+    def test_lookup_in_file_is_notdir(self, server):
+        root = server.root_handle()
+        fh = server.create(root, "f", Sattr()).fh
+        assert server.lookup(fh, "x").status == NFSERR_NOTDIR
+
+    def test_read_directory_is_isdir(self, server):
+        assert server.read(server.root_handle(), 0, 10).status == NFSERR_ISDIR
+
+    def test_setattr_size_on_dir_is_isdir(self, server):
+        assert server.setattr(server.root_handle(), Sattr(size=0)).status == NFSERR_ISDIR
+
+    def test_mkdir_and_nesting(self, server):
+        root = server.root_handle()
+        sub = server.mkdir(root, "sub", Sattr())
+        assert sub.ok and sub.attr.ftype == NFDIR
+        inner = server.create(sub.fh, "inner", Sattr())
+        assert inner.ok
+        assert server.lookup(sub.fh, "inner").ok
+
+    def test_remove_file(self, server):
+        root = server.root_handle()
+        server.create(root, "f", Sattr())
+        assert server.remove(root, "f").ok
+        assert server.lookup(root, "f").status == NFSERR_NOENT
+
+    def test_remove_on_dir_is_isdir(self, server):
+        root = server.root_handle()
+        server.mkdir(root, "d", Sattr())
+        assert server.remove(root, "d").status == NFSERR_ISDIR
+
+    def test_rmdir_nonempty_is_notempty(self, server):
+        root = server.root_handle()
+        sub = server.mkdir(root, "d", Sattr())
+        server.create(sub.fh, "f", Sattr())
+        assert server.rmdir(root, "d").status == NFSERR_NOTEMPTY
+
+    def test_rmdir_on_file_is_notdir(self, server):
+        root = server.root_handle()
+        server.create(root, "f", Sattr())
+        assert server.rmdir(root, "f").status == NFSERR_NOTDIR
+
+    def test_rmdir_empty(self, server):
+        root = server.root_handle()
+        server.mkdir(root, "d", Sattr())
+        assert server.rmdir(root, "d").ok
+
+    def test_rename_within_dir(self, server):
+        root = server.root_handle()
+        fh = server.create(root, "old", Sattr()).fh
+        server.write(fh, 0, b"content")
+        assert server.rename(root, "old", root, "new").ok
+        assert server.lookup(root, "old").status == NFSERR_NOENT
+        moved = server.lookup(root, "new")
+        assert moved.ok
+        assert server.read(moved.fh, 0, 10).data == b"content"
+
+    def test_rename_across_dirs(self, server):
+        root = server.root_handle()
+        a = server.mkdir(root, "a", Sattr()).fh
+        b = server.mkdir(root, "b", Sattr()).fh
+        server.create(a, "f", Sattr())
+        assert server.rename(a, "f", b, "g").ok
+        assert server.lookup(b, "g").ok
+
+    def test_rename_replaces_file(self, server):
+        root = server.root_handle()
+        src = server.create(root, "src", Sattr()).fh
+        server.write(src, 0, b"SRC")
+        server.create(root, "dst", Sattr())
+        assert server.rename(root, "src", root, "dst").ok
+        assert server.read(server.lookup(root, "dst").fh, 0, 10).data == b"SRC"
+
+    def test_rename_missing_source_is_noent(self, server):
+        root = server.root_handle()
+        assert server.rename(root, "nope", root, "x").status == NFSERR_NOENT
+
+    def test_symlink_and_readlink(self, server):
+        root = server.root_handle()
+        made = server.symlink(root, "l", "/some/target", Sattr())
+        assert made.ok
+        fh = server.lookup(root, "l").fh
+        reply = server.readlink(fh)
+        assert reply.ok and reply.target == "/some/target"
+
+    def test_readdir_contents(self, server):
+        root = server.root_handle()
+        for name in ("c", "a", "b"):
+            server.create(root, name, Sattr())
+        reply = server.readdir(root)
+        assert reply.ok
+        assert {name for name, _fh in reply.entries} == {"a", "b", "c"}
+
+    def test_bad_handle_is_stale(self, server):
+        assert server.getattr(b"garbage-handle").status == NFSERR_STALE
+
+    def test_invalid_names_rejected(self, server):
+        root = server.root_handle()
+        for bad in ("", ".", "..", "a/b", "x" * 300):
+            assert not server.create(root, bad, Sattr()).ok
+
+    def test_statfs(self, server):
+        assert server.statfs(server.root_handle()).ok
+
+    def test_stale_after_remove(self, server):
+        root = server.root_handle()
+        fh = server.create(root, "f", Sattr()).fh
+        server.remove(root, "f")
+        assert server.getattr(fh).status == NFSERR_STALE
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("vendor", VENDORS, ids=lambda c: c.__name__)
+    def test_state_survives_reboot(self, vendor):
+        disk = {}
+        server = vendor(disk=disk, seed=5)
+        root = server.root_handle()
+        fh = server.create(root, "keep.txt", Sattr()).fh
+        server.write(fh, 0, b"persistent")
+        reborn = vendor(disk=disk, seed=99)
+        looked = reborn.lookup(reborn.root_handle(), "keep.txt")
+        assert looked.ok
+        assert reborn.read(looked.fh, 0, 20).data == b"persistent"
+
+    def test_logfs_handles_are_volatile_across_reboot(self):
+        disk = {}
+        server = LogFS(disk=disk, seed=5)
+        fh = server.create(server.root_handle(), "f", Sattr()).fh
+        reborn = LogFS(disk=disk, seed=5)
+        assert reborn.getattr(fh).status == NFSERR_STALE  # the 3.4 problem
+
+    def test_memfs_handles_survive_reboot(self):
+        disk = {}
+        server = MemFS(disk=disk, seed=5)
+        fh = server.create(server.root_handle(), "f", Sattr()).fh
+        reborn = MemFS(disk=disk, seed=5)
+        assert reborn.getattr(fh).ok
+
+
+class TestVendorDivergence:
+    """The concrete differences the wrapper exists to hide."""
+
+    def _populate(self, server):
+        root = server.root_handle()
+        for name in ("zebra", "apple", "mango", "kiwi"):
+            server.create(root, name, Sattr())
+        return [name for name, _ in server.readdir(root).entries]
+
+    def test_readdir_orders_differ(self):
+        orders = {
+            cls.__name__: tuple(self._populate(cls(disk={}, seed=7)))
+            for cls in VENDORS
+        }
+        assert len(set(orders.values())) >= 3, orders
+
+    def test_fsids_are_nondeterministic(self):
+        fsids = {cls(disk={}, seed=s).fsid for cls in VENDORS for s in (1, 2)}
+        assert len(fsids) == 2 * len(VENDORS)
+
+    def test_handles_differ_across_vendors(self):
+        handles = set()
+        for cls in VENDORS:
+            server = cls(disk={}, seed=3)
+            handles.add(server.create(server.root_handle(), "same", Sattr()).fh)
+        assert len(handles) == len(VENDORS)
+
+    def test_timestamp_granularities_differ(self):
+        clock = lambda: 123.4567894
+        stamps = set()
+        for cls in VENDORS:
+            server = cls(disk={}, seed=3, clock=clock)
+            reply = server.create(server.root_handle(), "f", Sattr())
+            stamps.add(reply.attr.mtime)
+        assert len(stamps) >= 2  # second vs micro vs 10-micro granularity
+
+    def test_inode_reuse_only_in_ext2(self):
+        ext2 = Ext2FS(disk={}, seed=3)
+        root = ext2.root_handle()
+        first = ext2.create(root, "a", Sattr()).attr.fileid
+        ext2.remove(root, "a")
+        second = ext2.create(root, "b", Sattr()).attr.fileid
+        assert first == second  # ext2 reuses the inode
+
+        mem = MemFS(disk={}, seed=3)
+        root = mem.root_handle()
+        first = mem.create(root, "a", Sattr()).attr.fileid
+        mem.remove(root, "a")
+        second = mem.create(root, "b", Sattr()).attr.fileid
+        assert first != second
+
+
+class TestAging:
+    @pytest.mark.parametrize("vendor", VENDORS, ids=lambda c: c.__name__)
+    def test_leak_triggers_crash_then_reboot_heals(self, vendor):
+        from repro.util.errors import FaultInjected
+
+        disk = {}
+        server = vendor(disk=disk, seed=5, aging_threshold=2000)
+        root = server.root_handle()
+        fh = server.create(root, "f", Sattr()).fh
+        with pytest.raises(FaultInjected):
+            for i in range(10000):
+                server.write(fh, 0, b"x" * 64)
+        reborn = vendor(disk=disk, seed=5, aging_threshold=2000)
+        assert reborn.lookup(reborn.root_handle(), "f").ok

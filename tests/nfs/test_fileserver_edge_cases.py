@@ -1,0 +1,125 @@
+"""File-server edge semantics all four vendors must share."""
+
+import pytest
+
+from repro.nfs.fileserver import BtrFS, Ext2FS, FFS, LogFS, MemFS
+from repro.nfs.protocol import (
+    NFSERR_NOENT,
+    NFS_OK,
+    Sattr,
+)
+
+VENDORS = [MemFS, Ext2FS, FFS, LogFS, BtrFS]
+
+
+@pytest.fixture(params=VENDORS, ids=lambda cls: cls.__name__)
+def server(request):
+    return request.param(disk={}, seed=21)
+
+
+def test_rename_to_same_name_is_noop_success(server):
+    root = server.root_handle()
+    server.create(root, "f", Sattr())
+    assert server.rename(root, "f", root, "f").status == NFS_OK
+    assert server.lookup(root, "f").ok
+
+
+def test_write_empty_data(server):
+    root = server.root_handle()
+    fh = server.create(root, "f", Sattr()).fh
+    assert server.write(fh, 0, b"").ok
+    assert server.read(fh, 0, 10).data == b""
+
+
+def test_read_past_eof_returns_empty(server):
+    root = server.root_handle()
+    fh = server.create(root, "f", Sattr()).fh
+    server.write(fh, 0, b"abc")
+    assert server.read(fh, 100, 10).data == b""
+
+
+def test_read_zero_count(server):
+    root = server.root_handle()
+    fh = server.create(root, "f", Sattr()).fh
+    server.write(fh, 0, b"abc")
+    assert server.read(fh, 0, 0).data == b""
+
+
+def test_create_with_initial_size(server):
+    root = server.root_handle()
+    reply = server.create(root, "f", Sattr(size=16))
+    assert reply.ok
+    assert server.read(reply.fh, 0, 32).data == b"\x00" * 16
+
+
+def test_truncate_to_zero_then_rewrite(server):
+    root = server.root_handle()
+    fh = server.create(root, "f", Sattr()).fh
+    server.write(fh, 0, b"old content")
+    server.setattr(fh, Sattr(size=0))
+    server.write(fh, 0, b"new")
+    assert server.read(fh, 0, 32).data == b"new"
+
+
+def test_deeply_nested_directories(server):
+    fh = server.root_handle()
+    for depth in range(12):
+        fh = server.mkdir(fh, f"d{depth}", Sattr()).fh
+    leaf = server.create(fh, "leaf", Sattr())
+    assert leaf.ok
+    # Walk back down from the root.
+    fh = server.root_handle()
+    for depth in range(12):
+        fh = server.lookup(fh, f"d{depth}").fh
+    assert server.lookup(fh, "leaf").ok
+
+
+def test_many_entries_one_directory(server):
+    root = server.root_handle()
+    for i in range(60):
+        assert server.create(root, f"file{i:03d}", Sattr()).ok
+    listing = server.readdir(root)
+    assert len(listing.entries) == 60
+    assert server.remove(root, "file030").ok
+    assert server.lookup(root, "file030").status == NFSERR_NOENT
+    assert len(server.readdir(root).entries) == 59
+
+
+def test_unicode_names(server):
+    root = server.root_handle()
+    name = "héllo-wörld-文件"
+    assert server.create(root, name, Sattr()).ok
+    assert server.lookup(root, name).ok
+    assert name in {n for n, _ in server.readdir(root).entries}
+
+
+def test_large_file_roundtrip(server):
+    root = server.root_handle()
+    fh = server.create(root, "big", Sattr()).fh
+    blob = bytes(range(256)) * 64  # 16 KiB: spans many ext2 blocks
+    assert server.write(fh, 0, blob).ok
+    read_back = b""
+    offset = 0
+    while True:
+        chunk = server.read(fh, offset, 4096).data
+        if not chunk:
+            break
+        read_back += chunk
+        offset += len(chunk)
+    assert read_back == blob
+
+
+def test_symlink_may_shadow_nothing(server):
+    root = server.root_handle()
+    assert server.symlink(root, "dangling", "/does/not/exist", Sattr()).ok
+    fh = server.lookup(root, "dangling").fh
+    assert server.readlink(fh).target == "/does/not/exist"
+
+
+def test_setattr_explicit_times(server):
+    root = server.root_handle()
+    fh = server.create(root, "f", Sattr()).fh
+    reply = server.setattr(fh, Sattr(mtime=123_000_000, atime=99_000_000))
+    assert reply.ok
+    assert reply.attr.mtime == 123_000_000
+    assert reply.attr.atime == 99_000_000

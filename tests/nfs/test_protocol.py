@@ -1,0 +1,110 @@
+"""NFS protocol structures: encodings, roundtrips, read-only classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nfs.protocol import (
+    MAX_NAME_LEN,
+    NFS_OK,
+    NFSERR_NOENT,
+    Fattr,
+    GetattrCall,
+    LookupCall,
+    MkdirCall,
+    NfsCall,
+    NfsReply,
+    ReadCall,
+    ReaddirCall,
+    RemoveCall,
+    RenameCall,
+    Sattr,
+    SetattrCall,
+    SymlinkCall,
+    WriteCall,
+    error_reply,
+)
+from repro.util.xdr import XdrDecoder, XdrEncoder
+
+
+class TestFattr:
+    def test_roundtrip(self):
+        attr = Fattr(ftype=1, mode=0o644, nlink=1, uid=7, gid=8, size=123,
+                     fsid=9, fileid=10, atime=11, mtime=12, ctime=13)
+        enc = XdrEncoder()
+        attr.pack(enc)
+        assert Fattr.unpack(XdrDecoder(enc.getvalue())) == attr
+
+
+class TestSattr:
+    def test_roundtrip_all_set(self):
+        sattr = Sattr(mode=0o600, uid=1, gid=2, size=3, atime=4, mtime=5)
+        enc = XdrEncoder()
+        sattr.pack(enc)
+        assert Sattr.unpack(XdrDecoder(enc.getvalue())) == sattr
+
+    def test_roundtrip_none_fields(self):
+        sattr = Sattr(size=100)
+        enc = XdrEncoder()
+        sattr.pack(enc)
+        out = Sattr.unpack(XdrDecoder(enc.getvalue()))
+        assert out.size == 100
+        assert out.mode is None and out.mtime is None
+
+
+class TestCalls:
+    CASES = [
+        GetattrCall(fh=b"abc"),
+        SetattrCall(fh=b"h", sattr=Sattr(mode=0o755)),
+        LookupCall(dir_fh=b"d", name="file.txt"),
+        ReadCall(fh=b"f", offset=100, count=512),
+        WriteCall(fh=b"f", offset=8, data=b"\x01\x02"),
+        MkdirCall(dir_fh=b"d", name="sub", sattr=Sattr()),
+        RemoveCall(dir_fh=b"d", name="gone"),
+        RenameCall(from_dir=b"a", from_name="x", to_dir=b"b", to_name="y"),
+        SymlinkCall(dir_fh=b"d", name="l", target="/t", sattr=Sattr()),
+        ReaddirCall(fh=b"d"),
+    ]
+
+    @pytest.mark.parametrize("call", CASES, ids=lambda c: type(c).__name__)
+    def test_roundtrip(self, call):
+        decoded = NfsCall.decode(call.encode())
+        assert decoded == call
+
+    def test_unknown_proc_rejected(self):
+        blob = XdrEncoder().pack_u32(9999).getvalue()
+        with pytest.raises(ValueError):
+            NfsCall.decode(blob)
+
+    def test_read_only_classification(self):
+        assert GetattrCall(fh=b"x").is_read_only
+        assert ReadCall(fh=b"x").is_read_only
+        assert ReaddirCall(fh=b"x").is_read_only
+        assert LookupCall(dir_fh=b"x", name="n").is_read_only
+        assert not WriteCall(fh=b"x").is_read_only
+        assert not RemoveCall(dir_fh=b"x", name="n").is_read_only
+        assert not SetattrCall(fh=b"x").is_read_only
+
+
+class TestReply:
+    def test_roundtrip_full(self):
+        reply = NfsReply(
+            status=NFS_OK,
+            fh=b"handle",
+            attr=Fattr(ftype=2, fileid=42),
+            data=b"payload",
+            target="/link/target",
+            entries=[("a", b"h1"), ("b", b"h2")],
+        )
+        assert NfsReply.decode(reply.encode()) == reply
+
+    def test_error_reply(self):
+        reply = error_reply(NFSERR_NOENT)
+        out = NfsReply.decode(reply.encode())
+        assert out.status == NFSERR_NOENT
+        assert not out.ok
+
+
+@given(st.binary(max_size=40), st.integers(0, 2**40), st.binary(max_size=100))
+def test_write_call_roundtrip_property(fh, offset, data):
+    call = WriteCall(fh=fh, offset=offset, data=data)
+    assert NfsCall.decode(call.encode()) == call

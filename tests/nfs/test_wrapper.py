@@ -1,0 +1,190 @@
+"""Conformance wrapper: determinism across heterogeneous implementations.
+
+The central assertion, repeated in many forms: wrap any two different
+vendors, drive them through the same operation sequence with the same agreed
+timestamps, and every client-visible reply and every abstract object is
+byte-identical."""
+
+import pytest
+
+from repro.nfs.conversion import abstraction_function
+from repro.nfs.fileserver import BtrFS, Ext2FS, FFS, LogFS, MemFS
+from repro.nfs.protocol import (
+    NFDIR,
+    NFSERR_NOENT,
+    NFSERR_NOSPC,
+    NFS_OK,
+    CreateCall,
+    GetattrCall,
+    LookupCall,
+    MkdirCall,
+    NfsReply,
+    ReadCall,
+    ReaddirCall,
+    RemoveCall,
+    RenameCall,
+    Sattr,
+    SetattrCall,
+    SymlinkCall,
+    WriteCall,
+)
+from repro.nfs.spec import NFSAbstractSpec, ROOT_OID, make_oid
+from repro.nfs.wrapper import LIMBO_NAME, NFSConformanceWrapper
+
+VENDORS = [MemFS, Ext2FS, FFS, LogFS, BtrFS]
+
+
+def make_wrapper(vendor, seed=5, num_objects=32, skew=0.0):
+    impl = vendor(disk={}, seed=seed, clock=lambda: 100.0, clock_skew=skew)
+    return NFSConformanceWrapper(impl, NFSAbstractSpec(num_objects), disk={})
+
+
+def run(wrapper, call, ts=1_000_000, read_only=False):
+    return NfsReply.decode(wrapper.execute(call.encode(), "C0", ts, read_only))
+
+
+SCRIPT = [
+    MkdirCall(dir_fh=ROOT_OID, name="src", sattr=Sattr(mode=0o755)),
+    CreateCall(dir_fh=ROOT_OID, name="README", sattr=Sattr(mode=0o644)),
+    LookupCall(dir_fh=ROOT_OID, name="README"),
+    GetattrCall(fh=ROOT_OID),
+    ReaddirCall(fh=ROOT_OID),
+    SymlinkCall(dir_fh=ROOT_OID, name="link", target="/src", sattr=Sattr(mode=0o777)),
+]
+
+
+class TestDeterminismAcrossVendors:
+    def test_identical_replies_for_identical_scripts(self):
+        wrappers = [make_wrapper(v, seed=i * 17 + 1, skew=i * 0.3) for i, v in enumerate(VENDORS)]
+        for step, call in enumerate(SCRIPT):
+            replies = {run(w, call, ts=1_000_000 + step).encode() for w in wrappers}
+            assert len(replies) == 1, f"divergent replies at step {step}: {call}"
+
+    def test_identical_abstract_state_after_script(self):
+        wrappers = [make_wrapper(v, seed=i * 17 + 1, skew=i * 0.3) for i, v in enumerate(VENDORS)]
+        for step, call in enumerate(SCRIPT):
+            for w in wrappers:
+                run(w, call, ts=1_000_000 + step)
+        for index in range(32):
+            values = {abstraction_function(w, index) for w in wrappers}
+            assert len(values) == 1, f"abstract object {index} diverged"
+
+    def test_oids_assigned_deterministically(self):
+        wrapper = make_wrapper(MemFS)
+        first = run(wrapper, CreateCall(dir_fh=ROOT_OID, name="a", sattr=Sattr()))
+        second = run(wrapper, CreateCall(dir_fh=ROOT_OID, name="b", sattr=Sattr()))
+        assert first.fh == make_oid(1, 1)  # lowest free index, generation 1
+        assert second.fh == make_oid(2, 1)
+
+    def test_oid_index_reused_with_bumped_generation(self):
+        wrapper = make_wrapper(MemFS)
+        run(wrapper, CreateCall(dir_fh=ROOT_OID, name="a", sattr=Sattr()))
+        run(wrapper, RemoveCall(dir_fh=ROOT_OID, name="a"))
+        reply = run(wrapper, CreateCall(dir_fh=ROOT_OID, name="b", sattr=Sattr()))
+        assert reply.fh == make_oid(1, 2)
+
+
+class TestAbstractBehaviour:
+    @pytest.mark.parametrize("vendor", VENDORS, ids=lambda c: c.__name__)
+    def test_readdir_sorted_regardless_of_vendor_order(self, vendor):
+        wrapper = make_wrapper(vendor)
+        for name in ("zebra", "apple", "mango"):
+            run(wrapper, CreateCall(dir_fh=ROOT_OID, name=name, sattr=Sattr()))
+        reply = run(wrapper, ReaddirCall(fh=ROOT_OID))
+        assert [name for name, _ in reply.entries] == ["apple", "mango", "zebra"]
+
+    @pytest.mark.parametrize("vendor", VENDORS, ids=lambda c: c.__name__)
+    def test_timestamps_come_from_agreement_not_clock(self, vendor):
+        wrapper = make_wrapper(vendor, skew=123.456)
+        reply = run(
+            wrapper,
+            CreateCall(dir_fh=ROOT_OID, name="f", sattr=Sattr()),
+            ts=42_000_000,
+        )
+        assert reply.attr.mtime == 42_000_000
+        assert reply.attr.ctime == 42_000_000
+
+    @pytest.mark.parametrize("vendor", VENDORS, ids=lambda c: c.__name__)
+    def test_attr_identities_are_abstract(self, vendor):
+        wrapper = make_wrapper(vendor)
+        reply = run(wrapper, CreateCall(dir_fh=ROOT_OID, name="f", sattr=Sattr()))
+        assert reply.attr.fsid == 1
+        assert reply.attr.fileid == (1 << 32) | 1
+
+    def test_stale_oid_rejected(self):
+        wrapper = make_wrapper(MemFS)
+        reply = run(wrapper, GetattrCall(fh=make_oid(5, 1)))
+        assert reply.status != NFS_OK
+
+    def test_wrong_generation_rejected(self):
+        wrapper = make_wrapper(MemFS)
+        run(wrapper, CreateCall(dir_fh=ROOT_OID, name="a", sattr=Sattr()))
+        reply = run(wrapper, GetattrCall(fh=make_oid(1, 9)))
+        assert reply.status != NFS_OK
+
+    def test_write_then_read(self):
+        wrapper = make_wrapper(Ext2FS)
+        created = run(wrapper, CreateCall(dir_fh=ROOT_OID, name="f", sattr=Sattr()))
+        run(wrapper, WriteCall(fh=created.fh, offset=0, data=b"payload"))
+        reply = run(wrapper, ReadCall(fh=created.fh, offset=0, count=100), read_only=True)
+        assert reply.data == b"payload"
+
+    def test_read_only_cannot_mutate(self):
+        wrapper = make_wrapper(MemFS)
+        created = run(wrapper, CreateCall(dir_fh=ROOT_OID, name="f", sattr=Sattr()))
+        reply = run(
+            wrapper, WriteCall(fh=created.fh, offset=0, data=b"x"), read_only=True
+        )
+        assert reply.status != NFS_OK
+
+    def test_array_exhaustion_is_nospc(self):
+        wrapper = make_wrapper(MemFS, num_objects=3)
+        run(wrapper, CreateCall(dir_fh=ROOT_OID, name="a", sattr=Sattr()))
+        run(wrapper, CreateCall(dir_fh=ROOT_OID, name="b", sattr=Sattr()))
+        reply = run(wrapper, CreateCall(dir_fh=ROOT_OID, name="c", sattr=Sattr()))
+        assert reply.status == NFSERR_NOSPC
+
+    def test_limbo_name_is_invisible(self):
+        wrapper = make_wrapper(MemFS)
+        wrapper.limbo_fh()  # force it into existence
+        reply = run(wrapper, ReaddirCall(fh=ROOT_OID))
+        assert all(name != LIMBO_NAME for name, _ in reply.entries)
+        lookup = run(wrapper, LookupCall(dir_fh=ROOT_OID, name=LIMBO_NAME))
+        assert lookup.status == NFSERR_NOENT
+
+
+class TestModifyDiscipline:
+    def test_mutations_call_modify_before_changing(self):
+        wrapper = make_wrapper(MemFS)
+        touched = []
+        wrapper.set_modify_callback(touched.append)
+        run(wrapper, CreateCall(dir_fh=ROOT_OID, name="f", sattr=Sattr()))
+        assert set(touched) == {0, 1}  # the directory and the new object
+        touched.clear()
+        run(wrapper, WriteCall(fh=make_oid(1, 1), offset=0, data=b"z"))
+        assert touched == [1]
+
+    def test_reads_never_call_modify(self):
+        wrapper = make_wrapper(MemFS)
+        run(wrapper, CreateCall(dir_fh=ROOT_OID, name="f", sattr=Sattr()))
+        touched = []
+        wrapper.set_modify_callback(touched.append)
+        run(wrapper, GetattrCall(fh=ROOT_OID), read_only=True)
+        run(wrapper, ReaddirCall(fh=ROOT_OID), read_only=True)
+        run(wrapper, LookupCall(dir_fh=ROOT_OID, name="f"), read_only=True)
+        assert touched == []
+
+    def test_rename_modifies_both_directories_and_object(self):
+        wrapper = make_wrapper(MemFS)
+        run(wrapper, MkdirCall(dir_fh=ROOT_OID, name="a", sattr=Sattr()))
+        run(wrapper, MkdirCall(dir_fh=ROOT_OID, name="b", sattr=Sattr()))
+        run(wrapper, CreateCall(dir_fh=make_oid(1, 1), name="f", sattr=Sattr()))
+        touched = []
+        wrapper.set_modify_callback(touched.append)
+        run(
+            wrapper,
+            RenameCall(
+                from_dir=make_oid(1, 1), from_name="f", to_dir=make_oid(2, 1), to_name="g"
+            ),
+        )
+        assert {1, 2, 3}.issubset(set(touched))

@@ -1,0 +1,88 @@
+"""ThorDB implementation: semantics and nondeterminism."""
+
+import pytest
+
+from repro.oodb.db import Ref, ThorDB, ThorError
+from repro.util.errors import FaultInjected
+
+
+@pytest.fixture
+def db():
+    return ThorDB(disk={}, seed=3)
+
+
+def test_root_exists(db):
+    assert db.exists(db.root())
+    assert db.class_of(db.root()) == "Root"
+
+
+def test_allocate_and_attrs(db):
+    handle = db.allocate("Person")
+    db.set_attr(handle, "name", "ada")
+    db.set_attr(handle, "age", 36)
+    assert db.get_attr(handle, "name") == "ada"
+    assert db.attrs(handle) == {"name": "ada", "age": 36}
+
+
+def test_references(db):
+    a = db.allocate("A")
+    b = db.allocate("B")
+    db.set_attr(a, "next", Ref(b))
+    assert db.get_attr(a, "next") == Ref(b)
+
+
+def test_dangling_reference_rejected(db):
+    a = db.allocate("A")
+    with pytest.raises(ThorError):
+        db.set_attr(a, "bad", Ref(0xDEAD))
+
+
+def test_free(db):
+    handle = db.allocate("X")
+    db.free(handle)
+    assert not db.exists(handle)
+    with pytest.raises(ThorError):
+        db.get_attr(handle, "a")
+
+
+def test_cannot_free_root(db):
+    with pytest.raises(ThorError):
+        db.free(db.root())
+
+
+def test_free_invalid_handle(db):
+    with pytest.raises(ThorError):
+        db.free(0x1234)
+
+
+def test_del_attr(db):
+    handle = db.allocate("X")
+    db.set_attr(handle, "k", 1)
+    db.del_attr(handle, "k")
+    assert db.get_attr(handle, "k") is None
+
+
+def test_handles_are_nondeterministic_across_seeds():
+    a = ThorDB(disk={}, seed=1)
+    b = ThorDB(disk={}, seed=2)
+    assert a.allocate("X") != b.allocate("X")
+    assert a.root() != b.root()
+
+
+def test_state_persists_across_reboot():
+    disk = {}
+    db = ThorDB(disk=disk, seed=1)
+    handle = db.allocate("Keep")
+    db.set_attr(handle, "v", 42)
+    reborn = ThorDB(disk=disk, seed=99)
+    assert reborn.get_attr(handle, "v") == 42
+
+
+def test_aging_crash_and_reboot_heal():
+    disk = {}
+    db = ThorDB(disk=disk, seed=1, aging_threshold=500)
+    with pytest.raises(FaultInjected):
+        for i in range(1000):
+            db.allocate("Junk")
+    reborn = ThorDB(disk=disk, seed=1, aging_threshold=500)
+    assert reborn.exists(reborn.root())

@@ -1,0 +1,82 @@
+"""OODB wrapper edge cases and internal-label protection."""
+
+import pytest
+
+from repro.oodb.db import ThorDB
+from repro.oodb.spec import (
+    OODBAbstractSpec,
+    OODBReply,
+    OODB_BADOP,
+    OODB_NOATTR,
+    OODB_NOSPC,
+    OODB_STALE,
+    ROOT_AOID,
+    encode_del,
+    encode_free,
+    encode_new,
+    encode_set,
+    make_aoid,
+)
+from repro.oodb.wrapper import OODBConformanceWrapper, _LABEL_ATTR
+
+
+def make_wrapper(num_objects=4, seed=9):
+    return OODBConformanceWrapper(
+        ThorDB(disk={}, seed=seed), OODBAbstractSpec(num_objects), disk={}
+    )
+
+
+def run(wrapper, op, ts=1_000_000, read_only=False):
+    return OODBReply.decode(wrapper.execute(op, "C0", ts, read_only))
+
+
+def test_empty_class_name_rejected():
+    wrapper = make_wrapper()
+    assert run(wrapper, encode_new("")).status == OODB_BADOP
+
+
+def test_array_exhaustion():
+    wrapper = make_wrapper(num_objects=3)
+    assert run(wrapper, encode_new("A")).ok
+    assert run(wrapper, encode_new("B")).ok
+    assert run(wrapper, encode_new("C")).status == OODB_NOSPC
+
+
+def test_root_cannot_be_freed():
+    wrapper = make_wrapper()
+    assert run(wrapper, encode_free(ROOT_AOID)).status == OODB_BADOP
+
+
+def test_internal_label_attr_is_protected():
+    wrapper = make_wrapper()
+    created = run(wrapper, encode_new("A"))
+    assert run(wrapper, encode_set(created.aoid, _LABEL_ATTR, 99)).status == OODB_BADOP
+    assert run(wrapper, encode_del(created.aoid, _LABEL_ATTR)).status == OODB_BADOP
+
+
+def test_label_attr_never_leaks_into_abstract_state():
+    wrapper = make_wrapper()
+    created = run(wrapper, encode_new("A"))
+    from repro.oodb.spec import AbstractDBObject
+
+    obj = AbstractDBObject.decode(wrapper.get_obj(1))
+    assert _LABEL_ATTR not in obj.attrs
+
+
+def test_delete_missing_attr():
+    wrapper = make_wrapper()
+    created = run(wrapper, encode_new("A"))
+    assert run(wrapper, encode_del(created.aoid, "ghost")).status == OODB_NOATTR
+
+
+def test_stale_generation_everywhere():
+    wrapper = make_wrapper()
+    run(wrapper, encode_new("A"))
+    stale = make_aoid(1, 99)
+    assert run(wrapper, encode_set(stale, "k", 1)).status == OODB_STALE
+    assert run(wrapper, encode_free(stale)).status == OODB_STALE
+
+
+def test_read_only_rejects_mutations():
+    wrapper = make_wrapper()
+    assert run(wrapper, encode_new("A"), read_only=True).status != 0

@@ -1,0 +1,34 @@
+"""The ``python -m repro`` entry point."""
+
+import sys
+
+import pytest
+
+import repro.__main__ as cli
+
+
+def run_cli(*argv, capsys=None):
+    old = sys.argv
+    sys.argv = ["repro", *argv]
+    try:
+        return cli.main()
+    finally:
+        sys.argv = old
+
+
+def test_version_command(capsys):
+    assert run_cli("version") == 0
+    import repro
+
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_unknown_command_prints_usage(capsys):
+    assert run_cli("nonsense") == 2
+    assert "python -m repro" in capsys.readouterr().out
+
+
+def test_demo_runs_end_to_end(capsys):
+    assert run_cli("demo") == 0
+    out = capsys.readouterr().out
+    assert "all replicas agree" in out

@@ -1,0 +1,32 @@
+"""Virtual clock semantics."""
+
+import pytest
+
+from repro.util.clock import ManualClock
+
+
+def test_starts_at_zero():
+    assert ManualClock().now() == 0.0
+
+
+def test_advance_accumulates():
+    clock = ManualClock()
+    clock.advance(1.5)
+    clock.advance(0.25)
+    assert clock.now() == pytest.approx(1.75)
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        ManualClock().advance(-0.1)
+
+
+def test_set_rejects_backwards():
+    clock = ManualClock(start=5.0)
+    with pytest.raises(ValueError):
+        clock.set(4.0)
+
+
+def test_now_micros():
+    clock = ManualClock(start=1.5)
+    assert clock.now_micros() == 1_500_000

@@ -1,0 +1,56 @@
+"""Counters: accumulation, snapshots, diffs, merging."""
+
+import pytest
+
+from repro.util.stats import Counters
+
+
+def test_default_zero():
+    assert Counters().get("nothing") == 0
+
+
+def test_add_and_get():
+    c = Counters()
+    c.add("msgs")
+    c.add("msgs", 4)
+    assert c.get("msgs") == 5
+
+
+def test_negative_add_rejected():
+    with pytest.raises(ValueError):
+        Counters().add("x", -1)
+
+
+def test_snapshot_is_decoupled():
+    c = Counters()
+    c.add("x")
+    snap = c.snapshot()
+    c.add("x")
+    assert snap["x"] == 1
+    assert c.get("x") == 2
+
+
+def test_diff_reports_only_changes():
+    c = Counters()
+    c.add("a", 2)
+    snap = c.snapshot()
+    c.add("a", 3)
+    c.add("b")
+    assert c.diff(snap) == {"a": 3, "b": 1}
+
+
+def test_merge_sums():
+    a, b = Counters(), Counters()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 5)
+    a.merge(b)
+    assert a.get("x") == 3
+    assert a.get("y") == 5
+
+
+def test_iteration_sorted():
+    c = Counters()
+    c.add("zeta")
+    c.add("alpha")
+    assert [name for name, _ in c] == ["alpha", "zeta"]

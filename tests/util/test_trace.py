@@ -1,0 +1,79 @@
+"""Tracer: bounded structured event log."""
+
+import pytest
+
+from repro.util.trace import Tracer, emit
+
+
+def test_emit_and_query():
+    tracer = Tracer()
+    tracer.emit("R0", "view_change", view=1)
+    tracer.emit("R1", "view_change", view=1)
+    tracer.emit("R0", "checkpoint", seqno=16)
+    assert tracer.count("view_change") == 2
+    assert len(tracer.events(source="R0")) == 2
+    assert tracer.events(kind="checkpoint")[0].fields == {"seqno": 16}
+
+
+def test_clock_stamps_events():
+    now = {"t": 0.0}
+    tracer = Tracer(clock=lambda: now["t"])
+    tracer.emit("a", "x")
+    now["t"] = 2.5
+    tracer.emit("a", "y")
+    times = [event.time for event in tracer.events()]
+    assert times == [0.0, 2.5]
+
+
+def test_capacity_bounds_memory():
+    tracer = Tracer(capacity=10)
+    for i in range(25):
+        tracer.emit("a", "tick", i=i)
+    assert len(tracer) == 10
+    assert tracer.events()[0].fields["i"] == 15
+
+
+def test_dump_is_readable():
+    tracer = Tracer()
+    tracer.emit("R0", "recovery_completed", seqno=42)
+    text = tracer.dump()
+    assert "R0" in text and "recovery_completed" in text and "seqno=42" in text
+
+
+def test_emit_helper_noop_when_disabled():
+    emit(None, "R0", "nothing")  # must not raise
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.emit("a", "x")
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_cluster_tracing_end_to_end():
+    from repro.bft.config import BFTConfig
+    from repro.bft.testing import encode_set, kv_cluster
+
+    cluster = kv_cluster(config=BFTConfig(checkpoint_interval=8, log_window=16))
+    # kv_cluster has no trace flag; build one directly for the traced run.
+    from repro.bft.cluster import Cluster
+    from repro.bft.testing import KVStateMachine
+
+    cluster = Cluster(
+        lambda rid: (lambda: KVStateMachine(num_slots=16)),
+        config=BFTConfig(checkpoint_interval=8, log_window=16),
+        trace=True,
+    )
+    client = cluster.client("C0")
+    for i in range(12):
+        client.invoke(encode_set(i % 4, bytes([i])), timeout=60)
+    cluster.crash("R0")
+    client.invoke(encode_set(0, b"fo"), timeout=60)
+    cluster.settle(1.0)
+    tracer = cluster.tracer
+    assert tracer.count("checkpoint_stable") >= 3
+    assert tracer.count("view_change_started") >= 1
+    assert tracer.count("view_adopted") >= 3
+    adopted = tracer.events(kind="view_adopted")
+    assert all(event.fields["view"] == 1 for event in adopted)

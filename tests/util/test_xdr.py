@@ -1,0 +1,120 @@
+"""XDR codec: round-trips, alignment, and malformed-input rejection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.xdr import U32_MAX, U64_MAX, XdrDecoder, XdrEncoder, XdrError
+
+
+class TestScalars:
+    def test_u32_roundtrip(self):
+        enc = XdrEncoder().pack_u32(0).pack_u32(1).pack_u32(U32_MAX)
+        dec = XdrDecoder(enc.getvalue())
+        assert [dec.unpack_u32() for _ in range(3)] == [0, 1, U32_MAX]
+        dec.done()
+
+    def test_u32_range_check(self):
+        with pytest.raises(XdrError):
+            XdrEncoder().pack_u32(-1)
+        with pytest.raises(XdrError):
+            XdrEncoder().pack_u32(U32_MAX + 1)
+
+    def test_i32_roundtrip(self):
+        enc = XdrEncoder().pack_i32(-(2**31)).pack_i32(2**31 - 1)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_i32() == -(2**31)
+        assert dec.unpack_i32() == 2**31 - 1
+
+    def test_u64_roundtrip(self):
+        enc = XdrEncoder().pack_u64(U64_MAX)
+        assert XdrDecoder(enc.getvalue()).unpack_u64() == U64_MAX
+
+    def test_i64_negative(self):
+        enc = XdrEncoder().pack_i64(-123456789012345)
+        assert XdrDecoder(enc.getvalue()).unpack_i64() == -123456789012345
+
+    def test_bool_roundtrip(self):
+        enc = XdrEncoder().pack_bool(True).pack_bool(False)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_bool() is True
+        assert dec.unpack_bool() is False
+
+    def test_bool_rejects_other_values(self):
+        with pytest.raises(XdrError):
+            XdrDecoder(XdrEncoder().pack_u32(2).getvalue()).unpack_bool()
+
+
+class TestOpaque:
+    def test_opaque_is_padded_to_four_bytes(self):
+        data = XdrEncoder().pack_opaque(b"abcde").getvalue()
+        assert len(data) == 4 + 8  # length word + 5 bytes padded to 8
+
+    def test_opaque_roundtrip_various_lengths(self):
+        for n in range(0, 9):
+            blob = bytes(range(n))
+            out = XdrDecoder(XdrEncoder().pack_opaque(blob).getvalue()).unpack_opaque()
+            assert out == blob
+
+    def test_fixed_opaque_size_mismatch(self):
+        with pytest.raises(XdrError):
+            XdrEncoder().pack_fixed_opaque(b"abc", 4)
+
+    def test_nonzero_padding_rejected(self):
+        enc = XdrEncoder().pack_u32(1)
+        corrupted = enc.getvalue() + b"a\x01\x00\x00"
+        with pytest.raises(XdrError):
+            XdrDecoder(corrupted).unpack_opaque()
+
+    def test_opaque_max_length_enforced(self):
+        data = XdrEncoder().pack_opaque(b"12345678").getvalue()
+        with pytest.raises(XdrError):
+            XdrDecoder(data).unpack_opaque(max_length=4)
+
+
+class TestStringsAndArrays:
+    def test_string_unicode_roundtrip(self):
+        text = "héllo/wörld☃"
+        assert XdrDecoder(XdrEncoder().pack_string(text).getvalue()).unpack_string() == text
+
+    def test_array_roundtrip(self):
+        items = [3, 1, 4, 1, 5]
+        enc = XdrEncoder().pack_array(items, lambda e, x: e.pack_u32(x))
+        out = XdrDecoder(enc.getvalue()).unpack_array(lambda d: d.unpack_u32())
+        assert out == items
+
+    def test_array_max_length(self):
+        enc = XdrEncoder().pack_array([1, 2, 3], lambda e, x: e.pack_u32(x))
+        with pytest.raises(XdrError):
+            XdrDecoder(enc.getvalue()).unpack_array(lambda d: d.unpack_u32(), max_length=2)
+
+
+class TestStreamDiscipline:
+    def test_truncated_stream(self):
+        with pytest.raises(XdrError):
+            XdrDecoder(b"\x00\x00").unpack_u32()
+
+    def test_done_flags_trailing_bytes(self):
+        dec = XdrDecoder(XdrEncoder().pack_u32(1).pack_u32(2).getvalue())
+        dec.unpack_u32()
+        with pytest.raises(XdrError):
+            dec.done()
+
+    def test_empty_stream_done(self):
+        XdrDecoder(b"").done()
+
+
+@given(st.binary(max_size=200), st.integers(0, U64_MAX), st.text(max_size=50))
+def test_mixed_roundtrip_property(blob, number, text):
+    enc = XdrEncoder().pack_opaque(blob).pack_u64(number).pack_string(text)
+    dec = XdrDecoder(enc.getvalue())
+    assert dec.unpack_opaque() == blob
+    assert dec.unpack_u64() == number
+    assert dec.unpack_string() == text
+    dec.done()
+
+
+@given(st.lists(st.binary(max_size=30), max_size=20))
+def test_opaque_array_roundtrip_property(blobs):
+    enc = XdrEncoder().pack_array(blobs, lambda e, b: e.pack_opaque(b))
+    out = XdrDecoder(enc.getvalue()).unpack_array(lambda d: d.unpack_opaque())
+    assert out == blobs
