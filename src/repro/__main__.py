@@ -2,12 +2,15 @@
 
     python -m repro demo       # heterogeneous replicated NFS walkthrough
     python -m repro andrew 2   # Andrew benchmark at a given scale
+    python -m repro lint       # determinism & protocol-invariant linter
     python -m repro version
 """
 
 from __future__ import annotations
 
 import sys
+from pathlib import Path
+from typing import List, Optional
 
 
 def _demo() -> None:
@@ -41,20 +44,45 @@ def _demo() -> None:
     print("all replicas agree" if len(set(roots.values())) == 1 else "DIVERGED")
 
 
+def _andrew_script_path() -> Path:
+    """Locate ``examples/andrew_benchmark.py`` independent of the cwd.
+
+    The script lives next to the source tree (``src/repro/`` →
+    ``examples/``), so resolve it from this module's location; fall back to
+    the cwd so an installed package still works when run from a checkout.
+    """
+    here = Path(__file__).resolve()
+    candidates = [parent / "examples" / "andrew_benchmark.py" for parent in here.parents]
+    candidates.append(Path.cwd() / "examples" / "andrew_benchmark.py")
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    raise FileNotFoundError(
+        "examples/andrew_benchmark.py not found relative to the repro package "
+        "or the current directory; run from a source checkout"
+    )
+
+
 def _andrew(scale: int) -> None:
     import runpy
 
-    sys.argv = ["andrew_benchmark.py", str(scale)]
-    runpy.run_path("examples/andrew_benchmark.py", run_name="__main__")
+    script = _andrew_script_path()
+    sys.argv = [str(script), str(scale)]
+    runpy.run_path(str(script), run_name="__main__")
 
 
-def main() -> int:
-    command = sys.argv[1] if len(sys.argv) > 1 else "demo"
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    command = args[0] if args else "demo"
     if command == "demo":
         _demo()
     elif command == "andrew":
-        scale = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+        scale = int(args[1]) if len(args) > 1 else 2
         _andrew(scale)
+    elif command == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(args[1:])
     elif command == "version":
         import repro
 

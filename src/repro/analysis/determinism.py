@@ -1,0 +1,370 @@
+"""DET0xx: determinism rules for replica-executed code.
+
+Replicas must behave as deterministic state machines (paper section 2.2):
+given the same operation sequence and the same agreed ``nondet`` values,
+every replica must produce byte-identical abstract state and replies.  These
+rules ban the Python constructs that silently break that contract.  They run
+only on files inside the configured deterministic scope — client code,
+benchmarks, and the simulation kernel may do whatever they like.
+
+Legitimate exceptions carry an inline suppression with a reason::
+
+    key = hash(self.raw)  # repro: allow[DET008] client-side only, never replicated
+
+See ``docs/determinism.md`` for the full catalogue with examples.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.analysis.registry import FileContext, file_rule
+from repro.analysis.violations import Violation
+
+# -- DET001: wall clocks -----------------------------------------------------------
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.asctime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@file_rule(
+    "DET001",
+    "wall-clock-read",
+    "replica code must not read the host clock; use the agreed nondet timestamp",
+    deterministic_only=True,
+)
+def det001_wall_clock(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            dotted = ctx.resolve_call(node)
+            if dotted in _WALL_CLOCK_CALLS:
+                yield ctx.violation(
+                    "DET001",
+                    node,
+                    f"wall-clock read `{dotted}()` diverges replicas; thread the "
+                    "agreed nondet timestamp (repro.bft.nondet) instead",
+                )
+
+
+# -- DET002: unseeded randomness ---------------------------------------------------
+
+_RANDOM_MODULE_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "randbytes",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "triangular",
+    "betavariate",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "lognormvariate",
+    "normalvariate",
+    "vonmisesvariate",
+    "paretovariate",
+    "weibullvariate",
+    "getrandbits",
+    "seed",
+}
+
+
+@file_rule(
+    "DET002",
+    "unseeded-randomness",
+    "only seeded random.Random(seed) instances are deterministic across replicas",
+    deterministic_only=True,
+)
+def det002_unseeded_random(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.resolve_call(node)
+        if dotted is None:
+            continue
+        if dotted == "random.SystemRandom":
+            yield ctx.violation(
+                "DET002",
+                node,
+                "random.SystemRandom draws OS entropy and can never agree "
+                "across replicas",
+            )
+        elif dotted == "random.Random":
+            if not node.args and not node.keywords:
+                yield ctx.violation(
+                    "DET002",
+                    node,
+                    "unseeded random.Random() seeds from OS entropy; pass an "
+                    "explicit per-replica seed (random.Random(seed))",
+                )
+        elif dotted.startswith("random.") and dotted[len("random.") :] in _RANDOM_MODULE_FNS:
+            yield ctx.violation(
+                "DET002",
+                node,
+                f"module-level `{dotted}()` uses the process-global unseeded "
+                "generator; use a seeded random.Random(seed) instance",
+            )
+
+
+# -- DET003: OS entropy and unique-id sources --------------------------------------
+
+
+@file_rule(
+    "DET003",
+    "os-entropy",
+    "os.urandom/uuid/secrets values differ per replica by construction",
+    deterministic_only=True,
+)
+def det003_entropy(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.resolve_call(node)
+        if dotted is None:
+            continue
+        if dotted in ("os.urandom", "uuid.uuid1", "uuid.uuid4") or dotted.startswith(
+            "secrets."
+        ):
+            yield ctx.violation(
+                "DET003",
+                node,
+                f"`{dotted}()` is an OS entropy source; derive identifiers from "
+                "replicated state or the agreed nondet value",
+            )
+
+
+# -- DET004: environment / filesystem / network ------------------------------------
+
+_AMBIENT_CALLS = {
+    "open",
+    "io.open",
+    "os.getenv",
+    "os.putenv",
+    "os.getcwd",
+    "os.getpid",
+    "os.listdir",
+    "os.scandir",
+    "os.stat",
+    "os.lstat",
+    "os.walk",
+    "os.remove",
+    "os.rename",
+    "os.replace",
+    "os.mkdir",
+    "os.makedirs",
+    "os.rmdir",
+    "os.unlink",
+    "os.open",
+    "os.read",
+    "os.write",
+    "pathlib.Path.cwd",
+    "pathlib.Path.home",
+    "socket.socket",
+    "socket.gethostname",
+    "socket.gethostbyname",
+    "platform.node",
+}
+
+_AMBIENT_MODULES = {"socket", "subprocess", "urllib", "http", "shutil", "tempfile"}
+
+
+@file_rule(
+    "DET004",
+    "ambient-environment",
+    "replica state may only come from the replicated op stream, never the host",
+    deterministic_only=True,
+)
+def det004_ambient(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            dotted = ctx.resolve_call(node)
+            if dotted in _AMBIENT_CALLS:
+                yield ctx.violation(
+                    "DET004",
+                    node,
+                    f"`{dotted}()` reads host-local ambient state (environment/"
+                    "filesystem/network); replicas would diverge",
+                )
+        elif isinstance(node, ast.Attribute):
+            dotted = ctx.resolve_attr_chain(node)
+            if dotted == "os.environ":
+                yield ctx.violation(
+                    "DET004",
+                    node,
+                    "`os.environ` differs per host; pass configuration through "
+                    "the service constructor instead",
+                )
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for name in _imported_modules(node):
+                if name.split(".")[0] in _AMBIENT_MODULES:
+                    yield ctx.violation(
+                        "DET004",
+                        node,
+                        f"importing `{name}` in deterministic-execution code; "
+                        "I/O belongs outside the replica boundary",
+                    )
+
+
+# -- DET005: concurrency and scheduling --------------------------------------------
+
+_CONCURRENCY_MODULES = {"threading", "_thread", "multiprocessing", "asyncio", "concurrent"}
+
+
+@file_rule(
+    "DET005",
+    "concurrency",
+    "thread/async scheduling is nondeterministic; replicas execute sequentially",
+    deterministic_only=True,
+)
+def det005_concurrency(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for name in _imported_modules(node):
+                if name.split(".")[0] in _CONCURRENCY_MODULES:
+                    yield ctx.violation(
+                        "DET005",
+                        node,
+                        f"importing `{name}` in deterministic-execution code; "
+                        "interleaving differs across replicas",
+                    )
+        elif isinstance(node, ast.Call):
+            if ctx.resolve_call(node) == "time.sleep":
+                yield ctx.violation(
+                    "DET005",
+                    node,
+                    "`time.sleep()` blocks on the host scheduler; use simulated "
+                    "time (repro.util.clock) if delay semantics are needed",
+                )
+        elif isinstance(node, (ast.AsyncFunctionDef, ast.Await)):
+            yield ctx.violation(
+                "DET005",
+                node,
+                "async execution interleaves nondeterministically; replica code "
+                "must be sequential",
+            )
+
+
+# -- DET006: memory addresses as values --------------------------------------------
+
+
+@file_rule(
+    "DET006",
+    "address-dependent-value",
+    "id() returns a memory address: different on every replica",
+    deterministic_only=True,
+)
+def det006_id(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and ctx.resolve_call(node) == "id":
+            yield ctx.violation(
+                "DET006",
+                node,
+                "`id()` is a memory address; keys and identifiers derived from "
+                "it diverge replicas — allocate explicit ids instead",
+            )
+
+
+# -- DET007: unordered set iteration ------------------------------------------------
+
+
+def _is_set_expression(node: ast.AST, ctx: FileContext) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = ctx.resolve_call(node)
+        if dotted in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        # set algebra on set expressions (a | b, a - b, ...)
+        return _is_set_expression(node.left, ctx) or _is_set_expression(node.right, ctx)
+    return False
+
+
+_ORDER_SENSITIVE_CONSUMERS = {"list", "tuple", "enumerate", "iter", "next"}
+
+
+@file_rule(
+    "DET007",
+    "unordered-set-iteration",
+    "set iteration order is arbitrary; sort before feeding state or digests",
+    deterministic_only=True,
+)
+def det007_set_iteration(ctx: FileContext) -> Iterator[Violation]:
+    def flag(node: ast.AST) -> Violation:
+        return ctx.violation(
+            "DET007",
+            node,
+            "iterating a set in replica code: the order is arbitrary and "
+            "feeds state or digests nondeterministically — wrap in sorted()",
+        )
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expression(node.iter, ctx):
+                yield flag(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+            for generator in node.generators:
+                if _is_set_expression(generator.iter, ctx):
+                    yield flag(generator.iter)
+        elif isinstance(node, ast.Call):
+            dotted = ctx.resolve_call(node)
+            consumes = dotted in _ORDER_SENSITIVE_CONSUMERS or (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+            )
+            if consumes and node.args and _is_set_expression(node.args[0], ctx):
+                yield flag(node.args[0])
+
+
+# -- DET008: builtin hash() ---------------------------------------------------------
+
+
+@file_rule(
+    "DET008",
+    "randomized-hash",
+    "builtin hash() of str/bytes is per-process randomized (PYTHONHASHSEED)",
+    deterministic_only=True,
+)
+def det008_hash(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and ctx.resolve_call(node) == "hash":
+            yield ctx.violation(
+                "DET008",
+                node,
+                "builtin `hash()` is salted per process; use a stable digest "
+                "(repro.crypto.digest) for anything that feeds replicated state",
+            )
+
+
+# -- shared helpers -----------------------------------------------------------------
+
+
+def _imported_modules(node: ast.AST) -> Iterator[str]:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.name
+    elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        yield node.module

@@ -1,0 +1,69 @@
+"""Text and JSON reporters for lint results.
+
+Text output is one ``path:line:col: RULE message`` diagnostic per line (the
+format editors and CI log scanners already understand) plus a one-line
+summary.  JSON output is a stable, versioned document for tooling::
+
+    {"version": 1, "clean": false, "files_checked": 70,
+     "violations": [{"rule": "DET001", "path": "...", "line": 12, ...}]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.engine import LintResult
+from repro.analysis.registry import META_RULES, all_rules
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines: List[str] = [violation.render() for violation in result.violations]
+    if result.violations:
+        counts = {}
+        for violation in result.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        breakdown = ", ".join(f"{rule}×{n}" for rule, n in sorted(counts.items()))
+        lines.append(
+            f"{len(result.violations)} violation(s) in {result.files_checked} "
+            f"file(s) checked ({breakdown})"
+        )
+    else:
+        lines.append(
+            f"clean: {result.files_checked} file(s) checked, "
+            f"{result.suppressions_used} suppression(s) in use"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    document = {
+        "version": JSON_FORMAT_VERSION,
+        "clean": result.clean,
+        "files_checked": result.files_checked,
+        "suppressions_used": result.suppressions_used,
+        "violations": [
+            {
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "message": violation.message,
+            }
+            for violation in result.violations
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    lines = ["registered rules:"]
+    for info in all_rules():
+        scope = "det-scope" if info.deterministic_only else info.kind
+        lines.append(f"  {info.id}  [{scope}] {info.name}: {info.summary}")
+    lines.append("meta diagnostics:")
+    for rule_id in sorted(META_RULES):
+        lines.append(f"  {rule_id}  {META_RULES[rule_id]}")
+    return "\n".join(lines)

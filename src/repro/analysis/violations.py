@@ -1,0 +1,46 @@
+"""Violation and suppression records shared by the rules, engine, and
+reporters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One diagnostic: ``path:line:col: RULE message``."""
+
+    rule: str
+    path: str  # project-relative, posix separators
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass
+class Suppression:
+    """One inline ``# repro: allow[RULE] reason`` annotation.
+
+    ``line`` is the line the comment sits on; it suppresses matching
+    violations on that line, or — when the comment has the line to itself —
+    on the next non-blank, non-comment line (``target_line``).
+    """
+
+    rules: List[str]
+    reason: str
+    line: int
+    target_line: int
+    path: str
+    used: bool = field(default=False)
+
+    def covers(self, violation: Violation) -> bool:
+        if violation.line not in (self.line, self.target_line):
+            return False
+        return violation.rule in self.rules

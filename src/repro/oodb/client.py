@@ -48,6 +48,7 @@ class AOid:
         return isinstance(other, AOid) and other.raw == self.raw
 
     def __hash__(self) -> int:
+        # repro: allow[DET008] in-process dict key for the client's handle cache; never replicated
         return hash(self.raw)
 
     def __repr__(self) -> str:

@@ -36,6 +36,7 @@ class Ref:
         return isinstance(other, Ref) and other.handle == self.handle
 
     def __hash__(self) -> int:
+        # repro: allow[DET008] hashability for in-process lookups only; digests of refs use the XDR encoding
         return hash(("Ref", self.handle))
 
     def __repr__(self) -> str:

@@ -1,0 +1,69 @@
+"""CLI front end: stable exit codes and report formats."""
+
+import json
+import textwrap
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_USAGE, EXIT_VIOLATIONS, main
+
+
+def write_project(tmp_path, source):
+    (tmp_path / "pyproject.toml").write_text(
+        textwrap.dedent(
+            """
+            [tool.repro.lint]
+            paths = ["src"]
+            deterministic-scope = ["src"]
+            """
+        ),
+        encoding="utf-8",
+    )
+    module = tmp_path / "src" / "module.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(source, encoding="utf-8")
+
+
+def test_exit_zero_on_clean_project(tmp_path, capsys):
+    write_project(tmp_path, "VALUE = 1\n")
+    assert main(["--root", str(tmp_path)]) == EXIT_CLEAN
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_with_file_line_diagnostic(tmp_path, capsys):
+    write_project(tmp_path, "import time\nstamp = time.time()\n")
+    assert main(["--root", str(tmp_path)]) == EXIT_VIOLATIONS
+    out = capsys.readouterr().out
+    assert "src/module.py:2:" in out and "DET001" in out
+
+
+def test_json_format_is_versioned_and_parseable(tmp_path, capsys):
+    write_project(tmp_path, "import time\nstamp = time.time()\n")
+    assert main(["--root", str(tmp_path), "--format", "json"]) == EXIT_VIOLATIONS
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    assert document["clean"] is False
+    assert document["violations"][0]["rule"] == "DET001"
+    assert document["violations"][0]["line"] == 2
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    write_project(tmp_path, "VALUE = 1\n")
+    assert main(["--root", str(tmp_path), "no/such/dir"]) == EXIT_USAGE
+
+
+def test_exit_two_on_bad_flag(tmp_path, capsys):
+    assert main(["--format", "yaml"]) == EXIT_USAGE
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "PROTO101", "STATE200", "LINT903"):
+        assert rule_id in out
+
+
+def test_explicit_path_narrows_the_run(tmp_path, capsys):
+    write_project(tmp_path, "import time\nstamp = time.time()\n")
+    clean = tmp_path / "src" / "clean.py"
+    clean.write_text("VALUE = 1\n", encoding="utf-8")
+    code = main(["--root", str(tmp_path), "src/clean.py"])
+    assert code == EXIT_CLEAN

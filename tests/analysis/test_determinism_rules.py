@@ -1,0 +1,243 @@
+"""DET0xx rules: each fires on the nondeterministic form and stays quiet on
+the deterministic one (the bad/good pairs from docs/determinism.md)."""
+
+import textwrap
+
+from tests.analysis.util import lint_det_source, rules_fired, run_lint
+
+
+def lint(tmp_path, source, **kwargs):
+    return lint_det_source(tmp_path, textwrap.dedent(source), **kwargs)
+
+
+# -- DET001 wall clocks -------------------------------------------------------
+
+
+def test_time_time_flagged(tmp_path):
+    result = lint(tmp_path, "import time\nstamp = time.time()\n")
+    assert rules_fired(result) == ["DET001"]
+    assert result.violations[0].line == 2
+
+
+def test_datetime_now_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        """
+        from datetime import datetime
+        when = datetime.now()
+        """,
+    )
+    assert rules_fired(result) == ["DET001"]
+
+
+def test_aliased_time_import_flagged(tmp_path):
+    result = lint(tmp_path, "import time as t\nstamp = t.monotonic()\n")
+    assert rules_fired(result) == ["DET001"]
+
+
+def test_agreed_timestamp_not_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        """
+        def execute(op, client_id, timestamp_micros):
+            return timestamp_micros + 1
+        """,
+    )
+    assert result.clean
+
+
+# -- DET002 randomness --------------------------------------------------------
+
+
+def test_module_level_random_flagged(tmp_path):
+    result = lint(tmp_path, "import random\nx = random.random()\n")
+    assert rules_fired(result) == ["DET002"]
+
+
+def test_unseeded_random_instance_flagged(tmp_path):
+    result = lint(tmp_path, "import random\nrng = random.Random()\n")
+    assert rules_fired(result) == ["DET002"]
+
+
+def test_seeded_random_instance_allowed(tmp_path):
+    result = lint(tmp_path, "import random\nrng = random.Random(42)\n")
+    assert result.clean
+
+
+def test_seeded_instance_methods_allowed(tmp_path):
+    result = lint(
+        tmp_path,
+        """
+        import random
+
+        class FS:
+            def __init__(self, seed):
+                self._rng = random.Random(seed)
+
+            def salt(self):
+                return self._rng.getrandbits(16)
+        """,
+    )
+    assert result.clean
+
+
+def test_system_random_always_flagged(tmp_path):
+    result = lint(tmp_path, "import random\nrng = random.SystemRandom(1)\n")
+    assert rules_fired(result) == ["DET002"]
+
+
+def test_from_import_random_flagged(tmp_path):
+    result = lint(tmp_path, "from random import shuffle\nshuffle([1, 2])\n")
+    assert rules_fired(result) == ["DET002"]
+
+
+# -- DET003 entropy -----------------------------------------------------------
+
+
+def test_urandom_uuid_secrets_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        """
+        import os, uuid, secrets
+        a = os.urandom(8)
+        b = uuid.uuid4()
+        c = secrets.token_bytes(8)
+        """,
+    )
+    assert rules_fired(result) == ["DET003"]
+    assert len(result.violations) == 3
+
+
+# -- DET004 ambient environment ----------------------------------------------
+
+
+def test_open_and_environ_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        """
+        import os
+        data = open("/etc/hostname").read()
+        home = os.environ["HOME"]
+        """,
+    )
+    assert rules_fired(result) == ["DET004"]
+    assert len(result.violations) == 2
+
+
+def test_socket_import_flagged(tmp_path):
+    result = lint(tmp_path, "import socket\n")
+    assert rules_fired(result) == ["DET004"]
+
+
+def test_method_named_open_not_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        """
+        class Box:
+            def open(self):
+                return 1
+
+        Box().open()
+        """,
+    )
+    assert result.clean
+
+
+# -- DET005 concurrency -------------------------------------------------------
+
+
+def test_threading_import_flagged(tmp_path):
+    result = lint(tmp_path, "import threading\n")
+    assert rules_fired(result) == ["DET005"]
+
+
+def test_async_def_flagged(tmp_path):
+    result = lint(tmp_path, "async def work():\n    return 1\n")
+    assert rules_fired(result) == ["DET005"]
+
+
+def test_time_sleep_flagged(tmp_path):
+    result = lint(tmp_path, "import time\ntime.sleep(1)\n")
+    assert rules_fired(result) == ["DET005"]
+
+
+# -- DET006 id() --------------------------------------------------------------
+
+
+def test_id_call_flagged(tmp_path):
+    result = lint(tmp_path, "key = id(object())\n")
+    assert rules_fired(result) == ["DET006"]
+
+
+# -- DET007 set iteration -----------------------------------------------------
+
+
+def test_for_over_set_call_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        """
+        def digest_all(items):
+            out = []
+            for item in set(items):
+                out.append(item)
+            return out
+        """,
+    )
+    assert rules_fired(result) == ["DET007"]
+
+
+def test_comprehension_over_set_literal_flagged(tmp_path):
+    result = lint(tmp_path, "values = [x for x in {1, 2, 3}]\n")
+    assert rules_fired(result) == ["DET007"]
+
+
+def test_list_of_set_flagged(tmp_path):
+    result = lint(tmp_path, "values = list(set([3, 1, 2]))\n")
+    assert rules_fired(result) == ["DET007"]
+
+
+def test_sorted_set_allowed(tmp_path):
+    result = lint(
+        tmp_path,
+        """
+        def stable(items):
+            return sorted(set(items))
+        """,
+    )
+    assert result.clean
+
+
+def test_membership_test_allowed(tmp_path):
+    result = lint(
+        tmp_path,
+        """
+        live = set([1, 2, 3])
+        present = 2 in live
+        """,
+    )
+    assert result.clean
+
+
+# -- DET008 hash() ------------------------------------------------------------
+
+
+def test_builtin_hash_flagged(tmp_path):
+    result = lint(tmp_path, "shard = hash('client-7') % 4\n")
+    assert rules_fired(result) == ["DET008"]
+
+
+# -- scoping ------------------------------------------------------------------
+
+
+def test_det_rules_skip_files_outside_scope(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {"src/client/tool.py": "import time\nstamp = time.time()\n"},
+        det_scope=["src/replica"],
+    )
+    assert result.clean
+
+
+def test_disable_turns_rule_off(tmp_path):
+    result = lint(tmp_path, "key = id(object())\n", disable=["DET006"])
+    assert result.clean

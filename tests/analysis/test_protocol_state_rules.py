@@ -1,0 +1,160 @@
+"""PROTO1xx / STATE2xx rules against small synthetic protocol trees."""
+
+import textwrap
+
+from tests.analysis.util import run_lint, rules_fired
+
+MESSAGES_OK = textwrap.dedent(
+    """
+    class Message:
+        pass
+
+    class Ping(Message):
+        def signable_bytes(self):
+            enc = XdrEncoder()
+            enc.pack_string("PING")
+            return enc.getvalue()
+
+    class Pong(Message):
+        def signable_bytes(self):
+            enc = XdrEncoder()
+            enc.pack_string("PONG")
+            return enc.getvalue()
+    """
+)
+
+DISPATCH_OK = textwrap.dedent(
+    """
+    def on_message(message):
+        if isinstance(message, Ping):
+            return "ping"
+        elif isinstance(message, (Pong,)):
+            return "pong"
+    """
+)
+
+
+def lint_protocol(tmp_path, messages_src, dispatch_src):
+    return run_lint(
+        tmp_path,
+        {"src/bft/messages.py": messages_src, "src/bft/replica.py": dispatch_src},
+        det_scope=[],
+        protocol_messages="src/bft/messages.py",
+        protocol_dispatch=["src/bft"],
+    )
+
+
+def test_well_formed_protocol_is_clean(tmp_path):
+    result = lint_protocol(tmp_path, MESSAGES_OK, DISPATCH_OK)
+    assert result.clean
+
+
+def test_proto100_missing_signable_bytes(tmp_path):
+    messages = MESSAGES_OK + textwrap.dedent(
+        """
+        class Nack(Message):
+            pass
+        """
+    )
+    dispatch = DISPATCH_OK.replace("(Pong,)", "(Pong, Nack)")
+    result = lint_protocol(tmp_path, messages, dispatch)
+    assert rules_fired(result) == ["PROTO100"]
+    assert "Nack" in result.violations[0].message
+
+
+def test_proto101_unhandled_message(tmp_path):
+    result = lint_protocol(
+        tmp_path, MESSAGES_OK, "def on_message(message):\n    return None\n"
+    )
+    fired = rules_fired(result)
+    assert fired == ["PROTO101"]
+    assert len(result.violations) == 2  # both Ping and Pong lack handlers
+
+
+def test_proto102_duplicate_wire_tag(tmp_path):
+    messages = MESSAGES_OK.replace('pack_string("PONG")', 'pack_string("PING")')
+    result = lint_protocol(tmp_path, messages, DISPATCH_OK)
+    assert rules_fired(result) == ["PROTO102"]
+    assert "collides" in result.violations[0].message
+
+
+def test_proto102_missing_wire_tag(tmp_path):
+    messages = MESSAGES_OK.replace(
+        'enc.pack_string("PONG")\n', "enc.pack_u64(1)\n", 1
+    ).replace('enc.pack_string("PONG")', "enc.pack_u64(1)")
+    result = lint_protocol(tmp_path, messages, DISPATCH_OK)
+    assert "PROTO102" in rules_fired(result)
+
+
+def test_proto103_execute_without_nondet(tmp_path):
+    source = textwrap.dedent(
+        """
+        class BrokenMachine(StateMachine):
+            def execute(self, op, client_id, read_only=False):
+                return b""
+        """
+    )
+    result = run_lint(tmp_path, {"src/svc.py": source}, det_scope=[])
+    assert "PROTO103" in rules_fired(result)
+
+
+def test_proto103_accepts_timestamp_micros(tmp_path):
+    source = textwrap.dedent(
+        """
+        class GoodWrapper(ConformanceWrapper):
+            def execute(self, op, client_id, timestamp_micros, read_only=False):
+                return b""
+
+            def get_obj(self, index):
+                return b""
+
+            def put_objs(self, objects):
+                pass
+        """
+    )
+    result = run_lint(tmp_path, {"src/svc.py": source}, det_scope=[])
+    assert result.clean
+
+
+def test_state200_incomplete_wrapper(tmp_path):
+    source = textwrap.dedent(
+        """
+        class HalfWrapper(ConformanceWrapper):
+            def execute(self, op, client_id, timestamp_micros, read_only=False):
+                return b""
+
+            def get_obj(self, index):
+                return b""
+        """
+    )
+    result = run_lint(tmp_path, {"src/svc.py": source}, det_scope=[])
+    assert rules_fired(result) == ["STATE200"]
+    assert "put_objs" in result.violations[0].message
+
+
+def test_state201_incomplete_state_machine(tmp_path):
+    source = textwrap.dedent(
+        """
+        class HalfMachine(StateMachine):
+            def execute(self, op, client_id, nondet, read_only=False):
+                return b""
+
+            def take_checkpoint(self, seqno):
+                return b""
+        """
+    )
+    result = run_lint(tmp_path, {"src/svc.py": source}, det_scope=[])
+    assert rules_fired(result) == ["STATE201"]
+    assert "install_fetched" in result.violations[0].message
+
+
+def test_unrelated_classes_ignored(tmp_path):
+    source = textwrap.dedent(
+        """
+        class Plain:
+            def execute(self, op):
+                return op
+        """
+    )
+    result = run_lint(tmp_path, {"src/svc.py": source}, det_scope=[])
+    assert result.clean

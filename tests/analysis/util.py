@@ -1,0 +1,43 @@
+"""Shared helpers for the linter tests: build a throwaway project tree and
+lint it with an explicit config."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import LintResult, lint_project
+
+
+def run_lint(
+    tmp_path: Path,
+    files: Dict[str, str],
+    det_scope: Optional[List[str]] = None,
+    protocol_messages: str = "does/not/exist.py",
+    protocol_dispatch: Optional[List[str]] = None,
+    disable: Optional[List[str]] = None,
+) -> LintResult:
+    """Write ``files`` (relpath -> source) under ``tmp_path`` and lint them."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    config = LintConfig(
+        project_root=tmp_path,
+        paths=sorted({relpath.split("/")[0] for relpath in files}),
+        deterministic_scope=det_scope if det_scope is not None else ["src"],
+        protocol_messages=protocol_messages,
+        protocol_dispatch=protocol_dispatch if protocol_dispatch is not None else [],
+        disable=disable if disable is not None else [],
+    )
+    return lint_project(config)
+
+
+def lint_det_source(tmp_path: Path, source: str, disable=None) -> LintResult:
+    """Lint one module that sits inside the deterministic scope."""
+    return run_lint(tmp_path, {"src/module.py": source}, disable=disable)
+
+
+def rules_fired(result: LintResult) -> List[str]:
+    return sorted({violation.rule for violation in result.violations})

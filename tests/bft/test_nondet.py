@@ -10,9 +10,29 @@ def test_encode_decode_roundtrip():
     assert decode_timestamp(encode_timestamp(123456)) == 123456
 
 
-def test_decode_rejects_wrong_length():
+@pytest.mark.parametrize("length", [0, 1, 7, 9, 16])
+def test_decode_rejects_wrong_length(length):
     with pytest.raises(ValueError):
-        decode_timestamp(b"\x00" * 7)
+        decode_timestamp(b"\x00" * length)
+
+
+def test_accept_raises_on_wrong_length_payload():
+    """``accept`` runs at execution time, after agreement: a wrong-length
+    payload there is a protocol bug, not a Byzantine proposal, so it raises
+    rather than being silently coerced."""
+    agreement = TimestampAgreement(ManualClock(start=1.0))
+    with pytest.raises(ValueError):
+        agreement.accept(b"\x00" * 7)
+    with pytest.raises(ValueError):
+        agreement.accept(b"\x00" * 9)
+
+
+@pytest.mark.parametrize("length", [7, 9])
+def test_check_rejects_wrong_length_without_raising(length):
+    """``check`` judges a *primary's* proposal: malformed bytes must be
+    rejected (refuse-to-prepare), never raise into the replica loop."""
+    agreement = TimestampAgreement(ManualClock(start=1.0))
+    assert not agreement.check(b"\x00" * length)
 
 
 def test_propose_tracks_clock():
@@ -58,6 +78,21 @@ def test_check_rejects_garbage():
 def test_accept_returns_decoded_value():
     agreement = TimestampAgreement(ManualClock(start=5.0))
     assert agreement.accept(encode_timestamp(4_000_000)) == 4_000_000
+
+
+def test_propose_stays_monotone_after_accepting_newer_value():
+    """A new primary that just accepted a batch from its predecessor must
+    propose strictly above it, even if its own clock lags."""
+    agreement = TimestampAgreement(ManualClock(start=1.0))
+    agreement.accept(encode_timestamp(5_000_000))  # predecessor ran ahead
+    assert decode_timestamp(agreement.propose()) == 5_000_001
+
+
+def test_backup_refusal_edges_around_skew_boundary():
+    clock = ManualClock(start=1.0)
+    agreement = TimestampAgreement(clock, max_skew=1.0)
+    assert agreement.check(encode_timestamp(2_000_000))  # exactly at the bound
+    assert not agreement.check(encode_timestamp(2_000_001))  # one past it
 
 
 def test_replicas_agree_on_proposed_value():

@@ -1,0 +1,41 @@
+"""The ``python -m repro`` / ``repro`` entry point.
+
+Regression: ``repro andrew`` used to run ``examples/andrew_benchmark.py``
+through a cwd-relative path, so it crashed from any directory other than the
+repository root.  The script must now resolve relative to the package.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import _andrew_script_path, main
+
+
+def test_andrew_script_resolves_from_any_cwd(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # the old code only worked from the repo root
+    script = _andrew_script_path()
+    assert script.is_absolute()
+    assert script.is_file()
+    assert script.name == "andrew_benchmark.py"
+
+
+def test_andrew_script_matches_repo_copy():
+    repo_root = Path(__file__).resolve().parents[1]
+    assert _andrew_script_path() == repo_root / "examples" / "andrew_benchmark.py"
+
+
+def test_version_command(capsys):
+    assert main(["version"]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out and out[0].isdigit()
+
+
+def test_unknown_command_exits_2(capsys):
+    assert main(["frobnicate"]) == 2
+    assert "lint" in capsys.readouterr().out  # usage text mentions the linter
+
+
+def test_lint_subcommand_is_wired(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    assert "DET001" in capsys.readouterr().out
