@@ -3,6 +3,8 @@
     python -m repro demo       # heterogeneous replicated NFS walkthrough
     python -m repro andrew 2   # Andrew benchmark at a given scale
     python -m repro lint       # determinism & protocol-invariant linter
+    python -m repro explore    # fault-schedule exploration under safety oracles
+    python -m repro replay F   # re-execute a saved exploration repro artifact
     python -m repro version
 """
 
@@ -83,6 +85,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(args[1:])
+    elif command == "explore":
+        from repro.explore.cli import explore_main
+
+        return explore_main(args[1:])
+    elif command == "replay":
+        from repro.explore.cli import replay_main
+
+        return replay_main(args[1:])
     elif command == "version":
         import repro
 

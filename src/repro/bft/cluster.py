@@ -92,6 +92,24 @@ class Cluster:
     def restart(self, replica_id: str) -> None:
         self.network.set_down(replica_id, False)
 
+    def recover(self, replica_id: str) -> bool:
+        """Trigger one proactive recovery of a replica right now."""
+        return self.hosts[replica_id].recover_now()
+
+    def heal(self) -> None:
+        """Remove any network partition."""
+        self.network.heal_partition()
+
+    def down_replicas(self) -> List[str]:
+        return [rid for rid in self.hosts if self.network.is_down(rid)]
+
+    def restart_all_down(self) -> None:
+        """Bring every crashed replica back (mid-reboot hosts finish on
+        their own schedule and are left alone)."""
+        for replica_id, host in self.hosts.items():
+            if self.network.is_down(replica_id) and not host._mid_reboot:
+                self.restart(replica_id)
+
     def settle(self, duration: float = 0.5) -> None:
         """Let in-flight protocol traffic quiesce."""
         self.sim.run_for(duration)

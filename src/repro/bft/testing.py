@@ -7,6 +7,13 @@ The abstract state is an array of ``num_slots`` byte-string cells.  Operations
 to a ``disk`` dict so a service rebuilt by proactive recovery sees persistent
 state; tests inject corruption by mutating the disk or the in-memory cells
 directly.
+
+This module also hosts the *history-recording* harness shared by the safety
+tests and ``repro.explore``: :class:`HistoryRecorder` collects every
+replica's execution history and reply log (both segmented per service
+incarnation), :class:`RecordingKV` is the KV service instrumented to feed
+it, and :func:`recording_cluster` wires a full cluster of recording replicas
+whose state survives proactive recovery.
 """
 
 from __future__ import annotations
@@ -118,6 +125,171 @@ class KVStateMachine(StateMachine):
                 self.disk[index] = value
 
         return self.manager.install_fetched(objects, seqno, apply)
+
+
+class HistoryRecorder:
+    """Execution evidence for one cluster, fed by :class:`RecordingKV`.
+
+    Both records are *segmented per service incarnation* — a proactive
+    recovery or crash reboot opens a fresh segment, because a rebooted
+    replica legitimately rolls back to the stable checkpoint and re-executes
+    the suffix, which must not read as a double execution.
+
+    ``history_segments[rid]`` holds ordered lists of ``(client_id, op)``
+    mutations, one list per incarnation.  ``reply_logs[rid]`` holds ordered
+    lists of ``(client_id, reqid)`` recorded replies — the at-most-once
+    evidence: a reqid recorded twice for a client within one incarnation
+    means a request executed twice.
+    """
+
+    def __init__(self) -> None:
+        self.history_segments: Dict[str, List[List[Tuple[str, bytes]]]] = {}
+        self.reply_logs: Dict[str, List[List[Tuple[str, int]]]] = {}
+
+    def begin_incarnation(
+        self, replica_id: str
+    ) -> Tuple[List[Tuple[str, bytes]], List[Tuple[str, int]]]:
+        """Open fresh history/reply segments for a (re)built service."""
+        history: List[Tuple[str, bytes]] = []
+        replies: List[Tuple[str, int]] = []
+        self.history_segments.setdefault(replica_id, []).append(history)
+        self.reply_logs.setdefault(replica_id, []).append(replies)
+        return history, replies
+
+    def cumulative_histories(self) -> Dict[str, List[Tuple[str, bytes]]]:
+        """Per-replica histories concatenated across incarnations (only
+        meaningful for runs without reboots, where it equals the single
+        segment)."""
+        return {
+            rid: [entry for segment in segments for entry in segment]
+            for rid, segments in self.history_segments.items()
+        }
+
+
+class RecordingKV(KVStateMachine):
+    """KV service that reports executions and replies to a recorder."""
+
+    def __init__(self, recorder: HistoryRecorder, replica_id: str, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._history, self._replies = recorder.begin_incarnation(replica_id)
+
+    def execute(self, op: bytes, client_id: str, nondet: bytes, read_only: bool = False) -> bytes:
+        if not read_only:
+            self._history.append((client_id, bytes(op)))
+        return super().execute(op, client_id, nondet, read_only=read_only)
+
+    def record_reply(self, client_id: str, reqid: int, reply: bytes) -> None:
+        self._replies.append((client_id, reqid))
+        super().record_reply(client_id, reqid, reply)
+
+
+def is_subsequence(short: List, long: List) -> bool:
+    """Order-preserving containment (not contiguity)."""
+    it = iter(long)
+    return all(item in it for item in short)
+
+
+def prefix_divergence(histories: Dict[str, List]) -> Optional[str]:
+    """Check the SMR safety invariant over settled, reboot-free histories.
+
+    A replica that catches up by state transfer *skips* the requests covered
+    by the transferred checkpoint, so its history may have gaps — but it must
+    still be an order-preserving subsequence of the longest history: no
+    reordering, no divergent content, ever.  Returns a description of the
+    first diverging replica, or None when all histories are consistent.
+    """
+    if not histories:
+        return None
+    reference = max(histories.values(), key=len)
+    for replica_id in sorted(histories):
+        if not is_subsequence(histories[replica_id], reference):
+            return (
+                f"{replica_id}'s execution order diverged from the reference "
+                f"history ({len(histories[replica_id])} vs {len(reference)} entries)"
+            )
+    return None
+
+
+def assert_prefix_consistent(histories: Dict[str, List]) -> None:
+    problem = prefix_divergence(histories)
+    assert problem is None, problem
+
+
+def order_divergence(
+    history_segments: Dict[str, List[List[Tuple[str, bytes]]]],
+    exclude=(),
+) -> Optional[str]:
+    """Pairwise execution-order consistency across incarnation segments.
+
+    The sound mid-run form of the prefix property: for any two segments
+    (across replicas, or across one replica's incarnations), the operations
+    they *both* executed must appear in the same relative order.  Unlike the
+    subsequence check this tolerates checkpoint-rollback re-execution after
+    a reboot and replicas that are transiently ahead of each other.
+    Operations are compared as ``(client_id, op)``, which the recording
+    workloads keep unique.
+    """
+    excluded = frozenset(exclude)
+    labelled: List[Tuple[str, List[Tuple[str, bytes]]]] = [
+        (f"{rid}#{index}", segment)
+        for rid in sorted(history_segments)
+        if rid not in excluded
+        for index, segment in enumerate(history_segments[rid])
+        if segment
+    ]
+    for i, (label_a, seg_a) in enumerate(labelled):
+        positions = {}
+        for pos, entry in enumerate(seg_a):
+            positions.setdefault(entry, pos)
+        for label_b, seg_b in labelled[i + 1:]:
+            last = -1
+            for entry in seg_b:
+                pos = positions.get(entry)
+                if pos is None:
+                    continue
+                if pos < last:
+                    return (
+                        f"{label_b} and {label_a} executed common operations "
+                        f"in conflicting orders (client {entry[0]!r})"
+                    )
+                last = pos
+    return None
+
+
+def assert_order_consistent(recorder: HistoryRecorder, exclude=()) -> None:
+    problem = order_divergence(recorder.history_segments, exclude=exclude)
+    assert problem is None, problem
+
+
+def recording_cluster(
+    config=None,
+    seed: int = 0,
+    num_slots: int = 32,
+    net_config=None,
+    recorder: Optional[HistoryRecorder] = None,
+):
+    """A 4-replica recording cluster; returns ``(cluster, recorder)``.
+
+    Per-replica disks are kept internally so service state (and therefore
+    recorded histories) survives proactive-recovery reboots.
+    """
+    from repro.bft.cluster import Cluster
+
+    recorder = recorder if recorder is not None else HistoryRecorder()
+    disks: Dict[str, dict] = {}
+
+    def factory_for(replica_id: str):
+        disks.setdefault(replica_id, {})
+
+        def make() -> RecordingKV:
+            return RecordingKV(
+                recorder, replica_id, num_slots=num_slots, disk=disks[replica_id]
+            )
+
+        return make
+
+    cluster = Cluster(factory_for, config=config, seed=seed, net_config=net_config)
+    return cluster, recorder
 
 
 def kv_cluster(config=None, seed: int = 0, num_slots: int = 32, disks=None):

@@ -1,0 +1,165 @@
+"""``repro explore`` / ``repro replay`` — exploration from the command line.
+
+Exit codes (both subcommands): 0 = no safety violation, 1 = a violation was
+found (explore writes the shrunk repro artifact), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.explore.plan import FaultPlan
+from repro.explore.runner import explore, replay
+from repro.explore.shrink import load_artifact, write_artifact
+from repro.faults.plant import PLANTED_BUGS
+
+EXIT_OK = 0
+EXIT_VIOLATION = 1
+EXIT_USAGE = 2
+
+DEFAULT_ARTIFACT = "explore-repro.json"
+
+
+def _explore_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explore",
+        description="Explore seeded random fault schedules under safety oracles.",
+    )
+    parser.add_argument("--budget", type=int, default=25, help="plans to run (default 25)")
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--requests", type=int, default=24, help="workload requests per plan (default 24)"
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=6, help="max fault steps per plan (default 6)"
+    )
+    parser.add_argument(
+        "--plant",
+        choices=sorted(PLANTED_BUGS),
+        default=None,
+        help="plant a known protocol regression (exploration should find it)",
+    )
+    parser.add_argument(
+        "--check-interval",
+        type=int,
+        default=10,
+        help="events between oracle sweeps (default 10)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_ARTIFACT,
+        help=f"repro artifact path on violation (default {DEFAULT_ARTIFACT})",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true", help="skip shrinking the violating plan"
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    return parser
+
+
+def explore_main(argv: List[str]) -> int:
+    try:
+        args = _explore_parser().parse_args(argv)
+    except SystemExit as exc:
+        return EXIT_USAGE if exc.code not in (0, None) else EXIT_OK
+    if args.budget < 1 or args.requests < 1:
+        print("explore: --budget and --requests must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    log = None if args.quiet else print
+    result = explore(
+        budget=args.budget,
+        seed=args.seed,
+        requests=args.requests,
+        max_steps=args.max_steps,
+        plant=args.plant,
+        check_interval=args.check_interval,
+        shrink=not args.no_shrink,
+        log=log,
+    )
+    if not result.found:
+        print(
+            f"explore: {result.plans_run} plans (seed {result.seed}) "
+            f"held every safety oracle"
+        )
+        return EXIT_OK
+    final_plan = result.shrunk_plan or result.plan
+    final_violation = result.shrunk_violation or result.violation
+    assert final_plan is not None and final_violation is not None
+    write_artifact(
+        args.out,
+        final_plan,
+        final_violation,
+        plant=args.plant,
+        original_plan=result.plan if result.shrunk_plan else None,
+    )
+    print(
+        f"explore: VIOLATION [{final_violation.oracle}] after "
+        f"{result.plans_run} plans: {final_violation.detail}"
+    )
+    print(
+        f"explore: repro with {len(final_plan.steps)} fault steps written to "
+        f"{args.out} (replay with: repro replay {args.out})"
+    )
+    return EXIT_VIOLATION
+
+
+def _replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description="Deterministically re-execute a saved exploration repro artifact.",
+    )
+    parser.add_argument("artifact", help="path to a JSON repro artifact")
+    parser.add_argument(
+        "--check-interval",
+        type=int,
+        default=10,
+        help="events between oracle sweeps (default 10; must match the artifact run)",
+    )
+    return parser
+
+
+def replay_main(argv: List[str]) -> int:
+    try:
+        args = _replay_parser().parse_args(argv)
+    except SystemExit as exc:
+        return EXIT_USAGE if exc.code not in (0, None) else EXIT_OK
+    path = Path(args.artifact)
+    if not path.is_file():
+        print(f"replay: no such artifact: {path}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        plan, recorded, plant = load_artifact(path)
+    except (ValueError, KeyError) as exc:
+        print(f"replay: malformed artifact: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    outcome = replay(plan, plant=plant, check_interval=args.check_interval)
+    if outcome.violation is None:
+        print(
+            f"replay: no violation (recorded run saw [{recorded.get('oracle')}]); "
+            f"{outcome.events} events"
+        )
+        return EXIT_OK
+    observed = outcome.violation
+    matches = (
+        observed.oracle == recorded.get("oracle")
+        and observed.detail == recorded.get("detail")
+    )
+    print(
+        f"replay: VIOLATION [{observed.oracle}] at t={observed.time:.4f} "
+        f"(event {observed.event_index}): {observed.detail}"
+    )
+    print(
+        "replay: reproduces the recorded violation exactly"
+        if matches
+        else "replay: WARNING - violation differs from the recorded one"
+    )
+    return EXIT_VIOLATION
+
+
+def plan_from_artifact(path) -> FaultPlan:
+    """Convenience accessor used by tests and tooling."""
+    plan, _violation, _plant = load_artifact(path)
+    return plan

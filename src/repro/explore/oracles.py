@@ -1,0 +1,221 @@
+"""Continuous safety oracles, checked *during* a simulated run.
+
+Each oracle states one piece of the SMR safety contract as an explicitly
+checkable property over the live cluster plus the execution evidence a
+:class:`~repro.bft.testing.HistoryRecorder` collects:
+
+* **prefix** — any two correct incarnation histories executed their common
+  operations in the same relative order (the safety invariant itself, in
+  the form that tolerates checkpoint rollback after a reboot);
+* **commit-agreement** — no two correct replicas ever commit different
+  batches at the same sequence number;
+* **at-most-once** — within one service incarnation, a client's recorded
+  reply reqids are strictly increasing (no request executes twice);
+* **view-monotonicity** — a replica's view number never decreases within
+  one incarnation;
+* **checkpoint-stability** — for each sequence number there is exactly one
+  certifiable state digest: every stable certificate and every correct
+  replica's own checkpoint at that seqno carry the same digest.
+
+The suite registers itself as a simulator step hook, so properties are
+checked as the run unfolds (catching violations that later garbage
+collection, state transfer, or recovery would paper over), and raises
+:class:`OracleViolation` at the first offense.  Byzantine replicas named by
+the fault plan are excluded — the guarantees quantify over correct replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.bft.cluster import Cluster
+from repro.bft.testing import HistoryRecorder, order_divergence
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One safety-oracle violation, with enough context to diff replays."""
+
+    oracle: str
+    detail: str
+    time: float
+    event_index: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "oracle": self.oracle,
+            "detail": self.detail,
+            "time": self.time,
+            "event_index": self.event_index,
+        }
+
+
+class OracleViolation(Exception):
+    """Raised mid-run at the first safety violation."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(f"[{violation.oracle}] {violation.detail}")
+        self.violation = violation
+
+
+def check_reply_segments(
+    reply_logs: Dict[str, List[List[Tuple[str, int]]]],
+    exclude: Iterable[str] = (),
+) -> Optional[str]:
+    """At-most-once: per incarnation, per client, reqids strictly increase."""
+    excluded = frozenset(exclude)
+    for replica_id in sorted(reply_logs):
+        if replica_id in excluded:
+            continue
+        for incarnation, segment in enumerate(reply_logs[replica_id]):
+            last: Dict[str, int] = {}
+            for client_id, reqid in segment:
+                if reqid <= last.get(client_id, 0):
+                    return (
+                        f"{replica_id} (incarnation {incarnation}) executed "
+                        f"reqid {reqid} for {client_id} after reqid "
+                        f"{last[client_id]}"
+                    )
+                last[client_id] = reqid
+    return None
+
+
+class OracleSuite:
+    """All safety oracles over one recording cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        recorder: HistoryRecorder,
+        byzantine: Iterable[str] = (),
+        check_interval: int = 10,
+    ) -> None:
+        self.cluster = cluster
+        self.recorder = recorder
+        self.byzantine: FrozenSet[str] = frozenset(byzantine)
+        self.check_interval = max(1, check_interval)
+        self.violations: List[Violation] = []
+        # First-seen-wins evidence maps; conflicts are violations.  Keeping
+        # them across checks is what defeats garbage collection: a committed
+        # batch is remembered here even after the log drops it.
+        self._committed: Dict[int, Tuple[bytes, str]] = {}
+        self._checkpoints: Dict[int, Tuple[bytes, str]] = {}
+        self._views: Dict[str, Tuple[object, int]] = {}
+        self._events_since_check = 0
+        self._uninstall: Optional[Callable[[], None]] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def install(self) -> Callable[[], None]:
+        """Register as a simulator step hook; returns the removal callback."""
+        self._uninstall = self.cluster.sim.add_step_hook(self._on_event)
+        return self._uninstall
+
+    def uninstall(self) -> None:
+        if self._uninstall is not None:
+            self._uninstall()
+            self._uninstall = None
+
+    def _on_event(self) -> None:
+        self._events_since_check += 1
+        if self._events_since_check >= self.check_interval:
+            self._events_since_check = 0
+            self.check_now()
+
+    # -- the oracles ---------------------------------------------------------------
+
+    def correct_hosts(self):
+        return [
+            (rid, host)
+            for rid, host in self.cluster.hosts.items()
+            if rid not in self.byzantine
+        ]
+
+    def check_now(self) -> None:
+        """Run every oracle; raises :class:`OracleViolation` on the first."""
+        self._check_prefix()
+        self._check_commit_agreement()
+        self._check_at_most_once()
+        self._check_view_monotonicity()
+        self._check_checkpoint_stability()
+
+    def record_violation(self, oracle: str, detail: str) -> None:
+        violation = Violation(
+            oracle=oracle,
+            detail=detail,
+            time=self.cluster.sim.now(),
+            event_index=self.cluster.sim.events_processed,
+        )
+        self.violations.append(violation)
+        raise OracleViolation(violation)
+
+    def _check_prefix(self) -> None:
+        problem = order_divergence(
+            self.recorder.history_segments, exclude=self.byzantine
+        )
+        if problem is not None:
+            self.record_violation("prefix", problem)
+
+    def _check_commit_agreement(self) -> None:
+        for rid, host in self.correct_hosts():
+            for seqno, pre_prepare in host.replica.committed.items():
+                digest = pre_prepare.batch_digest()
+                seen = self._committed.get(seqno)
+                if seen is None:
+                    self._committed[seqno] = (digest, rid)
+                elif seen[0] != digest:
+                    self.record_violation(
+                        "commit-agreement",
+                        f"seqno {seqno}: {rid} committed batch "
+                        f"{digest.hex()[:12]} but {seen[1]} committed "
+                        f"{seen[0].hex()[:12]}",
+                    )
+
+    def _check_at_most_once(self) -> None:
+        problem = check_reply_segments(self.recorder.reply_logs, exclude=self.byzantine)
+        if problem is not None:
+            self.record_violation("at-most-once", problem)
+
+    def _check_view_monotonicity(self) -> None:
+        for rid, host in self.correct_hosts():
+            replica = host.replica
+            seen = self._views.get(rid)
+            if seen is None or seen[0] is not replica:
+                # New incarnation (reboot swaps the replica object): restart
+                # tracking; monotonicity is per incarnation.
+                self._views[rid] = (replica, replica.view)
+                continue
+            if replica.view < seen[1]:
+                self.record_violation(
+                    "view-monotonicity",
+                    f"{rid} moved backwards from view {seen[1]} to {replica.view}",
+                )
+            self._views[rid] = (replica, replica.view)
+
+    def _check_checkpoint_stability(self) -> None:
+        for rid, host in self.correct_hosts():
+            replica = host.replica
+            sources: List[Tuple[int, bytes, str]] = [
+                (seqno, checkpoint.state_digest, f"{rid} own checkpoint")
+                for seqno, checkpoint in replica.own_checkpoints.items()
+            ]
+            if replica.stable_cert is not None:
+                sources.append(
+                    (
+                        replica.stable_cert.seqno,
+                        replica.stable_cert.state_digest,
+                        f"{rid} stable certificate",
+                    )
+                )
+            for seqno, digest, source in sources:
+                seen = self._checkpoints.get(seqno)
+                if seen is None:
+                    self._checkpoints[seqno] = (digest, source)
+                elif seen[0] != digest:
+                    self.record_violation(
+                        "checkpoint-stability",
+                        f"seqno {seqno}: {source} has digest "
+                        f"{digest.hex()[:12]} but {seen[1]} has "
+                        f"{seen[0].hex()[:12]}",
+                    )

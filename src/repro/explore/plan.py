@@ -1,0 +1,262 @@
+"""The fault-plan DSL: a declarative, seed-generatable fault timeline.
+
+A :class:`FaultPlan` composes the primitives the test suite already uses by
+hand — crashes, restarts, partitions, per-node packet loss, proactive
+recoveries, and the Byzantine injectors from ``repro.faults`` — into a list
+of timestamped :class:`FaultStep`\\ s plus the run parameters (cluster seed,
+workload length, baseline loss, optional schedule-perturbation seed).  Plans
+are pure data: :func:`generate_plan` is a deterministic function of its seed,
+and the JSON codec round-trips plans byte-identically, which is what makes
+repro artifacts replayable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+PLAN_FORMAT_VERSION = 1
+
+REPLICA_IDS: Tuple[str, ...] = ("R0", "R1", "R2", "R3")
+
+# Fault steps that make their target a *Byzantine* replica: the target keeps
+# running but misbehaves with its own keys, so safety oracles must exclude it
+# from the "correct replicas" they quantify over.
+BYZANTINE_KINDS: FrozenSet[str] = frozenset(
+    {"equivocate", "lie_checkpoint", "corrupt_votes", "corrupt_results", "fabricate_cert"}
+)
+
+BENIGN_KINDS: FrozenSet[str] = frozenset(
+    {"crash", "restart", "partition", "heal", "drop", "recover"}
+)
+
+STEP_KINDS: FrozenSet[str] = BYZANTINE_KINDS | BENIGN_KINDS
+
+
+@dataclass(frozen=True)
+class FaultStep:
+    """One timestamped fault action.
+
+    at:       absolute virtual time the step fires.
+    kind:     one of STEP_KINDS.
+    target:   replica id, for steps that act on one replica.
+    groups:   partition groups (``partition`` only).
+    fraction: outbound drop fraction (``drop`` only).
+    duration: how long a ``drop`` interceptor stays installed.
+    """
+
+    at: float
+    kind: str
+    target: str = ""
+    groups: Tuple[Tuple[str, ...], ...] = ()
+    fraction: float = 0.0
+    duration: float = 0.0
+
+    def to_dict(self) -> Dict:
+        entry: Dict = {"at": self.at, "kind": self.kind}
+        if self.target:
+            entry["target"] = self.target
+        if self.groups:
+            entry["groups"] = [list(g) for g in self.groups]
+        if self.fraction:
+            entry["fraction"] = self.fraction
+        if self.duration:
+            entry["duration"] = self.duration
+        return entry
+
+    @classmethod
+    def from_dict(cls, entry: Dict) -> "FaultStep":
+        if entry["kind"] not in STEP_KINDS:
+            raise ValueError(f"unknown fault step kind {entry['kind']!r}")
+        return cls(
+            at=float(entry["at"]),
+            kind=entry["kind"],
+            target=entry.get("target", ""),
+            groups=tuple(tuple(g) for g in entry.get("groups", [])),
+            fraction=float(entry.get("fraction", 0.0)),
+            duration=float(entry.get("duration", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, replayable exploration run description."""
+
+    seed: int  # simulator/cluster seed (all protocol nondeterminism)
+    requests: int  # workload length (sequential SET operations)
+    steps: Tuple[FaultStep, ...] = ()
+    perturb_seed: Optional[int] = None  # tie-break shuffle seed (None = off)
+    drop_rate: float = 0.0  # baseline network loss for the whole run
+    recovery_period: float = 0.0  # proactive-recovery rotation (0 = off)
+
+    def byzantine_targets(self) -> FrozenSet[str]:
+        return frozenset(s.target for s in self.steps if s.kind in BYZANTINE_KINDS)
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": PLAN_FORMAT_VERSION,
+            "seed": self.seed,
+            "requests": self.requests,
+            "perturb_seed": self.perturb_seed,
+            "drop_rate": self.drop_rate,
+            "recovery_period": self.recovery_period,
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        version = data.get("version", PLAN_FORMAT_VERSION)
+        if version != PLAN_FORMAT_VERSION:
+            raise ValueError(f"unsupported plan format version {version}")
+        return cls(
+            seed=int(data["seed"]),
+            requests=int(data["requests"]),
+            perturb_seed=data.get("perturb_seed"),
+            drop_rate=float(data.get("drop_rate", 0.0)),
+            recovery_period=float(data.get("recovery_period", 0.0)),
+            steps=tuple(FaultStep.from_dict(s) for s in data.get("steps", [])),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def validate_plan(plan: FaultPlan, f: int = 1) -> List[str]:
+    """Structural sanity checks; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    last_at = -1.0
+    crashed: set = set()
+    partitioned = False
+    for step in plan.steps:
+        if step.kind not in STEP_KINDS:
+            problems.append(f"unknown kind {step.kind!r}")
+            continue
+        if step.at < last_at:
+            problems.append(f"steps not time-ordered at t={step.at}")
+        last_at = step.at
+        if step.kind == "crash":
+            if step.target in crashed:
+                problems.append(f"{step.target} crashed twice without restart")
+            crashed.add(step.target)
+            if len(crashed) > f:
+                problems.append(f"more than f={f} replicas down at once")
+        elif step.kind == "restart":
+            if step.target not in crashed:
+                problems.append(f"restart of non-crashed {step.target}")
+            crashed.discard(step.target)
+        elif step.kind == "partition":
+            if partitioned:
+                problems.append("partition while one is already active")
+            partitioned = True
+        elif step.kind == "heal":
+            if not partitioned:
+                problems.append("heal without an active partition")
+            partitioned = False
+    if crashed:
+        problems.append(f"plan ends with {sorted(crashed)} still crashed")
+    if partitioned:
+        problems.append("plan ends with an unhealed partition")
+    if len(plan.byzantine_targets()) > f:
+        problems.append(f"more than f={f} Byzantine replicas")
+    return problems
+
+
+def generate_plan(
+    seed: int,
+    requests: int = 24,
+    max_steps: int = 6,
+    replica_ids: Tuple[str, ...] = REPLICA_IDS,
+    f: int = 1,
+) -> FaultPlan:
+    """Deterministically generate one exploration plan from a seed.
+
+    The generated timeline keeps the run inside the protocol's fault
+    assumptions — at most ``f`` replicas crashed at a time (crashes are
+    paired with restarts), at most one partition at a time (paired with a
+    heal), at most ``f`` Byzantine targets — so an honest implementation must
+    satisfy every safety oracle on *every* generated plan.  Violations on
+    generated plans therefore always indicate implementation bugs.
+    """
+    rng = random.Random(seed)
+    # Step groups are (time-ordered within themselves) lists of steps that
+    # must travel together; the plan is their time-sorted merge.
+    groups: List[List[FaultStep]] = []
+
+    def t() -> float:
+        return round(rng.uniform(0.05, 1.6), 4)
+
+    if rng.random() < 0.55:  # crash/restart pair (<= f down at once: one pair)
+        victim = rng.choice(replica_ids)
+        start = t()
+        groups.append(
+            [
+                FaultStep(at=start, kind="crash", target=victim),
+                FaultStep(
+                    at=round(start + rng.uniform(0.1, 0.7), 4),
+                    kind="restart",
+                    target=victim,
+                ),
+            ]
+        )
+    if rng.random() < 0.4:  # partition/heal pair
+        split = rng.randrange(1, len(replica_ids))
+        shuffled = list(replica_ids)
+        rng.shuffle(shuffled)
+        start = t()
+        groups.append(
+            [
+                FaultStep(
+                    at=start,
+                    kind="partition",
+                    groups=(tuple(sorted(shuffled[:split])), tuple(sorted(shuffled[split:]))),
+                ),
+                FaultStep(at=round(start + rng.uniform(0.1, 0.6), 4), kind="heal"),
+            ]
+        )
+    for _ in range(rng.randrange(0, 3)):  # flaky-NIC style outbound loss
+        groups.append(
+            [
+                FaultStep(
+                    at=t(),
+                    kind="drop",
+                    target=rng.choice(replica_ids),
+                    fraction=round(rng.uniform(0.1, 0.4), 3),
+                    duration=round(rng.uniform(0.2, 1.0), 3),
+                )
+            ]
+        )
+    if rng.random() < 0.35:  # one-shot proactive recovery
+        groups.append([FaultStep(at=t(), kind="recover", target=rng.choice(replica_ids))])
+    if rng.random() < 0.45:  # one Byzantine replica (<= f)
+        kind = rng.choice(
+            ["equivocate", "equivocate", "fabricate_cert", "lie_checkpoint", "corrupt_votes", "corrupt_results"]
+        )
+        if kind == "equivocate" and rng.random() < 0.6:
+            target = replica_ids[0]  # the view-0 primary actually equivocates
+        else:
+            target = rng.choice(replica_ids)
+        groups.append([FaultStep(at=t(), kind=kind, target=target)])
+
+    # Honor the step budget without breaking pairs: drop whole groups.
+    rng.shuffle(groups)
+    steps: List[FaultStep] = []
+    for group in groups:
+        if len(steps) + len(group) > max_steps:
+            continue
+        steps.extend(group)
+    steps.sort(key=lambda s: s.at)
+
+    return FaultPlan(
+        seed=rng.randrange(2**31),
+        requests=requests,
+        steps=tuple(steps),
+        perturb_seed=rng.randrange(2**31) if rng.random() < 0.5 else None,
+        drop_rate=round(rng.uniform(0.01, 0.05), 3) if rng.random() < 0.5 else 0.0,
+        recovery_period=round(rng.uniform(2.0, 4.0), 2) if rng.random() < 0.35 else 0.0,
+    )

@@ -1,0 +1,315 @@
+"""Budgeted exploration of fault schedules, and deterministic replay.
+
+``explore`` derives a stream of fault plans from one master seed, executes
+each against a fresh recording cluster with every safety oracle installed as
+a continuous simulator hook, optionally perturbs event ordering with the
+seeded tie-break shuffle, and stops at the first violation — which it then
+shrinks to a minimal plan and packages as a replayable artifact.
+
+``run_plan`` is the single-run primitive shared by exploration, shrinking,
+replay, and the tests: one plan in, one verdict out, byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.bft.client import InvocationTimeout
+from repro.bft.cluster import Cluster
+from repro.bft.config import BFTConfig
+from repro.bft.messages import CheckpointCert
+from repro.bft.testing import encode_set, recording_cluster
+from repro.crypto.digest import digest
+from repro.explore.oracles import OracleSuite, OracleViolation, Violation
+from repro.explore.plan import FaultPlan, generate_plan
+from repro.explore.shrink import shrink_plan
+from repro.faults import (
+    drop_fraction_from,
+    make_equivocating_primary,
+    make_lying_checkpointer,
+    make_result_corruptor,
+    make_vote_corruptor,
+)
+from repro.faults.plant import PLANTED_BUGS
+from repro.net.network import NetworkConfig
+
+
+@dataclass
+class RunOutcome:
+    """Verdict of one plan execution."""
+
+    violation: Optional[Violation]
+    completed: int  # acknowledged workload requests
+    events: int  # simulator events processed
+
+    def to_dict(self) -> Dict:
+        return {
+            "violation": self.violation.to_dict() if self.violation else None,
+            "completed": self.completed,
+            "events": self.events,
+        }
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one exploration session."""
+
+    seed: int
+    budget: int
+    plans_run: int
+    plan: Optional[FaultPlan] = None  # first violating plan, unshrunk
+    violation: Optional[Violation] = None
+    shrunk_plan: Optional[FaultPlan] = None
+    shrunk_violation: Optional[Violation] = None
+    shrink_runs: int = 0
+    verdicts: List[Dict] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.violation is not None
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "plans_run": self.plans_run,
+            "plan": self.plan.to_dict() if self.plan else None,
+            "violation": self.violation.to_dict() if self.violation else None,
+            "shrunk_plan": self.shrunk_plan.to_dict() if self.shrunk_plan else None,
+            "shrunk_violation": (
+                self.shrunk_violation.to_dict() if self.shrunk_violation else None
+            ),
+            "verdicts": self.verdicts,
+        }
+
+
+# -- applying one fault step ----------------------------------------------------
+
+
+def _fabricate_checkpoint_cert(cluster: Cluster, sender_id: str) -> None:
+    """Byzantine step: send one victim a certificate with a garbage digest
+    (no valid proof quorum — only an implementation that skips verification
+    will believe it).
+
+    Prefer a sequence number some replica has already checkpointed honestly
+    but the victim has not yet stabilized: a victim that swallows the lie
+    then conflicts with existing honest evidence and the checkpoint-stability
+    oracle fires at once.  Otherwise aim at the next checkpoint boundary.
+    """
+    victims = [rid for rid in sorted(cluster.hosts) if rid != sender_id]
+    if not victims:
+        return
+    victim = victims[0]
+    victim_stable = cluster.replica(victim).stable_seqno
+    checkpointed = [
+        seqno
+        for host in cluster.hosts.values()
+        for seqno in host.replica.own_checkpoints
+        if seqno > victim_stable
+    ]
+    if checkpointed:
+        target = max(checkpointed)
+    else:
+        interval = cluster.config.checkpoint_interval
+        base = max(host.replica.last_executed for host in cluster.hosts.values())
+        target = (base // interval + 1) * interval
+    cert = CheckpointCert(
+        seqno=target, state_digest=digest(b"fabricated-checkpoint"), proof=[]
+    )
+    cluster.replica(sender_id).send(victim, cert)
+
+
+def _apply_step(cluster: Cluster, step, drop_removers: List[Callable[[], None]]) -> None:
+    kind = step.kind
+    if kind == "crash":
+        cluster.crash(step.target)
+    elif kind == "restart":
+        cluster.restart(step.target)
+    elif kind == "partition":
+        cluster.network.partition(*step.groups)
+    elif kind == "heal":
+        cluster.heal()
+    elif kind == "drop":
+        remove = drop_fraction_from(cluster.network, step.target, step.fraction)
+        drop_removers.append(remove)
+
+        def expire() -> None:
+            remove()
+            if remove in drop_removers:
+                drop_removers.remove(remove)
+
+        cluster.sim.schedule(step.duration, expire)
+    elif kind == "recover":
+        cluster.recover(step.target)
+    elif kind == "equivocate":
+        make_equivocating_primary(cluster.replica(step.target))
+    elif kind == "lie_checkpoint":
+        make_lying_checkpointer(cluster.replica(step.target))
+    elif kind == "corrupt_votes":
+        make_vote_corruptor(cluster.replica(step.target))
+    elif kind == "corrupt_results":
+        make_result_corruptor(cluster.replica(step.target))
+    elif kind == "fabricate_cert":
+        _fabricate_checkpoint_cert(cluster, step.target)
+    else:
+        raise ValueError(f"unknown fault step kind {kind!r}")
+
+
+# -- one plan, one verdict --------------------------------------------------------
+
+
+def run_plan(
+    plan: FaultPlan,
+    plant: Optional[str] = None,
+    check_interval: int = 10,
+    liveness_timeout: float = 30.0,
+) -> RunOutcome:
+    """Execute one fault plan against a fresh cluster; fully deterministic."""
+    if plant is not None and plant not in PLANTED_BUGS:
+        raise ValueError(f"unknown planted bug {plant!r}")
+    cluster, recorder = recording_cluster(
+        config=BFTConfig(
+            checkpoint_interval=8, log_window=16, recovery_period=plan.recovery_period
+        ),
+        net_config=NetworkConfig(delay=0.0005, jitter=0.0005, drop_rate=plan.drop_rate),
+        seed=plan.seed,
+    )
+    suite = OracleSuite(
+        cluster,
+        recorder,
+        byzantine=plan.byzantine_targets(),
+        check_interval=check_interval,
+    )
+    suite.install()
+    if plant is not None:
+        # Re-apply each event so the bug survives reboots (recovery swaps
+        # the replica objects the sabotage was patched onto).
+        cluster.sim.add_step_hook(PLANTED_BUGS[plant](cluster))
+    if plan.perturb_seed is not None:
+        cluster.sim.set_tiebreak(random.Random(plan.perturb_seed), window=4)
+
+    drop_removers: List[Callable[[], None]] = []
+    for step in plan.steps:
+        cluster.sim.schedule(
+            max(0.0, step.at), lambda s=step: _apply_step(cluster, s, drop_removers)
+        )
+    if plan.recovery_period > 0:
+        cluster.start_proactive_recovery()
+
+    client = cluster.client("C0")
+    completed = 0
+    violation: Optional[Violation] = None
+    try:
+        for i in range(plan.requests):
+            op = encode_set(i % 8, bytes([i % 251, plan.seed % 251]))
+            try:
+                if client.invoke(op, timeout=8.0) == b"OK":
+                    completed += 1
+            except InvocationTimeout:
+                client.cancel()
+        # Let any fault steps scheduled past the workload's end still fire.
+        horizon = max((s.at for s in plan.steps), default=0.0) + 0.5
+        if cluster.sim.now() < horizon:
+            cluster.sim.run_until(horizon)
+        # Heal the world, then demand liveness: a correct implementation
+        # must answer once faults stop and <= f replicas are Byzantine.
+        cluster.heal()
+        cluster.restart_all_down()
+        for remove in list(drop_removers):
+            remove()
+        cluster.network.config.drop_rate = 0.0
+        cluster.settle(2.0)
+        suite.check_now()
+        try:
+            client.invoke(encode_set(31, b"liveness-probe"), timeout=liveness_timeout)
+        except InvocationTimeout:
+            client.cancel()
+            violation = Violation(
+                oracle="liveness",
+                detail=(
+                    f"no reply quorum within {liveness_timeout}s of virtual time "
+                    f"after all faults were healed"
+                ),
+                time=cluster.sim.now(),
+                event_index=cluster.sim.events_processed,
+            )
+            suite.violations.append(violation)
+        if violation is None:
+            suite.check_now()
+    except OracleViolation as caught:
+        violation = caught.violation
+    return RunOutcome(
+        violation=violation, completed=completed, events=cluster.sim.events_processed
+    )
+
+
+# -- exploration sessions -----------------------------------------------------------
+
+
+def explore(
+    budget: int = 25,
+    seed: int = 0,
+    requests: int = 24,
+    max_steps: int = 6,
+    plant: Optional[str] = None,
+    check_interval: int = 10,
+    shrink: bool = True,
+    max_shrink_runs: int = 64,
+    log: Optional[Callable[[str], None]] = None,
+) -> ExploreResult:
+    """Run up to ``budget`` seeded random plans; stop at the first violation.
+
+    With a fixed ``seed`` the generated plans, their verdicts, and any shrunk
+    repro are identical across runs.
+    """
+    master = random.Random(seed)
+    result = ExploreResult(seed=seed, budget=budget, plans_run=0)
+    for index in range(budget):
+        plan = generate_plan(
+            master.randrange(2**31), requests=requests, max_steps=max_steps
+        )
+        outcome = run_plan(plan, plant=plant, check_interval=check_interval)
+        result.plans_run += 1
+        result.verdicts.append(
+            {"index": index, "plan": plan.to_dict(), "outcome": outcome.to_dict()}
+        )
+        if log is not None:
+            status = outcome.violation.oracle if outcome.violation else "ok"
+            log(
+                f"plan {index + 1}/{budget}: {len(plan.steps)} steps, "
+                f"{outcome.completed}/{plan.requests} acked, "
+                f"{outcome.events} events -> {status}"
+            )
+        if outcome.violation is not None:
+            result.plan = plan
+            result.violation = outcome.violation
+            if shrink:
+                if log is not None:
+                    log(f"shrinking {len(plan.steps)}-step violating plan ...")
+                shrunk = shrink_plan(
+                    plan,
+                    outcome.violation,
+                    lambda p: run_plan(
+                        p, plant=plant, check_interval=check_interval
+                    ).violation,
+                    max_runs=max_shrink_runs,
+                )
+                result.shrunk_plan = shrunk.plan
+                result.shrunk_violation = shrunk.violation
+                result.shrink_runs = shrunk.runs
+                if log is not None:
+                    log(
+                        f"shrunk to {len(shrunk.plan.steps)} fault steps in "
+                        f"{shrunk.runs} runs"
+                    )
+            break
+    return result
+
+
+def replay(
+    plan: FaultPlan, plant: Optional[str] = None, check_interval: int = 10
+) -> RunOutcome:
+    """Re-execute a saved plan exactly (same seeds, same verdict)."""
+    return run_plan(plan, plant=plant, check_interval=check_interval)

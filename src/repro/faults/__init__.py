@@ -25,9 +25,11 @@ from repro.faults.injector import (
     drop_fraction_from,
 )
 from repro.faults.buggy import BuggyServer, POISON
+from repro.faults.plant import PLANTED_BUGS
 from repro.faults.scenarios import AvailabilityProbe, AvailabilitySummary
 
 __all__ = [
+    "PLANTED_BUGS",
     "make_equivocating_primary",
     "make_lying_checkpointer",
     "make_result_corruptor",

@@ -1,0 +1,91 @@
+"""Plantable protocol regressions for validating the exploration engine.
+
+Unlike the injectors in :mod:`repro.faults.injector` — which model *allowed*
+Byzantine behaviour the protocol must mask — a planted bug weakens the
+protocol implementation itself, the way a bad refactor would.  Exploration
+(``repro explore --plant NAME``) must then find a fault schedule that turns
+the weakness into a safety-oracle violation, and the shrinker must reduce
+that schedule to a minimal repro.
+
+Each plant takes a :class:`~repro.bft.cluster.Cluster` and returns an
+``ensure()`` callback that (re)applies the sabotage idempotently; the
+exploration runner calls it as a simulator hook so the bug survives the
+replica-object swaps done by proactive recovery and crash reboots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+_PLANT_MARK = "_repro_planted"
+
+
+def plant_weak_prepare_quorum(cluster) -> Callable[[], None]:
+    """Regression: prepared/committed certificates accept f votes where the
+    protocol requires 2f (and f+1 commits where it requires 2f+1).
+
+    Harmless on clean schedules — honest replicas still agree — but a single
+    equivocating primary can now drive disjoint halves of the cluster to
+    commit *different* batches at the same sequence number, which the
+    commit-agreement oracle flags.
+    """
+
+    def sabotage(replica) -> None:
+        log = replica.log
+        config = log.config
+
+        def weak_prepared(slot, replica_id: str) -> bool:
+            if slot.pre_prepare is None:
+                return False
+            votes = {
+                p.replica_id
+                for p in slot.matching_prepares()
+                if p.replica_id != slot.pre_prepare.primary_id
+            }
+            return len(votes) >= config.f  # BUG: should be 2f
+
+        def weak_committed_local(slot, replica_id: str) -> bool:
+            if not weak_prepared(slot, replica_id):
+                return False
+            votes = {c.replica_id for c in slot.matching_commits()}
+            return len(votes) >= config.f + 1  # BUG: should be 2f+1
+
+        log.prepared = weak_prepared  # type: ignore[method-assign]
+        log.committed_local = weak_committed_local  # type: ignore[method-assign]
+
+    return _make_ensure(cluster, sabotage)
+
+
+def plant_blind_checkpoint_certs(cluster) -> Callable[[], None]:
+    """Regression: checkpoint certificates are trusted without verifying
+    their proof quorum.
+
+    A Byzantine replica that fabricates a certificate with a garbage state
+    digest (the ``fabricate_cert`` fault step) can now convince a correct
+    replica to mark bogus state stable — the checkpoint-stability oracle
+    flags the digest conflict as soon as any correct replica checkpoints the
+    real state at that sequence number.
+    """
+
+    def sabotage(replica) -> None:
+        replica._verify_checkpoint_cert = lambda cert: True  # type: ignore[method-assign]
+
+    return _make_ensure(cluster, sabotage)
+
+
+def _make_ensure(cluster, sabotage: Callable) -> Callable[[], None]:
+    def ensure() -> None:
+        for host in cluster.hosts.values():
+            replica = host.replica
+            if not getattr(replica, _PLANT_MARK, False):
+                sabotage(replica)
+                setattr(replica, _PLANT_MARK, True)
+
+    ensure()
+    return ensure
+
+
+PLANTED_BUGS: Dict[str, Callable] = {
+    "weak-prepare-quorum": plant_weak_prepare_quorum,
+    "blind-checkpoint-certs": plant_blind_checkpoint_certs,
+}

@@ -1,29 +1,22 @@
 """Chaos: packet loss + proactive recovery + crashes + churn, seeded and
 repeatable.  The invariant under everything ≤ f at a time: clients that get
-answers get *correct* answers, and correct replicas converge."""
+answers get *correct* answers, and correct replicas converge.  The runs are
+additionally watched live by the ``repro.explore`` oracle suite — every
+safety property is checked continuously while the chaos unfolds, not just at
+the end."""
 
 import pytest
 
 from repro.bft.client import InvocationTimeout
 from repro.bft.config import BFTConfig
-from repro.bft.testing import KVStateMachine, encode_get, encode_set
+from repro.bft.testing import encode_get, encode_set, recording_cluster
+from repro.explore.oracles import OracleSuite
 from repro.net.network import NetworkConfig
 
 
 def chaos_cluster(seed):
-    from repro.bft.cluster import Cluster
-
-    disks = {}
-
-    def factory_for(replica_id):
-        disks.setdefault(replica_id, {})
-        return lambda: KVStateMachine(num_slots=32, disk=disks[replica_id])
-
-    return Cluster(
-        factory_for,
-        config=BFTConfig(
-            checkpoint_interval=8, log_window=16, recovery_period=3.0
-        ),
+    return recording_cluster(
+        config=BFTConfig(checkpoint_interval=8, log_window=16, recovery_period=3.0),
         net_config=NetworkConfig(delay=0.0005, jitter=0.0005, drop_rate=0.03),
         seed=seed,
     )
@@ -31,7 +24,9 @@ def chaos_cluster(seed):
 
 @pytest.mark.parametrize("seed", [1, 2, 3])
 def test_chaos_run_converges(seed):
-    cluster = chaos_cluster(seed)
+    cluster, recorder = chaos_cluster(seed)
+    suite = OracleSuite(cluster, recorder, check_interval=20)
+    suite.install()
     cluster.start_proactive_recovery()
     client = cluster.client("C0")
     model = {}  # the linearized expectation, updated on acknowledged writes
@@ -52,6 +47,8 @@ def test_chaos_run_converges(seed):
 
     assert completed >= 50  # loss hurts latency, not availability
     cluster.settle(8.0)
+    suite.check_now()
+    assert suite.violations == []
 
     # Reads reflect every acknowledged write.
     for slot, expected in sorted(model.items()):
@@ -70,7 +67,7 @@ def test_chaos_is_deterministic():
     """Same seed, same chaos: byte-identical outcomes across runs."""
 
     def run(seed):
-        cluster = chaos_cluster(seed)
+        cluster, _recorder = chaos_cluster(seed)
         cluster.start_proactive_recovery()
         client = cluster.client("C0")
         outcomes = []

@@ -1,91 +1,53 @@
 """Safety oracle: correct replicas execute the *same sequence* of requests.
 
-We instrument the KV service to record its execution history and assert the
-prefix property — for every pair of replicas, one history is a prefix of the
-other — under clean runs, view changes, and random crash/recovery schedules.
-This is the state-machine-replication safety invariant itself, checked
-directly rather than via state convergence."""
+The recording harness lives in ``repro.bft.testing`` (shared with
+``repro.explore``): ``RecordingKV`` logs every mutation, ``recording_cluster``
+wires a full cluster of them, and the prefix / order-consistency helpers
+state the state-machine-replication safety invariant directly.  These tests
+drive that harness under clean runs, view changes, packet loss, random
+crash/recovery schedules, and proactive-recovery reboots."""
 
 import random
-from typing import Dict, List, Tuple
+from typing import List
 
 import pytest
 
-from repro.bft.cluster import Cluster
 from repro.bft.config import BFTConfig
-from repro.bft.testing import KVStateMachine, encode_set
+from repro.bft.testing import (
+    assert_order_consistent,
+    assert_prefix_consistent,
+    encode_set,
+    is_subsequence,
+    order_divergence,
+    prefix_divergence,
+    recording_cluster,
+)
 from repro.net.network import NetworkConfig
 
 
-class RecordingKV(KVStateMachine):
-    """KV service that logs every mutation it executes, in order."""
-
-    def __init__(self, history: List[Tuple[str, bytes]], **kwargs) -> None:
-        super().__init__(**kwargs)
-        self.history = history
-
-    def execute(self, op, client_id, nondet, read_only=False):
-        if not read_only:
-            self.history.append((client_id, bytes(op)))
-        return super().execute(op, client_id, nondet, read_only=read_only)
-
-
-def recording_cluster(seed=0, drop_rate=0.0, recovery_period=0.0):
-    histories: Dict[str, List[Tuple[str, bytes]]] = {}
-
-    def factory_for(replica_id):
-        histories.setdefault(replica_id, [])
-        disk: dict = {}
-
-        def make():
-            # NB: a rebooted replica starts a fresh history segment; we
-            # track cumulative history across reboots in the same list.
-            return RecordingKV(histories[replica_id], num_slots=32, disk=disk)
-
-        return make
-
-    cluster = Cluster(
-        factory_for,
+def _cluster(seed=0, drop_rate=0.0, recovery_period=0.0):
+    return recording_cluster(
         config=BFTConfig(
             checkpoint_interval=8, log_window=16, recovery_period=recovery_period
         ),
         net_config=NetworkConfig(delay=0.0005, jitter=0.0005, drop_rate=drop_rate),
         seed=seed,
     )
-    return cluster, histories
-
-
-def _is_subsequence(short: List, long: List) -> bool:
-    it = iter(long)
-    return all(item in it for item in short)
-
-
-def assert_prefix_consistent(histories: Dict[str, List]) -> None:
-    """Pairwise order consistency.
-
-    A replica that catches up by state transfer *skips* the requests covered
-    by the transferred checkpoint, so its history may have gaps — but it must
-    still be an order-preserving subsequence of the longest history: no
-    reordering, no divergent content, ever."""
-    reference = max(histories.values(), key=len)
-    for replica_id, history in histories.items():
-        assert _is_subsequence(history, reference), (
-            f"{replica_id}'s execution order diverged from the reference"
-        )
 
 
 def test_clean_run_histories_identical():
-    cluster, histories = recording_cluster()
+    cluster, recorder = _cluster()
     client = cluster.client("C0")
     for i in range(25):
         client.invoke(encode_set(i % 8, bytes([i])), timeout=60)
     cluster.settle(1.0)
+    histories = recorder.cumulative_histories()
     assert_prefix_consistent(histories)
     assert len({tuple(h) for h in histories.values()}) == 1
 
 
 def test_histories_prefix_consistent_across_view_changes():
-    cluster, histories = recording_cluster()
+    cluster, recorder = _cluster()
     client = cluster.client("C0")
     for i in range(10):
         client.invoke(encode_set(i % 8, bytes([i])), timeout=60)
@@ -94,23 +56,26 @@ def test_histories_prefix_consistent_across_view_changes():
         client.invoke(encode_set(i % 8, bytes([i])), timeout=60)
     cluster.restart("R0")
     cluster.settle(3.0)
-    assert_prefix_consistent(histories)
+    # crash/restart only gates the network -- the service instances survive,
+    # so each replica still has a single incarnation segment.
+    assert all(len(segs) == 1 for segs in recorder.history_segments.values())
+    assert_prefix_consistent(recorder.cumulative_histories())
 
 
 def test_histories_under_packet_loss():
-    cluster, histories = recording_cluster(seed=3, drop_rate=0.05)
+    cluster, recorder = _cluster(seed=3, drop_rate=0.05)
     client = cluster.client("C0")
     for i in range(30):
         client.invoke(encode_set(i % 8, bytes([i])), timeout=120)
     cluster.settle(3.0)
-    assert_prefix_consistent(histories)
+    assert_prefix_consistent(recorder.cumulative_histories())
 
 
 @pytest.mark.parametrize("seed", [11, 22])
 def test_histories_under_random_crash_schedule(seed):
     """Random ≤ f crash/restart schedule interleaved with traffic: no two
     correct replicas ever execute conflicting orders."""
-    cluster, histories = recording_cluster(seed=seed)
+    cluster, recorder = _cluster(seed=seed)
     client = cluster.client("C0")
     rng = random.Random(seed)
     crashed: List[str] = []
@@ -126,4 +91,46 @@ def test_histories_under_random_crash_schedule(seed):
     for victim in crashed:
         cluster.restart(victim)
     cluster.settle(5.0)
-    assert_prefix_consistent(histories)
+    assert_prefix_consistent(recorder.cumulative_histories())
+    assert_order_consistent(recorder)
+
+
+def test_histories_across_proactive_recovery_reboots():
+    """A rebooted replica rolls back to its stable checkpoint and re-executes
+    the suffix: its cumulative history is NOT a subsequence any more, but
+    every incarnation segment still orders common operations consistently."""
+    cluster, recorder = _cluster()
+    client = cluster.client("C0")
+    for i in range(12):
+        client.invoke(encode_set(i % 8, bytes([i])), timeout=60)
+    assert cluster.recover("R2")
+    cluster.settle(2.0)
+    for i in range(12, 24):
+        client.invoke(encode_set(i % 8, bytes([i])), timeout=60)
+    cluster.settle(2.0)
+    assert len(recorder.history_segments["R2"]) == 2
+    assert_order_consistent(recorder)
+
+
+def test_prefix_divergence_reports_reordering():
+    histories = {
+        "R0": [("C0", b"a"), ("C0", b"b"), ("C0", b"c")],
+        "R1": [("C0", b"b"), ("C0", b"a")],
+    }
+    problem = prefix_divergence(histories)
+    assert problem is not None and "R1" in problem
+
+
+def test_order_divergence_tolerates_rollback_but_catches_conflicts():
+    a, b, c = ("C0", b"a"), ("C0", b"b"), ("C0", b"c")
+    # Reboot re-execution: [a, b] then a fresh segment [b, c] is consistent.
+    assert order_divergence({"R0": [[a, b], [b, c]], "R1": [[a, b, c]]}) is None
+    # Genuine reorder across replicas is not.
+    assert order_divergence({"R0": [[a, b]], "R1": [[b, a]]}) is not None
+    # Excluded (Byzantine) replicas do not count.
+    assert order_divergence({"R0": [[a, b]], "R1": [[b, a]]}, exclude=("R1",)) is None
+
+
+def test_is_subsequence():
+    assert is_subsequence([1, 3], [1, 2, 3])
+    assert not is_subsequence([3, 1], [1, 2, 3])

@@ -39,3 +39,68 @@ def test_unknown_command_exits_2(capsys):
 def test_lint_subcommand_is_wired(capsys):
     assert main(["lint", "--list-rules"]) == 0
     assert "DET001" in capsys.readouterr().out
+
+
+# -- repro explore / repro replay ----------------------------------------------------
+
+
+def test_explore_clean_run_exits_0(tmp_path, capsys):
+    out = tmp_path / "repro.json"
+    code = main(
+        ["explore", "--budget", "3", "--seed", "0", "--requests", "10",
+         "--quiet", "--out", str(out)]
+    )
+    assert code == 0
+    assert not out.exists()  # no violation, no artifact
+    assert "held every safety oracle" in capsys.readouterr().out
+
+
+def test_explore_planted_bug_exits_1_and_writes_artifact(tmp_path, capsys):
+    out = tmp_path / "repro.json"
+    code = main(
+        ["explore", "--budget", "10", "--seed", "0", "--requests", "16",
+         "--plant", "weak-prepare-quorum", "--quiet", "--out", str(out)]
+    )
+    assert code == 1
+    assert out.is_file()
+    text = capsys.readouterr().out
+    assert "VIOLATION" in text and "repro replay" in text
+
+    # The artifact replays to the same violation, exit code 1.
+    capsys.readouterr()
+    assert main(["replay", str(out)]) == 1
+    assert "reproduces the recorded violation exactly" in capsys.readouterr().out
+
+
+def test_replay_of_benign_plan_exits_0(tmp_path, capsys):
+    """An artifact whose plan no longer violates (e.g. recorded against a
+    plant that is not applied) replays clean with exit 0."""
+    from repro.explore.oracles import Violation
+    from repro.explore.plan import generate_plan
+    from repro.explore.shrink import write_artifact
+
+    path = tmp_path / "benign.json"
+    write_artifact(
+        path,
+        generate_plan(0, requests=8),
+        Violation(oracle="prefix", detail="recorded elsewhere", time=1.0, event_index=5),
+        plant=None,
+    )
+    assert main(["replay", str(path)]) == 0
+    assert "no violation" in capsys.readouterr().out
+
+
+def test_replay_missing_artifact_exits_2(capsys):
+    assert main(["replay", "/no/such/file.json"]) == 2
+    assert "no such artifact" in capsys.readouterr().err
+
+
+def test_replay_malformed_artifact_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"version": 99}')
+    assert main(["replay", str(bad)]) == 2
+    assert "malformed" in capsys.readouterr().err
+
+
+def test_explore_usage_error_exits_2(capsys):
+    assert main(["explore", "--budget", "0"]) == 2
