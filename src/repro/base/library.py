@@ -107,6 +107,14 @@ class BASEService(StateMachine):
     def install_fetched(self, objects: Dict[int, Tuple[bytes, int]], seqno: int) -> bytes:
         return self.manager.install_fetched(objects, seqno, self.wrapper.put_objs)
 
+    # -- scrubbing ----------------------------------------------------------------
+
+    def scan_corruption(self, start: int, budget: int) -> Tuple[List[int], int]:
+        return self.manager.scan_for_corruption(start, budget)
+
+    def repair_objects(self, objects: Dict[int, Tuple[bytes, int]]) -> None:
+        self.manager.repair_objects(objects, self.wrapper.put_objs)
+
     # -- proactive recovery -------------------------------------------------------------------
 
     def save_for_recovery(self) -> None:

@@ -282,6 +282,61 @@ class AbstractStateManager:
         self.counters.add("state_transfer_installs")
         return self.tree.root()[1]
 
+    # -- scrubbing: silent-corruption detection and repair ------------------------
+
+    def scan_for_corruption(self, start: int, budget: int) -> Tuple[List[int], int]:
+        """Re-digest up to ``budget`` leaves round-robin from ``start``;
+        returns ``(corrupt indices, next cursor)``.
+
+        A leaf is corrupt when the digest of its *current* concrete value no
+        longer matches the digest recorded in the live tree — possible only
+        through a mutation that bypassed ``modify`` (bit rot, wild writes).
+        Leaves with pending modifications are skipped: their tree digest is
+        legitimately stale until the next checkpoint re-digests them.
+        """
+        corrupt: List[int] = []
+        if budget <= 0 or self.total_leaves == 0:
+            return corrupt, start
+        cursor = start % self.total_leaves
+        scanned = min(budget, self.total_leaves)
+        for _ in range(scanned):
+            index = cursor
+            cursor = (cursor + 1) % self.total_leaves
+            if index in self._modified:
+                continue
+            _lm, recorded = self.tree.leaf(index)
+            if digest(self._get_obj(index)) != recorded:
+                corrupt.append(index)
+        self.counters.add("scrub_leaves_scanned", scanned)
+        if corrupt:
+            self.counters.add("scrub_corrupt_leaves", len(corrupt))
+        return corrupt, cursor
+
+    def repair_objects(
+        self,
+        objects: Dict[int, Tuple[bytes, int]],
+        apply_objects: Callable[[Dict[int, bytes]], None],
+    ) -> None:
+        """Overwrite corrupted leaves with verified (value, lm) pairs.
+
+        Unlike ``install_fetched`` this keeps every checkpoint: the repaired
+        value is exactly what the tree digest already claims the leaf holds,
+        so existing snapshots stay valid and execution state is untouched.
+        """
+        service_objects: Dict[int, bytes] = {}
+        for index in sorted(objects):
+            value, _lm = objects[index]
+            if index < self.num_objects:
+                service_objects[index] = value
+            else:
+                self._client_table[index - self.num_objects] = decode_client_shard(value)
+        if service_objects:
+            apply_objects(service_objects)
+        for index in sorted(objects):
+            value, lm = objects[index]
+            self.tree.update_leaf(index, digest(value), lm)
+        self.counters.add("scrub_objects_installed", len(objects))
+
     def reset_to_current(self) -> None:
         """Drop checkpoints and recompute every leaf digest from the current
         concrete state (used when a replica reconstructs after reboot)."""

@@ -112,11 +112,19 @@ class Client(Node):
         self.multicast(self.config.replica_ids, request)
 
     def _arm_retry(self, reqid: int) -> None:
-        delay = (
-            self.config.read_only_timeout
-            if self._current is not None and self._current.read_only
-            else self.config.client_retry
-        )
+        """Deterministic capped exponential backoff: retry ``k`` waits
+        ``client_retry * 2**k`` seconds, capped at ``client_retry_max`` — so
+        a cluster that is slow because it is repairing itself is not also
+        hammered by retransmission storms."""
+        invocation = self._current
+        if invocation is not None and invocation.read_only:
+            delay = self.config.read_only_timeout
+        else:
+            retries = invocation.retries if invocation is not None else 0
+            delay = self.config.client_retry * (2.0 ** retries)
+            if delay > self.config.client_retry_max:
+                delay = self.config.client_retry_max
+                self.counters.add("retry_backoff_capped")
         self.set_timer(delay, lambda: self._retry(reqid))
 
     def _retry(self, reqid: int) -> None:

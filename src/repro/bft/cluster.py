@@ -9,11 +9,12 @@ lets proactive recovery rebuild a replica's service from persistent storage.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.bft.client import Client
 from repro.bft.config import BFTConfig
 from repro.bft.recovery import ReplicaHost
+from repro.bft.repair import RepairPolicy
 from repro.bft.replica import Replica
 from repro.bft.service import StateMachine
 from repro.crypto.auth import KeyTable
@@ -24,6 +25,8 @@ from repro.util.stats import Counters
 from repro.util.trace import Tracer
 
 ServiceFactory = Callable[[], StateMachine]
+# One factory, or an ordered N-version failover list per replica.
+ServiceFactories = Union[ServiceFactory, Sequence[ServiceFactory]]
 
 
 class Cluster:
@@ -31,13 +34,14 @@ class Cluster:
 
     def __init__(
         self,
-        service_factory_for: Callable[[str], ServiceFactory],
+        service_factory_for: Callable[[str], ServiceFactories],
         config: Optional[BFTConfig] = None,
         seed: int = 0,
         net_config: Optional[NetworkConfig] = None,
         reboot_time: float = 0.02,
         sim: Optional[Simulator] = None,
         trace: bool = False,
+        repair: Optional[RepairPolicy] = None,
     ) -> None:
         self.config = config or BFTConfig()
         self.sim = sim if sim is not None else Simulator(seed=seed)
@@ -57,6 +61,7 @@ class Cluster:
                 self.sigs,
                 reboot_time=reboot_time,
                 tracer=self.tracer,
+                repair=repair,
             )
         self._clients: Dict[str, Client] = {}
 
@@ -65,6 +70,9 @@ class Cluster:
     @property
     def replicas(self) -> List[Replica]:
         return [host.replica for host in self.hosts.values()]
+
+    def host(self, replica_id: str) -> ReplicaHost:
+        return self.hosts[replica_id]
 
     def replica(self, replica_id: str) -> Replica:
         return self.hosts[replica_id].replica
@@ -105,10 +113,18 @@ class Cluster:
 
     def restart_all_down(self) -> None:
         """Bring every crashed replica back (mid-reboot hosts finish on
-        their own schedule and are left alone)."""
+        their own schedule and are left alone).
+
+        Hosts under a fault-containment supervisor whose *implementation*
+        crashed are also left alone: restoring only their network link would
+        make a zombie (the replica object is stopped); their pending repair
+        rebuilds them properly."""
         for replica_id, host in self.hosts.items():
-            if self.network.is_down(replica_id) and not host._mid_reboot:
-                self.restart(replica_id)
+            if not self.network.is_down(replica_id) or host._mid_reboot:
+                continue
+            if host.supervisor is not None and host.replica._stopped:
+                continue
+            self.restart(replica_id)
 
     def settle(self, duration: float = 0.5) -> None:
         """Let in-flight protocol traffic quiesce."""
@@ -116,10 +132,21 @@ class Cluster:
 
     # -- metrics ----------------------------------------------------------------------
 
+    def repair_status(self) -> Dict[str, Dict[str, object]]:
+        """Per-replica fault-containment snapshot (hosts with a supervisor):
+        crash counts, escalation state, failover index, and MTTR samples."""
+        return {
+            rid: host.supervisor.status()
+            for rid, host in self.hosts.items()
+            if host.supervisor is not None
+        }
+
     def total_counters(self) -> Counters:
         total = Counters()
         for host in self.hosts.values():
             total.merge(host.replica.counters)
+            if host.supervisor is not None:
+                total.merge(host.supervisor.counters)
         for client in self._clients.values():
             total.merge(client.counters)
         total.merge(self.network.counters)

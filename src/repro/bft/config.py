@@ -23,7 +23,11 @@ class BFTConfig:
                         batching happen at all).
     view_change_timeout: backup patience for an unexecuted request, seconds.
     status_interval:    period of status/retransmission gossip, seconds.
-    client_retry:       client request retransmission period, seconds.
+    client_retry:       initial client retransmission delay, seconds; doubles
+                        on every retry (capped exponential backoff).
+    client_retry_max:   retransmission delay ceiling, seconds — keeps a slow
+                        or repairing cluster from being hammered while still
+                        bounding how stale a client's retransmission gets.
     read_only_timeout:  how long a client waits for a read-only quorum before
                         falling back to a regular, ordered request.
     recovery_period:    full proactive-recovery rotation period (0 disables);
@@ -39,6 +43,7 @@ class BFTConfig:
     view_change_timeout: float = 0.25
     status_interval: float = 0.05
     client_retry: float = 0.15
+    client_retry_max: float = 0.6
     read_only_timeout: float = 0.05
     recovery_period: float = 0.0
 
@@ -60,6 +65,8 @@ class BFTConfig:
             raise ConfigurationError("batch_max must be >= 1")
         if self.max_outstanding < 1:
             raise ConfigurationError("max_outstanding must be >= 1")
+        if self.client_retry_max < self.client_retry:
+            raise ConfigurationError("client_retry_max must be >= client_retry")
 
     @property
     def n(self) -> int:

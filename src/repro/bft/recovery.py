@@ -22,20 +22,32 @@ A recovery:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.bft.config import BFTConfig
 from repro.bft.messages import Recovering
+from repro.bft.repair import FaultContainmentSupervisor, RepairPolicy
 from repro.bft.replica import Replica
 from repro.bft.service import StateMachine
 from repro.crypto.auth import KeyTable
 from repro.crypto.sign import SignatureScheme
 from repro.net.network import Network
 from repro.net.simulator import Simulator
+from repro.util.trace import emit
+
+ServiceFactory = Callable[[], StateMachine]
 
 
 class ReplicaHost:
-    """One replica slot with reboot capability."""
+    """One replica slot with reboot capability.
+
+    ``service_factory`` is either one factory or an ordered sequence of
+    factories — the N-version list: the host runs the first implementation
+    and the fault-containment supervisor fails over to later ones when
+    repairs keep failing.  Passing ``repair`` (a :class:`RepairPolicy`)
+    attaches the supervisor; without it crashes wait for the proactive
+    watchdog, as before.
+    """
 
     def __init__(
         self,
@@ -43,29 +55,62 @@ class ReplicaHost:
         sim: Simulator,
         network: Network,
         config: BFTConfig,
-        service_factory: Callable[[], StateMachine],
+        service_factory: Union[ServiceFactory, Sequence[ServiceFactory]],
         keys: KeyTable,
         sigs: SignatureScheme,
         reboot_time: float = 0.02,
         tracer=None,
+        repair: Optional[RepairPolicy] = None,
     ) -> None:
         self.replica_id = replica_id
         self.sim = sim
         self.network = network
         self.config = config
-        self.service_factory = service_factory
+        if callable(service_factory):
+            self.factories: List[ServiceFactory] = [service_factory]
+        else:
+            self.factories = list(service_factory)
+            if not self.factories:
+                raise ValueError("service_factory sequence must not be empty")
+        self.factory_index = 0
         self.keys = keys
         self.sigs = sigs
         self.reboot_time = reboot_time
         self.tracer = tracer
 
-        self.service = service_factory()
+        self.service = self.service_factory()
         self.replica = Replica(replica_id, sim, network, config, self.service, keys, sigs)
         self.replica.tracer = tracer
         self.recovery_log: List[Tuple[float, float]] = []
         self._recovery_epoch = 0
         self._recovery_started_at: Optional[float] = None
         self._mid_reboot = False
+        self.supervisor: Optional[FaultContainmentSupervisor] = None
+        if repair is not None:
+            self.supervisor = FaultContainmentSupervisor(self, repair)
+            self.supervisor.attach(self.replica)
+            self.supervisor.start_scrubbing()
+
+    @property
+    def service_factory(self) -> ServiceFactory:
+        """The currently selected implementation's factory."""
+        return self.factories[self.factory_index]
+
+    def fail_over(self) -> bool:
+        """Advance to the next implementation in the N-version list; the
+        next rebuild runs it.  Returns False when none is left."""
+        if self.factory_index + 1 >= len(self.factories):
+            self.replica.counters.add("failover_exhausted")
+            return False
+        self.factory_index += 1
+        self.replica.counters.add("implementation_failovers")
+        emit(
+            self.tracer,
+            self.replica_id,
+            "implementation_failover",
+            factory_index=self.factory_index,
+        )
+        return True
 
     # -- the watchdog -------------------------------------------------------------
 
@@ -85,17 +130,26 @@ class ReplicaHost:
 
     # -- one recovery --------------------------------------------------------------
 
-    def recover_now(self) -> bool:
+    def recover_now(self, min_seqno: Optional[int] = None) -> bool:
         """Run one proactive recovery; returns False if skipped.
 
         Works for live replicas (ordinary rejuvenation) and for replicas
         whose implementation crashed (aging, deterministic bugs): the crashed
         case skips the announcement and the synchronous save — whatever the
-        implementation last persisted is what recovery starts from."""
+        implementation last persisted is what recovery starts from.
+
+        ``min_seqno`` floors the state-transfer anchor: the rebuilt replica
+        only accepts checkpoint certificates at or past it, so execution
+        resumes *after* that seqno.  The supervisor uses this to skip past a
+        poisonous operation that deterministically kills the implementation,
+        adopting the abstract state the other implementations produced."""
         replica = self.replica
         if self._mid_reboot:
             return False
-        crashed = self.network.is_down(self.replica_id)
+        # A replica whose implementation crashed is stopped; it may also have
+        # had its network link restored by an operator (a "zombie"), so the
+        # stopped flag counts as crashed too.
+        crashed = self.network.is_down(self.replica_id) or replica._stopped
         if replica.recovering and not crashed:
             # Mid-recovery and healthy: let it finish.  (A replica that
             # crashed *during* recovery is down and may be recovered again.)
@@ -123,10 +177,19 @@ class ReplicaHost:
         replica.stop()
         self.network.set_down(self.replica_id, True)
         self._mid_reboot = True
-        self.sim.schedule(self.reboot_time, lambda: self._reboot(saved_view, saved_stable, saved_counters))
+        self.sim.schedule(
+            self.reboot_time,
+            lambda: self._reboot(saved_view, saved_stable, saved_counters, min_seqno),
+        )
         return True
 
-    def _reboot(self, saved_view: int, saved_stable: int, saved_counters) -> None:
+    def _reboot(
+        self,
+        saved_view: int,
+        saved_stable: int,
+        saved_counters,
+        min_seqno: Optional[int] = None,
+    ) -> None:
         self._mid_reboot = False
         self.network.set_down(self.replica_id, False)
         # New inbound session keys: messages MAC'd under the old keys --
@@ -151,12 +214,18 @@ class ReplicaHost:
         replica.on_recovered = self._record_recovered
         replica.tracer = self.tracer
         self.replica = replica
-        replica.transfer.begin_from_root(min_seqno=max(1, saved_stable))
+        if self.supervisor is not None:
+            self.supervisor.attach(replica)
+        replica.transfer.begin_from_root(
+            min_seqno=max(1, saved_stable, min_seqno or 0)
+        )
 
     def _record_recovered(self) -> None:
         if self._recovery_started_at is not None:
             self.recovery_log.append((self._recovery_started_at, self.sim.now()))
             self._recovery_started_at = None
+        if self.supervisor is not None:
+            self.supervisor.on_recovered()
 
     # -- metrics ----------------------------------------------------------------------
 

@@ -88,6 +88,9 @@ class Replica(Node):
         self.in_flight: set = set()  # (client, reqid) already in a pre-prepare
         self.recovering = False
         self.on_recovered = None  # hook set by ReplicaHost for WoV accounting
+        self.on_crashed = None  # hook set by the fault-containment supervisor
+        self.crash_reason = ""
+        self.crash_seqno = 0  # ordering position being executed when we died
         self.tracer: Tracer = None  # type: ignore[assignment]  # optional, set by the deployment
 
         # The genesis state is an implicitly certified checkpoint: label it 0
@@ -221,11 +224,25 @@ class Replica(Node):
 
     def crash_self(self, reason: str) -> None:
         """The wrapped implementation died (aging, deterministic bug): this
-        replica is now a crashed replica until rebooted."""
+        replica is now a crashed replica until rebooted.
+
+        Records the crash reason and the ordering position being executed
+        (``last_executed + 1``) so the fault-containment supervisor can
+        classify crash loops, then notifies it via the ``on_crashed`` hook."""
+        self.crash_reason = reason
+        self.crash_seqno = self.last_executed + 1
         self.counters.add("implementation_crashes")
-        emit(self.tracer, self.node_id, "implementation_crash", reason=reason)
+        emit(
+            self.tracer,
+            self.node_id,
+            "implementation_crash",
+            reason=reason,
+            seqno=self.crash_seqno,
+        )
         self.stop()
         self.network.set_down(self.node_id, True)
+        if self.on_crashed is not None:
+            self.on_crashed(reason, self.crash_seqno)
 
     def _execute_read_only(self, request: Request) -> None:
         if self.view_changes.in_view_change or self.recovering:
@@ -470,6 +487,12 @@ class Replica(Node):
     # -- checkpoints -----------------------------------------------------------------------------------
 
     def _take_checkpoint(self, seqno: int) -> None:
+        if self.transfer.active:
+            # A transfer session is patching the live tree toward its anchor
+            # certificate; a checkpoint taken mid-install would mix the two
+            # states and certify a digest no correct replica ever held.
+            self.counters.add("checkpoints_skipped_mid_transfer")
+            return
         try:
             state_digest = self.service.take_checkpoint(seqno)
         except FaultInjected as fault:

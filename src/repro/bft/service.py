@@ -128,3 +128,23 @@ class StateMachine:
         inter-object dependencies.
         """
         raise NotImplementedError
+
+    # -- abstract-state scrubbing (optional) -------------------------------------
+
+    def scan_corruption(self, start: int, budget: int) -> Tuple[List[int], int]:
+        """Re-digest up to ``budget`` leaves round-robin from cursor ``start``
+        and return ``(corrupt leaf indices, next cursor)``.
+
+        This detects *silent* concrete-state corruption: the partition tree
+        only re-digests objects reported through ``modify``, so a value
+        corrupted in place keeps a stale (previously correct) digest that no
+        longer matches the data it labels.  Default: no scanning support.
+        """
+        return [], start
+
+    def repair_objects(self, objects: Dict[int, Tuple[bytes, int]]) -> None:
+        """Overwrite specific abstract objects with verified (value, lm)
+        pairs fetched by a scrub session — a partial state transfer that
+        leaves checkpoints and execution state untouched.  Services that
+        support ``scan_corruption`` must support repair."""
+        raise NotImplementedError

@@ -30,6 +30,7 @@ from repro.bft.messages import (
 from repro.base.partition import verify_children
 from repro.crypto.digest import digest
 from repro.util.errors import FaultInjected
+from repro.util.trace import emit
 
 if TYPE_CHECKING:
     from repro.bft.replica import Replica
@@ -53,6 +54,16 @@ class StateTransferManager:
         self._awaiting_root = False
         self._retries: Dict[object, int] = {}
         self._max_retries = 6
+        # Scrub session (targeted partial transfer, no reboot): anchored by a
+        # certificate, fetching only the leaves the scrubber found corrupt.
+        self._scrub_cert: Optional[CheckpointCert] = None
+        self._scrub_pending: Dict[int, Tuple[int, bytes]] = {}
+        self._scrub_fetched: Dict[int, Tuple[bytes, int]] = {}
+        self._scrub_retries: Dict[int, int] = {}
+
+    @property
+    def scrub_active(self) -> bool:
+        return self._scrub_cert is not None
 
     # -- session control --------------------------------------------------------
 
@@ -90,6 +101,9 @@ class StateTransferManager:
             replica.counters.add("bad_checkpoint_cert")
             return
         self._awaiting_root = False
+        if self._scrub_cert is not None:
+            # A full transfer supersedes any in-flight scrub.
+            self._abort_scrub()
         self.active = True
         self.session = cert
         self._meta_pending.clear()
@@ -97,8 +111,6 @@ class StateTransferManager:
         self._fetched.clear()
         self._retries.clear()
         replica.counters.add("state_transfers_started")
-        from repro.util.trace import emit
-
         emit(replica.tracer, replica.node_id, "state_transfer_started", seqno=cert.seqno)
 
         _lm, current_root = replica.service.current_node(0, 0)
@@ -110,10 +122,34 @@ class StateTransferManager:
 
     def _verify_current_and_finish(self, cert: CheckpointCert) -> None:
         """Recovery completion when already caught up: confirm our state
-        digest matches the certificate before declaring ourselves recovered."""
-        _lm, current_root = self.replica.service.current_node(0, 0)
+        digest matches the certificate before declaring ourselves recovered.
+
+        The comparison must use a digest that corresponds to the cert's
+        seqno: our recorded checkpoint root when we hold one, else the live
+        root — valid only while no local checkpoint postdates the cert (the
+        live tree always reflects the newest checkpoint's digests).  When we
+        checkpointed past a cert we no longer hold, we cannot verify against
+        it; re-anchor at a fresher one instead of comparing garbage."""
+        replica = self.replica
+        service = replica.service
+        recorded = service.root_digest(cert.seqno)
+        if recorded is not None:
+            current_root = recorded
+        else:
+            seqnos = service.checkpoint_seqnos()
+            if seqnos and max(seqnos) > cert.seqno:
+                self.begin_from_root(min_seqno=replica.last_executed)
+                return
+            _lm, current_root = service.current_node(0, 0)
         if current_root == cert.state_digest:
-            self.replica.finish_recovery()
+            replica.finish_recovery()
+        elif replica.last_executed > cert.seqno:
+            # Diverged, but we executed past this certificate: installing it
+            # would roll state back without rolling back last_executed (ops
+            # in between would be lost).  Repair *forward* instead, against a
+            # certificate at or past our execution point.
+            replica.counters.add("state_transfer_stale_anchors")
+            self.begin_from_root(min_seqno=replica.last_executed)
         else:
             # Our state is corrupt even though we executed everything; repair.
             self.active = True
@@ -121,6 +157,9 @@ class StateTransferManager:
             self._meta_pending.clear()
             self._obj_pending.clear()
             self._fetched.clear()
+            # Stale retry counts from a previous session would abort this
+            # repair prematurely; every session starts with a clean slate.
+            self._retries.clear()
             self.replica.counters.add("state_transfers_started")
             self._query_meta(0, 0, cert.state_digest)
 
@@ -274,6 +313,13 @@ class StateTransferManager:
         raise AttributeError("service must expose its partition-tree arity")
 
     def on_object_reply(self, message: ObjectReply, src: str) -> None:
+        if (
+            self._scrub_cert is not None
+            and message.seqno == self._scrub_cert.seqno
+            and message.index in self._scrub_pending
+        ):
+            self._on_scrub_object(message)
+            return
         if not self.active or self.session is None:
             return
         if message.seqno != self.session.seqno:
@@ -304,6 +350,15 @@ class StateTransferManager:
         self.active = False
         if replica.last_executed >= cert.seqno and not replica.recovering:
             return  # ordinary execution overtook the transfer
+        if replica.last_executed > cert.seqno:
+            # Recovering, and execution honestly advanced past the anchor
+            # while we fetched: installing now would roll live state back
+            # while last_executed stays put, silently losing those
+            # operations.  Abandon and re-anchor at our execution point.
+            self._fetched.clear()
+            replica.counters.add("state_transfer_stale_anchors")
+            self.begin_from_root(min_seqno=replica.last_executed)
+            return
         fetched_count = len(self._fetched)
         try:
             new_root = replica.service.install_fetched(dict(self._fetched), cert.seqno)
@@ -320,8 +375,6 @@ class StateTransferManager:
             self.start(cert)
             return
         replica.counters.add("state_transfers_completed")
-        from repro.util.trace import emit
-
         emit(
             replica.tracer,
             replica.node_id,
@@ -330,3 +383,133 @@ class StateTransferManager:
             objects=fetched_count,
         )
         replica.after_state_transfer(cert.seqno, cert)
+
+    # -- scrub sessions: targeted partial transfer without reboot ----------------
+
+    def begin_scrub(self, cert: CheckpointCert, indices) -> bool:
+        """Re-fetch specific leaves whose concrete value no longer matches
+        their digest in the live partition tree, and repair them in place.
+
+        Unlike a full session this never reboots or rolls the replica back:
+        only leaves last modified at or before ``cert.seqno`` are eligible
+        (later modifications are legitimately uncertified and will be covered
+        by a future checkpoint), and fetched values are verified against the
+        local tree digest — which the certificate transitively endorses, the
+        local checkpoint at ``cert.seqno`` having matched the quorum's.
+        Returns False when no session could be started."""
+        replica = self.replica
+        if self.active or self._awaiting_root or replica.recovering:
+            return False
+        if self._scrub_cert is not None:
+            return False
+        leaves_level = replica.service.num_levels()
+        targets: Dict[int, Tuple[int, bytes]] = {}
+        for index in sorted(indices):
+            lm, leaf_digest = replica.service.current_node(leaves_level, index)
+            if lm <= cert.seqno:
+                targets[index] = (lm, leaf_digest)
+        if not targets:
+            return False
+        self._scrub_cert = cert
+        self._scrub_pending = targets
+        self._scrub_fetched = {}
+        self._scrub_retries = {}
+        replica.counters.add("scrub_sessions_started")
+        emit(
+            replica.tracer,
+            replica.node_id,
+            "scrub_started",
+            seqno=cert.seqno,
+            leaves=sorted(targets),
+        )
+        for index in sorted(targets):
+            self._scrub_query(index)
+        return True
+
+    def _scrub_query(self, index: int) -> None:
+        assert self._scrub_cert is not None
+        donor = self._next_donor()
+        self.replica.counters.add("fetch_object_sent")
+        self.replica.send(
+            donor,
+            FetchObject(
+                requester=self.replica.node_id,
+                index=index,
+                min_seqno=self._scrub_cert.seqno,
+            ),
+        )
+        self.replica.set_timer(
+            _RETRY, self._scrub_object_retry(index, self._scrub_cert.seqno)
+        )
+
+    def _scrub_object_retry(self, index: int, session_seqno: int):
+        def retry() -> None:
+            if (
+                self._scrub_cert is not None
+                and self._scrub_cert.seqno == session_seqno
+                and index in self._scrub_pending
+            ):
+                self._scrub_retries[index] = self._scrub_retries.get(index, 0) + 1
+                if self._scrub_retries[index] > self._max_retries:
+                    # Donors likely GC'd the anchoring checkpoint; the
+                    # scrubber will retry against a fresher certificate.
+                    self._abort_scrub()
+                    return
+                self.replica.counters.add("fetch_object_retries")
+                self._scrub_query(index)
+
+        return retry
+
+    def _abort_scrub(self) -> None:
+        self.replica.counters.add("scrub_sessions_aborted")
+        self._scrub_cert = None
+        self._scrub_pending = {}
+        self._scrub_fetched = {}
+        self._scrub_retries = {}
+
+    def _on_scrub_object(self, message: ObjectReply) -> None:
+        _lm, expected_digest = self._scrub_pending[message.index]
+        if digest(message.data) != expected_digest:
+            self.replica.counters.add("object_reply_bad_digest")
+            return
+        lm = self._scrub_pending.pop(message.index)[0]
+        self._scrub_fetched[message.index] = (message.data, lm)
+        self.replica.counters.add("objects_fetched")
+        self.replica.counters.add("object_bytes_fetched", len(message.data))
+        if not self._scrub_pending:
+            self._finish_scrub()
+
+    def _finish_scrub(self) -> None:
+        replica = self.replica
+        cert = self._scrub_cert
+        fetched = self._scrub_fetched
+        self._scrub_cert = None
+        self._scrub_pending = {}
+        self._scrub_fetched = {}
+        self._scrub_retries = {}
+        assert cert is not None
+        # A leaf legitimately modified while we were fetching is no longer
+        # ours to repair; installing the old value would roll it back.
+        leaves_level = replica.service.num_levels()
+        repairs: Dict[int, Tuple[bytes, int]] = {}
+        for index in sorted(fetched):
+            value, lm = fetched[index]
+            current_lm, current_digest = replica.service.current_node(leaves_level, index)
+            if current_lm == lm and digest(value) == current_digest:
+                repairs[index] = (value, lm)
+        if not repairs:
+            return
+        try:
+            replica.service.repair_objects(repairs)
+        except FaultInjected as fault:
+            replica.crash_self(str(fault))
+            return
+        replica.counters.add("scrub_repairs")
+        replica.counters.add("scrub_objects_repaired", len(repairs))
+        emit(
+            replica.tracer,
+            replica.node_id,
+            "scrub_repaired",
+            seqno=cert.seqno,
+            leaves=sorted(repairs),
+        )

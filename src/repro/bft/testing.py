@@ -18,10 +18,12 @@ whose state survives proactive recovery.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.base.statemgr import AbstractStateManager, genesis_root_digest
 from repro.bft.service import StateMachine
+from repro.faults.buggy import POISON
+from repro.util.errors import FaultInjected
 from repro.util.xdr import XdrDecoder, XdrEncoder
 
 
@@ -126,6 +128,17 @@ class KVStateMachine(StateMachine):
 
         return self.manager.install_fetched(objects, seqno, apply)
 
+    def scan_corruption(self, start: int, budget: int) -> Tuple[List[int], int]:
+        return self.manager.scan_for_corruption(start, budget)
+
+    def repair_objects(self, objects: Dict[int, Tuple[bytes, int]]) -> None:
+        def apply(values: Dict[int, bytes]) -> None:
+            for index, value in values.items():
+                self.cells[index] = value
+                self.disk[index] = value
+
+        self.manager.repair_objects(objects, apply)
+
 
 class HistoryRecorder:
     """Execution evidence for one cluster, fed by :class:`RecordingKV`.
@@ -181,6 +194,32 @@ class RecordingKV(KVStateMachine):
     def record_reply(self, client_id: str, reqid: int, reply: bytes) -> None:
         self._replies.append((client_id, reqid))
         super().record_reply(client_id, reqid, reply)
+
+
+class PoisonableRecordingKV(RecordingKV):
+    """Recording KV with a deterministic input-triggered bug, the KV analogue
+    of :class:`repro.faults.buggy.BuggyServer`: once its replica id appears
+    in the shared ``poisoned`` set, any mutation whose operation bytes
+    contain the poison pattern kills the implementation *before* executing
+    (so neither the history nor the cells ever see the poison op).  The
+    failover factory builds a clean :class:`RecordingKV` on the same disk,
+    modeling a diverse implementation without the bug."""
+
+    def __init__(
+        self,
+        recorder: HistoryRecorder,
+        replica_id: str,
+        poisoned: Set[str],
+        **kwargs,
+    ) -> None:
+        super().__init__(recorder, replica_id, **kwargs)
+        self.replica_id = replica_id
+        self._poisoned = poisoned
+
+    def execute(self, op: bytes, client_id: str, nondet: bytes, read_only: bool = False) -> bytes:
+        if not read_only and self.replica_id in self._poisoned and POISON in op:
+            raise FaultInjected("deterministic bug: poison value pattern")
+        return super().execute(op, client_id, nondet, read_only=read_only)
 
 
 def is_subsequence(short: List, long: List) -> bool:
@@ -267,11 +306,20 @@ def recording_cluster(
     num_slots: int = 32,
     net_config=None,
     recorder: Optional[HistoryRecorder] = None,
+    repair=None,
+    poisoned: Optional[Set[str]] = None,
 ):
     """A 4-replica recording cluster; returns ``(cluster, recorder)``.
 
     Per-replica disks are kept internally so service state (and therefore
     recorded histories) survives proactive-recovery reboots.
+
+    ``repair`` (a :class:`repro.bft.repair.RepairPolicy`) arms the
+    fault-containment supervisor on every host.  ``poisoned`` — a shared,
+    mutable set of replica ids — swaps each host's primary implementation for
+    a :class:`PoisonableRecordingKV` (with a clean :class:`RecordingKV` as
+    the failover implementation): add a replica id to the set and the next
+    mutation containing the poison pattern crashes that replica.
     """
     from repro.bft.cluster import Cluster
 
@@ -286,9 +334,23 @@ def recording_cluster(
                 recorder, replica_id, num_slots=num_slots, disk=disks[replica_id]
             )
 
-        return make
+        if poisoned is None:
+            return make
 
-    cluster = Cluster(factory_for, config=config, seed=seed, net_config=net_config)
+        def make_poisonable() -> PoisonableRecordingKV:
+            return PoisonableRecordingKV(
+                recorder,
+                replica_id,
+                poisoned,
+                num_slots=num_slots,
+                disk=disks[replica_id],
+            )
+
+        return [make_poisonable, make]
+
+    cluster = Cluster(
+        factory_for, config=config, seed=seed, net_config=net_config, repair=repair
+    )
     return cluster, recorder
 
 

@@ -6,7 +6,13 @@ replayable JSON artifacts.  See docs/simulation.md ("Exploring schedules").
 """
 
 from repro.explore.oracles import OracleSuite, OracleViolation, Violation
-from repro.explore.plan import FaultPlan, FaultStep, generate_plan, validate_plan
+from repro.explore.plan import (
+    IMPLEMENTATION_KINDS,
+    FaultPlan,
+    FaultStep,
+    generate_plan,
+    validate_plan,
+)
 from repro.explore.runner import ExploreResult, RunOutcome, explore, replay, run_plan
 from repro.explore.shrink import (
     load_artifact,
@@ -18,6 +24,7 @@ __all__ = [
     "ExploreResult",
     "FaultPlan",
     "FaultStep",
+    "IMPLEMENTATION_KINDS",
     "OracleSuite",
     "OracleViolation",
     "RunOutcome",

@@ -54,6 +54,12 @@ def _explore_parser() -> argparse.ArgumentParser:
         help=f"repro artifact path on violation (default {DEFAULT_ARTIFACT})",
     )
     parser.add_argument(
+        "--impl-faults",
+        action="store_true",
+        help="add implementation-fault steps (poison_request, corrupt_object) "
+        "to generated plans, exercising reactive repair and the scrubber",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true", help="skip shrinking the violating plan"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
@@ -77,6 +83,7 @@ def explore_main(argv: List[str]) -> int:
         plant=args.plant,
         check_interval=args.check_interval,
         shrink=not args.no_shrink,
+        implementation_faults=args.impl_faults,
         log=log,
     )
     if not result.found:

@@ -32,7 +32,17 @@ BENIGN_KINDS: FrozenSet[str] = frozenset(
     {"crash", "restart", "partition", "heal", "drop", "recover"}
 )
 
-STEP_KINDS: FrozenSet[str] = BYZANTINE_KINDS | BENIGN_KINDS
+# Implementation-fault steps drive the fault-containment layer:
+# ``poison_request`` marks the target's primary implementation poisonable and
+# injects a request carrying the poison pattern (deterministic crash →
+# reactive repair → skip-past-poison → N-version failover);
+# ``corrupt_object`` silently corrupts abstract object ``index`` in the
+# target's concrete state (no ``modify`` upcall), which only the background
+# scrubber can detect and repair.  Plans containing these steps run with the
+# supervisor armed.
+IMPLEMENTATION_KINDS: FrozenSet[str] = frozenset({"poison_request", "corrupt_object"})
+
+STEP_KINDS: FrozenSet[str] = BYZANTINE_KINDS | BENIGN_KINDS | IMPLEMENTATION_KINDS
 
 
 @dataclass(frozen=True)
@@ -45,6 +55,7 @@ class FaultStep:
     groups:   partition groups (``partition`` only).
     fraction: outbound drop fraction (``drop`` only).
     duration: how long a ``drop`` interceptor stays installed.
+    index:    abstract object index (``corrupt_object`` only).
     """
 
     at: float
@@ -53,6 +64,7 @@ class FaultStep:
     groups: Tuple[Tuple[str, ...], ...] = ()
     fraction: float = 0.0
     duration: float = 0.0
+    index: int = 0
 
     def to_dict(self) -> Dict:
         entry: Dict = {"at": self.at, "kind": self.kind}
@@ -64,6 +76,8 @@ class FaultStep:
             entry["fraction"] = self.fraction
         if self.duration:
             entry["duration"] = self.duration
+        if self.index:
+            entry["index"] = self.index
         return entry
 
     @classmethod
@@ -77,6 +91,7 @@ class FaultStep:
             groups=tuple(tuple(g) for g in entry.get("groups", [])),
             fraction=float(entry.get("fraction", 0.0)),
             duration=float(entry.get("duration", 0.0)),
+            index=int(entry.get("index", 0)),
         )
 
 
@@ -93,6 +108,12 @@ class FaultPlan:
 
     def byzantine_targets(self) -> FrozenSet[str]:
         return frozenset(s.target for s in self.steps if s.kind in BYZANTINE_KINDS)
+
+    def implementation_targets(self) -> FrozenSet[str]:
+        return frozenset(s.target for s in self.steps if s.kind in IMPLEMENTATION_KINDS)
+
+    def has_implementation_faults(self) -> bool:
+        return any(s.kind in IMPLEMENTATION_KINDS for s in self.steps)
 
     def to_dict(self) -> Dict:
         return {
@@ -158,12 +179,34 @@ def validate_plan(plan: FaultPlan, f: int = 1) -> List[str]:
             if not partitioned:
                 problems.append("heal without an active partition")
             partitioned = False
+        elif step.kind in IMPLEMENTATION_KINDS:
+            if not step.target:
+                problems.append(f"{step.kind} needs a target replica")
+            if step.kind == "corrupt_object" and step.index < 0:
+                problems.append("corrupt_object index must be >= 0")
     if crashed:
         problems.append(f"plan ends with {sorted(crashed)} still crashed")
     if partitioned:
         problems.append("plan ends with an unhealed partition")
     if len(plan.byzantine_targets()) > f:
         problems.append(f"more than f={f} Byzantine replicas")
+    # Implementation faults share the f budget with Byzantine behavior: a
+    # poisoned replica is down until repaired and a corrupted one may serve
+    # wrong values until scrubbed, so together they must stay within f.
+    faulty = plan.byzantine_targets() | plan.implementation_targets()
+    if len(faulty) > f:
+        problems.append(f"more than f={f} faulty (Byzantine or implementation) replicas")
+    poison_targets = frozenset(
+        s.target for s in plan.steps if s.kind == "poison_request"
+    )
+    if poison_targets:
+        for step in plan.steps:
+            if step.kind == "crash" and step.target not in poison_targets:
+                problems.append(
+                    f"crash of {step.target} can overlap the poisoned "
+                    f"{sorted(poison_targets)} being down (> f at once)"
+                )
+                break
     return problems
 
 
@@ -173,6 +216,7 @@ def generate_plan(
     max_steps: int = 6,
     replica_ids: Tuple[str, ...] = REPLICA_IDS,
     f: int = 1,
+    implementation_faults: bool = False,
 ) -> FaultPlan:
     """Deterministically generate one exploration plan from a seed.
 
@@ -182,6 +226,11 @@ def generate_plan(
     heal), at most ``f`` Byzantine targets — so an honest implementation must
     satisfy every safety oracle on *every* generated plan.  Violations on
     generated plans therefore always indicate implementation bugs.
+
+    ``implementation_faults`` (opt-in, so default plans stay byte-identical
+    across versions) mixes in ``poison_request`` / ``corrupt_object`` steps
+    targeting one replica, dropping any crash or Byzantine groups so the
+    combined fault count stays within ``f``.
     """
     rng = random.Random(seed)
     # Step groups are (time-ordered within themselves) lists of steps that
@@ -243,8 +292,42 @@ def generate_plan(
             target = rng.choice(replica_ids)
         groups.append([FaultStep(at=t(), kind=kind, target=target)])
 
-    # Honor the step budget without breaking pairs: drop whole groups.
+    if implementation_faults:
+        impl_target = rng.choice(replica_ids)
+        impl_group: List[FaultStep] = []
+        if rng.random() < 0.7:
+            impl_group.append(
+                FaultStep(at=t(), kind="poison_request", target=impl_target)
+            )
+        if not impl_group or rng.random() < 0.45:
+            impl_group.append(
+                FaultStep(
+                    at=t(),
+                    kind="corrupt_object",
+                    target=impl_target,
+                    index=rng.randrange(0, 8),
+                )
+            )
+        impl_group.sort(key=lambda s: s.at)
+        # Keep the total fault count within f: implementation faults replace
+        # crash pairs and Byzantine misbehavior (all on one target anyway).
+        groups = [
+            group
+            for group in groups
+            if not any(
+                s.kind in BYZANTINE_KINDS or s.kind in ("crash", "restart")
+                for s in group
+            )
+        ]
+    else:
+        impl_group = []
+
+    # Honor the step budget without breaking pairs: drop whole groups.  The
+    # implementation-fault group (when present) goes first so the budget
+    # never squeezes it out.
     rng.shuffle(groups)
+    if impl_group:
+        groups.insert(0, impl_group)
     steps: List[FaultStep] = []
     for group in groups:
         if len(steps) + len(group) > max_steps:

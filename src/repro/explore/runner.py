@@ -16,16 +16,20 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from typing import Set
+
 from repro.bft.client import InvocationTimeout
 from repro.bft.cluster import Cluster
 from repro.bft.config import BFTConfig
 from repro.bft.messages import CheckpointCert
+from repro.bft.repair import RepairPolicy
 from repro.bft.testing import encode_set, recording_cluster
 from repro.crypto.digest import digest
 from repro.explore.oracles import OracleSuite, OracleViolation, Violation
 from repro.explore.plan import FaultPlan, generate_plan
 from repro.explore.shrink import shrink_plan
 from repro.faults import (
+    POISON,
     drop_fraction_from,
     make_equivocating_primary,
     make_lying_checkpointer,
@@ -34,6 +38,14 @@ from repro.faults import (
 )
 from repro.faults.plant import PLANTED_BUGS
 from repro.net.network import NetworkConfig
+
+# Runner conventions for implementation-fault steps: the poison request is a
+# SET of this slot (outside both the workload's slots 0..7 and the liveness
+# probe's slot 31), and corrupt_object maps its index into slots 8..23 so the
+# corruption stays silent instead of being overwritten by the workload.
+_POISON_SLOT = 30
+_CORRUPT_SLOT_BASE = 8
+_CORRUPT_SLOT_SPAN = 16
 
 
 @dataclass
@@ -121,7 +133,12 @@ def _fabricate_checkpoint_cert(cluster: Cluster, sender_id: str) -> None:
     cluster.replica(sender_id).send(victim, cert)
 
 
-def _apply_step(cluster: Cluster, step, drop_removers: List[Callable[[], None]]) -> None:
+def _apply_step(
+    cluster: Cluster,
+    step,
+    drop_removers: List[Callable[[], None]],
+    impl_ctx: Optional[Dict] = None,
+) -> None:
     kind = step.kind
     if kind == "crash":
         cluster.crash(step.target)
@@ -153,6 +170,35 @@ def _apply_step(cluster: Cluster, step, drop_removers: List[Callable[[], None]])
         make_result_corruptor(cluster.replica(step.target))
     elif kind == "fabricate_cert":
         _fabricate_checkpoint_cert(cluster, step.target)
+    elif kind == "poison_request":
+        if impl_ctx is None:
+            raise ValueError(
+                "poison_request requires a cluster built with implementation faults"
+            )
+        # Arm the target's implementation, then drive the poisonous request
+        # through a dedicated client; the other replicas execute it fine
+        # (the client gets its reply quorum) while the target crashes.
+        impl_ctx["poisoned"].add(step.target)
+        impl_ctx["poison_count"] += 1
+        client = cluster.client(f"P{impl_ctx['poison_count']}")
+        client.invoke_async(encode_set(_POISON_SLOT, POISON), lambda _reply: None)
+    elif kind == "corrupt_object":
+        if impl_ctx is None:
+            raise ValueError(
+                "corrupt_object requires a cluster built with implementation faults"
+            )
+        # Flip a value in the target's concrete state *without* a modify()
+        # upcall: the partition tree keeps the stale digest, so checkpoints
+        # stay honest and only the scrubber can notice.
+        service = cluster.service(step.target)
+        cells = getattr(service, "cells", None)
+        if cells is None:
+            raise ValueError("corrupt_object requires a KV-style service")
+        if len(cells) >= _CORRUPT_SLOT_BASE + _CORRUPT_SLOT_SPAN:
+            index = _CORRUPT_SLOT_BASE + step.index % _CORRUPT_SLOT_SPAN
+        else:
+            index = step.index % len(cells)
+        cells[index] = cells[index] + b"\xff<bitrot>"
     else:
         raise ValueError(f"unknown fault step kind {kind!r}")
 
@@ -169,12 +215,33 @@ def run_plan(
     """Execute one fault plan against a fresh cluster; fully deterministic."""
     if plant is not None and plant not in PLANTED_BUGS:
         raise ValueError(f"unknown planted bug {plant!r}")
+    impl_ctx: Optional[Dict] = None
+    repair: Optional[RepairPolicy] = None
+    poisoned: Optional[Set[str]] = None
+    if plan.has_implementation_faults():
+        # Implementation-fault steps need the containment machinery: an
+        # armable poisonable implementation per replica plus a clean failover
+        # version, a supervisor to repair crashes, and (when state corruption
+        # is in the plan) a running scrubber.
+        poisoned = set()
+        impl_ctx = {"poisoned": poisoned, "poison_count": 0}
+        scrubbing = any(step.kind == "corrupt_object" for step in plan.steps)
+        repair = RepairPolicy(
+            backoff_initial=0.02,
+            backoff_max=0.3,
+            deterministic_after=2,
+            failover_after=3,
+            scrub_interval=0.08 if scrubbing else 0.0,
+            scrub_batch=12,
+        )
     cluster, recorder = recording_cluster(
         config=BFTConfig(
             checkpoint_interval=8, log_window=16, recovery_period=plan.recovery_period
         ),
         net_config=NetworkConfig(delay=0.0005, jitter=0.0005, drop_rate=plan.drop_rate),
         seed=plan.seed,
+        repair=repair,
+        poisoned=poisoned,
     )
     suite = OracleSuite(
         cluster,
@@ -193,7 +260,8 @@ def run_plan(
     drop_removers: List[Callable[[], None]] = []
     for step in plan.steps:
         cluster.sim.schedule(
-            max(0.0, step.at), lambda s=step: _apply_step(cluster, s, drop_removers)
+            max(0.0, step.at),
+            lambda s=step: _apply_step(cluster, s, drop_removers, impl_ctx),
         )
     if plan.recovery_period > 0:
         cluster.start_proactive_recovery()
@@ -257,18 +325,24 @@ def explore(
     check_interval: int = 10,
     shrink: bool = True,
     max_shrink_runs: int = 64,
+    implementation_faults: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> ExploreResult:
     """Run up to ``budget`` seeded random plans; stop at the first violation.
 
     With a fixed ``seed`` the generated plans, their verdicts, and any shrunk
-    repro are identical across runs.
+    repro are identical across runs.  ``implementation_faults`` adds
+    poison_request / corrupt_object steps to the generated plans, exercising
+    the fault-containment supervisor under the oracles.
     """
     master = random.Random(seed)
     result = ExploreResult(seed=seed, budget=budget, plans_run=0)
     for index in range(budget):
         plan = generate_plan(
-            master.randrange(2**31), requests=requests, max_steps=max_steps
+            master.randrange(2**31),
+            requests=requests,
+            max_steps=max_steps,
+            implementation_faults=implementation_faults,
         )
         outcome = run_plan(plan, plant=plant, check_interval=check_interval)
         result.plans_run += 1

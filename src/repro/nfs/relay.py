@@ -14,12 +14,13 @@ of relays.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.base.library import BASEService
 from repro.bft.client import Client
 from repro.bft.cluster import Cluster
 from repro.bft.config import BFTConfig
+from repro.bft.repair import RepairPolicy
 from repro.net.network import NetworkConfig
 from repro.net.simulator import Simulator
 from repro.nfs.fileserver.api import NFSServer
@@ -29,6 +30,9 @@ from repro.nfs.wrapper import NFSConformanceWrapper
 
 ImplFactory = Callable[[dict], NFSServer]
 """Builds one file-server implementation over a persistent disk dict."""
+
+ImplFactories = Union[ImplFactory, Sequence[ImplFactory]]
+"""One implementation, or an ordered N-version failover list for a replica."""
 
 
 class NFSRelay:
@@ -64,12 +68,13 @@ class NFSDeployment:
 
     def __init__(
         self,
-        impl_factory_for: Dict[str, ImplFactory],
+        impl_factory_for: Dict[str, ImplFactories],
         config: Optional[BFTConfig] = None,
         seed: int = 0,
         num_objects: int = 256,
         net_config: Optional[NetworkConfig] = None,
         arity: int = 8,
+        repair: Optional[RepairPolicy] = None,
     ) -> None:
         self.config = config or BFTConfig()
         if set(impl_factory_for) != set(self.config.replica_ids):
@@ -78,10 +83,10 @@ class NFSDeployment:
         self.disks: Dict[str, dict] = {}
         sim = Simulator(seed=seed)
 
-        def service_factory_for(replica_id: str):
+        def make_service(replica_id: str, impl_factory: ImplFactory):
             def make() -> BASEService:
                 disk = self.disks.setdefault(replica_id, {})
-                impl = impl_factory_for[replica_id](disk)
+                impl = impl_factory(disk)
                 wrapper = NFSConformanceWrapper(
                     impl, NFSAbstractSpec(num_objects), disk
                 )
@@ -89,11 +94,21 @@ class NFSDeployment:
 
             return make
 
+        def service_factory_for(replica_id: str):
+            impl_factories = impl_factory_for[replica_id]
+            if callable(impl_factories):
+                return make_service(replica_id, impl_factories)
+            # N-version failover list: every version shares the replica's
+            # disk, so the survivor inherits the conformance rep the failed
+            # implementation persisted.
+            return [make_service(replica_id, f) for f in impl_factories]
+
         self.cluster = Cluster(
             service_factory_for,
             config=self.config,
             net_config=net_config,
             sim=sim,
+            repair=repair,
         )
 
     @property

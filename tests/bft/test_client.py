@@ -129,6 +129,46 @@ def test_invoke_timeout_raises():
         client.invoke(encode_set(0, b"x"), timeout=1.0)
 
 
+def test_retry_backoff_doubles_and_caps():
+    """Retransmission delays double from ``client_retry`` and cap at
+    ``client_retry_max``: 0.15, 0.3, 0.6, 0.6, ... — six retries in three
+    seconds, where fixed-interval retry would have fired nineteen times."""
+    cluster = kv_cluster()
+    for rid in ("R0", "R1", "R2", "R3"):
+        cluster.crash(rid)
+    client = cluster.client("C0")
+    client.invoke_async(encode_set(0, b"x"), lambda r: None)
+    cluster.sim.run_for(3.0)
+    assert client.counters.get("request_retransmissions") == 6
+    assert client.counters.get("retry_backoff_capped") >= 1
+    client.cancel()
+
+
+def test_retry_backoff_resets_per_invocation():
+    """Backoff state belongs to the invocation: after one slow request, the
+    next starts again from the initial delay."""
+    cluster = kv_cluster()
+    for rid in ("R0", "R1", "R2", "R3"):
+        cluster.crash(rid)
+    client = cluster.client("C0")
+    client.invoke_async(encode_set(0, b"x"), lambda r: None)
+    cluster.sim.run_for(3.0)
+    client.cancel()
+    retransmitted = client.counters.get("request_retransmissions")
+    for rid in ("R0", "R1", "R2", "R3"):
+        cluster.restart(rid)
+    assert client.invoke(encode_set(0, b"y"), timeout=30) == b"OK"
+    # A healthy invocation completes before its first (initial-delay) retry.
+    assert client.counters.get("request_retransmissions") == retransmitted
+
+
+def test_client_retry_cap_must_dominate_initial_delay():
+    from repro.util.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        BFTConfig(client_retry=0.5, client_retry_max=0.2)
+
+
 def test_reqids_strictly_increase():
     cluster = kv_cluster()
     client = cluster.client("C0")

@@ -1,0 +1,214 @@
+"""Fault-containment supervisor: reactive repair, crash-loop classification,
+skip-past-poison state transfer, N-version failover, and the scrubber.
+
+All scenarios run the recording KV cluster with the watchdog OFF
+(``recovery_period=0``): every repair observed here was initiated by the
+supervisor reacting to a crash, not by proactive rejuvenation.
+"""
+
+import pytest
+
+from repro.bft.cluster import Cluster
+from repro.bft.config import BFTConfig
+from repro.bft.messages import CheckpointCert
+from repro.bft.repair import RepairPolicy
+from repro.bft.testing import (
+    HistoryRecorder,
+    RecordingKV,
+    assert_order_consistent,
+    encode_set,
+    kv_cluster,
+    recording_cluster,
+)
+from repro.faults import POISON
+from repro.util.errors import FaultInjected
+
+
+def poisoned_cluster(policy=None, **config_overrides):
+    defaults = dict(checkpoint_interval=8, log_window=32)
+    defaults.update(config_overrides)
+    poisoned = set()
+    policy = policy or RepairPolicy(
+        backoff_initial=0.02, backoff_max=0.2, deterministic_after=2, failover_after=8
+    )
+    cluster, recorder = recording_cluster(
+        config=BFTConfig(**defaults), repair=policy, poisoned=poisoned
+    )
+    return cluster, recorder, poisoned
+
+
+def warm_up(cluster, requests=8):
+    client = cluster.client("C0")
+    for i in range(requests):
+        client.invoke(encode_set(i % 8, bytes([i])))
+    return client
+
+
+def test_reactive_repair_without_watchdog():
+    """A transient implementation crash is repaired by the supervisor alone:
+    one crash, one reactive recovery, episode closed — and the poisoned
+    request itself never failed at the client (the quorum masked it)."""
+    cluster, recorder, poisoned = poisoned_cluster()
+    warm_up(cluster)
+    poisoned.add("R2")
+    assert cluster.client("P0").invoke(encode_set(9, POISON)) == b"OK"
+    poisoned.discard("R2")  # transient: the rebuilt instance is clean
+    cluster.settle(2.0)
+    host = cluster.host("R2")
+    supervisor = host.supervisor
+    assert len(supervisor.crashes) == 1
+    assert supervisor.counters.get("supervisor_repairs_started") == 1
+    assert len(host.recovery_log) == 1  # reactive — recovery_period is 0
+    assert len(supervisor.mttr_log) == 1  # order-consistent again
+    assert not cluster.network.is_down("R2")
+    assert not supervisor.status()["episode_open"]
+    assert_order_consistent(recorder)
+
+
+def test_deterministic_bug_escalates_to_skip_past_poison():
+    """A deterministic input-triggered bug crash-loops (suffix re-execution
+    re-feeds the poison); the supervisor classifies it and the repair adopts
+    the quorum's abstract state *past* the poisoning operation instead of
+    re-executing it."""
+    cluster, recorder, poisoned = poisoned_cluster()
+    client = warm_up(cluster)
+    poisoned.add("R2")
+    assert cluster.client("P0").invoke(encode_set(9, POISON)) == b"OK"
+    # Quiet period: the newest certificate predates the poison, so every
+    # rebuild re-executes it and dies again until the skip engages.
+    cluster.settle(1.0)
+    supervisor = cluster.host("R2").supervisor
+    assert len(supervisor.crashes) >= 2
+    assert supervisor.counters.get("supervisor_deterministic_crashes") >= 1
+    assert supervisor.status()["skip_min_seqno"] == 9
+    # Resume traffic: the skip needs a certificate at or past the poison.
+    for i in range(16):
+        client.invoke(encode_set(i % 8, bytes([i, 7])))
+    cluster.settle(3.0)
+    assert supervisor.counters.get("supervisor_skip_transfers") >= 1
+    assert len(supervisor.mttr_log) == 1
+    assert not cluster.network.is_down("R2")
+    # R2 holds the poison *value* (adopted via state transfer) but never
+    # executed the poison operation in any incarnation.
+    assert cluster.service("R2").cells[9] == POISON
+    assert all(
+        POISON not in op
+        for segment in recorder.history_segments["R2"]
+        for _client_id, op in segment
+    )
+    assert_order_consistent(recorder)
+
+
+def test_n_version_failover_when_repairs_keep_failing():
+    """When rebuilds keep dying (classification disabled here, so every
+    repair re-executes the poison), the ladder's last rung swaps in the next
+    implementation of the N-version factory list, which executes the poison
+    without crashing."""
+    policy = RepairPolicy(
+        backoff_initial=0.02, backoff_max=0.1, deterministic_after=10, failover_after=2
+    )
+    cluster, recorder, poisoned = poisoned_cluster(policy=policy)
+    warm_up(cluster)
+    poisoned.add("R2")  # never healed: the primary implementation stays buggy
+    assert cluster.client("P0").invoke(encode_set(9, POISON)) == b"OK"
+    cluster.settle(3.0)
+    host = cluster.host("R2")
+    supervisor = host.supervisor
+    assert len(supervisor.crashes) >= 3  # looped past failover_after
+    assert host.factory_index == 1  # running the clean implementation now
+    assert supervisor.counters.get("supervisor_failovers") == 1
+    assert len(supervisor.mttr_log) == 1
+    assert not cluster.network.is_down("R2")
+    # The clean implementation re-executed the poison operation fine.
+    assert cluster.service("R2").cells[9] == POISON
+    assert_order_consistent(recorder)
+
+
+def test_scrubber_repairs_silent_corruption_without_reboot():
+    """In-place value corruption (no ``modify`` upcall) keeps checkpoint
+    digests stale-correct, so only the scrubber can see it — and it repairs
+    the leaf through a targeted partial transfer, never rebooting."""
+    policy = RepairPolicy(scrub_interval=0.05, scrub_batch=32)
+    cluster, recorder, _poisoned = poisoned_cluster(policy=policy)
+    warm_up(cluster)
+    cluster.settle(0.5)  # checkpoint at 8 stabilizes; modified-flags clear
+    service = cluster.service("R1")
+    good = service.cells[3]
+    assert good == bytes([3])
+    service.cells[3] = good + b"\xff<bitrot>"
+    recoveries_before = cluster.replica("R1").counters.get("recoveries_started")
+    cluster.settle(1.0)
+    replica = cluster.replica("R1")
+    assert service.cells[3] == good
+    assert cluster.host("R1").supervisor.counters.get("scrub_corruption_detected") >= 1
+    assert replica.counters.get("scrub_repairs") >= 1
+    assert replica.counters.get("recoveries_started") == recoveries_before
+    assert_order_consistent(recorder)
+
+
+def test_crash_during_state_install_is_re_repaired():
+    """An implementation that dies *inside* ``put_objs`` while recovery is
+    installing fetched state crashes mid-repair; the supervisor observes that
+    crash too and repairs again (here: the next rebuild installs fine)."""
+    recorder = HistoryRecorder()
+    disks = {}
+    fail_installs = {"R2": 1}
+
+    class InstallCrashKV(RecordingKV):
+        def __init__(self, rid, **kwargs):
+            super().__init__(recorder, rid, **kwargs)
+            self._rid = rid
+
+        def install_fetched(self, objects, seqno):
+            if fail_installs.get(self._rid, 0) > 0:
+                fail_installs[self._rid] -= 1
+                raise FaultInjected("implementation bug: put_objs rejects checkpoint")
+            return super().install_fetched(objects, seqno)
+
+    def factory_for(replica_id):
+        disks.setdefault(replica_id, {})
+
+        def make():
+            return InstallCrashKV(replica_id, num_slots=32, disk=disks[replica_id])
+
+        return make
+
+    cluster = Cluster(
+        factory_for,
+        config=BFTConfig(checkpoint_interval=8, log_window=32),
+        repair=RepairPolicy(backoff_initial=0.02, backoff_max=0.2),
+    )
+    client = warm_up(cluster)
+    cluster.replica("R2").crash_self("aging: heap exhausted")
+    for i in range(4):  # keep ordering alive so the episode can close
+        client.invoke(encode_set(i % 8, bytes([i, 9])))
+    cluster.settle(3.0)
+    supervisor = cluster.host("R2").supervisor
+    reasons = [record.reason for record in supervisor.crashes]
+    assert "implementation bug: put_objs rejects checkpoint" in reasons
+    assert len(supervisor.crashes) >= 2  # the install crash was observed
+    assert supervisor.counters.get("supervisor_repairs_started") >= 2
+    assert not cluster.network.is_down("R2")
+    assert len(supervisor.mttr_log) == 1
+    assert_order_consistent(recorder)
+
+
+def test_repair_path_clears_stale_retry_counts():
+    """Regression: the corrupt-state repair branch of
+    ``_verify_current_and_finish`` must start with a clean retry slate —
+    counts inherited from a previous session would abort the repair before
+    its first fetch."""
+    cluster = kv_cluster(config=BFTConfig(checkpoint_interval=8, log_window=32))
+    client = cluster.client("C0")
+    for i in range(8):
+        client.invoke(encode_set(i % 8, bytes([i])))
+    cluster.settle(0.5)
+    replica = cluster.replica("R1")
+    transfer = replica.transfer
+    cert = CheckpointCert(seqno=replica.last_executed, state_digest=b"\x00" * 32)
+    replica.recovering = True
+    transfer._retries = {("obj", 1): transfer._max_retries + 1}
+    transfer._verify_current_and_finish(cert)
+    assert transfer.active  # the repair session started...
+    assert transfer.session is cert
+    assert transfer._retries == {}  # ...with no inherited retry counts

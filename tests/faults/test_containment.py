@@ -1,0 +1,98 @@
+"""End-to-end masking on the replicated file service: a deterministic
+implementation bug on one replica never surfaces to the client, and the
+containment supervisor walks the full escalation ladder — reactive repair,
+crash-loop classification, and (because ``put_objs`` re-installs the poison
+data through the buggy vendor's own WRITE path, so even a skip transfer
+re-crashes it) N-version failover to the diverse vendor."""
+
+from repro.bft.config import BFTConfig
+from repro.bft.repair import RepairPolicy
+from repro.faults import POISON, BuggyServer
+from repro.nfs.client import NFSClient
+from repro.nfs.fileserver import Ext2FS, FFS, LogFS, MemFS
+from repro.nfs.relay import NFSDeployment
+
+
+def contained_deployment():
+    return NFSDeployment(
+        {
+            # R0 boots the buggy vendor, with a diverse one as failover.
+            "R0": [
+                lambda disk: BuggyServer(MemFS(disk=disk, seed=10)),
+                lambda disk: Ext2FS(disk=disk, seed=20),
+            ],
+            "R1": lambda disk: Ext2FS(disk=disk, seed=11),
+            "R2": lambda disk: FFS(disk=disk, seed=12),
+            "R3": lambda disk: LogFS(disk=disk, seed=13),
+        },
+        num_objects=64,
+        config=BFTConfig(checkpoint_interval=8, log_window=16),
+        repair=RepairPolicy(
+            backoff_initial=0.02,
+            backoff_max=0.2,
+            deterministic_after=2,
+            failover_after=3,
+        ),
+    )
+
+
+def test_poisoned_write_is_masked_and_contained():
+    dep = contained_deployment()
+    fs = NFSClient(dep.relay("C0"))
+    fs.write_file("/ok.txt", b"fine")
+    fs.create("/bomb.txt")
+    # The poisoned WRITE itself succeeds: the quorum masks R0's crash.
+    fs.write("/bomb.txt", POISON)
+    # The service keeps answering while R0 is being repaired behind it.
+    assert fs.read_file("/bomb.txt") == POISON
+    for i in range(8):
+        fs.write_file(f"/after{i}.txt", bytes([i]) * 16)
+    dep.sim.run_for(5.0)
+    host = dep.cluster.hosts["R0"]
+    supervisor = host.supervisor
+    assert supervisor is not None
+    # The bug is deterministic — the poison sits in the very data a repair
+    # must re-install — so reactive repair alone could not close the episode:
+    # the ladder escalated to the diverse vendor.
+    assert len(supervisor.crashes) >= 2
+    assert host.factory_index == 1
+    assert supervisor.counters.get("supervisor_failovers") == 1
+    assert len(supervisor.mttr_log) == 1
+    assert not dep.cluster.network.is_down("R0")
+    # R0 converged on the quorum's abstract state.
+    roots = {
+        rid: dep.cluster.service(rid).current_node(0, 0)[1]
+        for rid in dep.cluster.hosts
+    }
+    assert len(set(roots.values())) == 1
+    # The repaired replica serves reads indistinguishably from the others.
+    assert fs.read_file("/bomb.txt") == POISON
+
+
+def test_skip_past_poison_suffices_when_poison_data_is_overwritten():
+    """When the poison is overwritten before a checkpoint certifies it, the
+    skip transfer alone closes the episode: the state it installs no longer
+    contains the poison, so the rebuilt *buggy* vendor survives and no
+    failover is needed.
+
+    Until that checkpoint exists the replica crash-loops — every repair
+    re-executes the log from genesis and re-feeds the poison WRITE — which is
+    exactly the window the crash-loop classifier is for."""
+    dep = contained_deployment()
+    fs = NFSClient(dep.relay("C0"))
+    fs.create("/bomb.txt")
+    fs.write("/bomb.txt", POISON)
+    # Overwrite immediately: the abstract state a skip transfer will install
+    # no longer contains the poison pattern.
+    fs.write("/bomb.txt", b"\x00" * len(POISON), offset=0)
+    for i in range(8):
+        fs.write_file(f"/after{i}.txt", bytes([i]) * 16)
+    dep.sim.run_for(5.0)
+    host = dep.cluster.hosts["R0"]
+    supervisor = host.supervisor
+    assert len(supervisor.crashes) >= 2  # looped until a checkpoint existed
+    assert supervisor.counters.get("supervisor_skip_transfers") >= 1
+    assert host.factory_index == 0  # still the original (buggy) vendor
+    assert not supervisor.counters.get("supervisor_failovers")
+    assert len(supervisor.mttr_log) == 1
+    assert not dep.cluster.network.is_down("R0")
