@@ -11,6 +11,8 @@ from typing import Dict, Optional
 import pytest
 
 from repro.bft.config import BFTConfig
+from repro.bft.messages import MESSAGE_STATS
+from repro.crypto.digest import DIGEST_STATS
 from repro.net.simulator import Simulator
 from repro.nfs.client import NFSClient
 from repro.nfs.direct import direct_client
@@ -57,6 +59,32 @@ def baseline_client(vendor=MemFS, seed: int = 1, round_trip: float = 0.001):
     sim = Simulator(seed=0)
     fs = direct_client(vendor(disk={}, seed=seed), sim=sim, round_trip=round_trip)
     return sim, fs
+
+
+class GlobalStatsProbe:
+    """Snapshot-diff the process-wide encode/hash counters around a scenario.
+
+    ``MESSAGE_STATS`` and ``DIGEST_STATS`` are module-level (messages hash and
+    encode outside any one replica), so benchmarks that assert on them must
+    isolate their own window::
+
+        with GlobalStatsProbe() as probe:
+            ...workload...
+        assert probe.messages.get("message_encodes", 0) < bound
+
+    ``probe.messages`` / ``probe.digests`` are plain delta dicts (only keys
+    touched inside the window appear — use ``.get(key, 0)``).
+    """
+
+    def __enter__(self) -> "GlobalStatsProbe":
+        self._messages = MESSAGE_STATS.snapshot()
+        self._digests = DIGEST_STATS.snapshot()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.messages: Dict[str, int] = MESSAGE_STATS.diff(self._messages)
+        self.digests: Dict[str, int] = DIGEST_STATS.diff(self._digests)
+        return False
 
 
 def run_once(benchmark, fn):

@@ -5,6 +5,7 @@
     python -m repro lint       # determinism & protocol-invariant linter
     python -m repro explore    # fault-schedule exploration under safety oracles
     python -m repro replay F   # re-execute a saved exploration repro artifact
+    python -m repro bench      # deterministic benchmark suites (BENCH_*.json)
     python -m repro version
 """
 
@@ -93,6 +94,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.explore.cli import replay_main
 
         return replay_main(args[1:])
+    elif command == "bench":
+        from repro.bench.cli import bench_main
+
+        return bench_main(args[1:])
     elif command == "version":
         import repro
 

@@ -101,6 +101,9 @@ class BASEService(StateMachine):
     def current_node(self, level: int, index: int) -> Tuple[int, bytes]:
         return self.manager.current_node(level, index)
 
+    def current_children(self, level: int, index: int) -> List[Tuple[int, bytes]]:
+        return self.manager.current_children(level, index)
+
     def adopt_leaf_lm(self, index: int, lm: int) -> None:
         self.manager.set_leaf_lm(index, lm)
 

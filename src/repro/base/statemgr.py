@@ -29,6 +29,7 @@ skipped.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -79,10 +80,11 @@ def genesis_root_digest(
     A pure function of the specification: replicas use it to recognize and
     verify the implicit genesis checkpoint without any certificate."""
     tree = PartitionTree(num_objects + client_shards, arity=arity)
-    for index in range(num_objects):
-        tree.update_leaf(index, digest(initial_object(index)), 0)
-    for shard in range(client_shards):
-        tree.update_leaf(num_objects + shard, digest(_EMPTY_SHARD), 0)
+    updates = [(index, digest(initial_object(index)), 0) for index in range(num_objects)]
+    updates += [
+        (num_objects + shard, digest(_EMPTY_SHARD), 0) for shard in range(client_shards)
+    ]
+    tree.update_leaves(updates)
     return tree.root()[1]
 
 
@@ -114,10 +116,20 @@ class AbstractStateManager:
         self._client_table: List[Dict[str, Tuple[int, bytes]]] = [
             {} for _ in range(client_shards)
         ]
-        self.tree = PartitionTree(self.total_leaves, arity=arity)
+        self.counters = Counters()
+        self.tree = PartitionTree(self.total_leaves, arity=arity, counters=self.counters)
         self._checkpoints: "OrderedDict[int, _Checkpoint]" = OrderedDict()
         self._modified: Set[int] = set()
-        self.counters = Counters()
+        # COW index: object index -> ascending checkpoint labels holding a COW
+        # copy of it, so get_object_at is a bisect probe instead of a scan.
+        self._cow_labels: Dict[int, List[int]] = {}
+        # Encoding/digest of each object refreshed at the latest checkpoint
+        # (hot set only: entries not re-modified by the next checkpoint are
+        # dropped).  Lets modify() take its COW copy without re-running the
+        # get_obj upcall and take_checkpoint skip re-hashing unchanged
+        # encodings.
+        self._encoding_memo: Dict[int, bytes] = {}
+        self._digest_memo: Dict[int, bytes] = {}
         self._initialize_digests()
 
     def _get_obj(self, index: int) -> bytes:
@@ -128,8 +140,9 @@ class AbstractStateManager:
         return encode_client_shard(self._client_table[index - self.num_objects])
 
     def _initialize_digests(self) -> None:
-        for index in range(self.total_leaves):
-            self.tree.update_leaf(index, digest(self._get_obj(index)), 0)
+        self.tree.update_leaves(
+            [(index, digest(self._get_obj(index)), 0) for index in range(self.total_leaves)]
+        )
 
     # -- the client table (at-most-once execution state) -----------------------------
 
@@ -164,13 +177,32 @@ class AbstractStateManager:
             latest = next(reversed(self._checkpoints))
             checkpoint = self._checkpoints[latest]
             if index not in checkpoint.cow:
-                checkpoint.cow[index] = self._get_obj(index)
+                # The memo holds the object's encoding as of the latest
+                # checkpoint; absent a modification since (which is exactly
+                # this branch), it IS the pre-mutation value — no upcall.
+                value = self._encoding_memo.get(index)
+                if value is None:
+                    value = self._get_obj(index)
+                else:
+                    self.counters.add("cow_upcalls_avoided")
+                checkpoint.cow[index] = value
+                self._cow_labels.setdefault(index, []).append(latest)
                 self.counters.add("cow_copies")
-                self.counters.add("cow_bytes", len(checkpoint.cow[index]))
+                self.counters.add("cow_bytes", len(value))
         self._modified.add(index)
 
-    def modified_since_checkpoint(self) -> Set[int]:
-        return set(self._modified)
+    def modified_since_checkpoint(self) -> "frozenset[int]":
+        """Objects modified since the latest checkpoint, as a frozen view.
+
+        The view is a point-in-time copy (O(modified)); hot loops that only
+        need a membership test should call :meth:`is_modified` instead.
+        """
+        return frozenset(self._modified)
+
+    def is_modified(self, index: int) -> bool:
+        """O(1) membership probe: was ``index`` modified since the latest
+        checkpoint?"""
+        return index in self._modified
 
     # -- checkpoints ------------------------------------------------------------------
 
@@ -178,9 +210,25 @@ class AbstractStateManager:
         """Freeze the current abstract state as checkpoint ``seqno``."""
         if self._checkpoints and seqno <= next(reversed(self._checkpoints)):
             raise ValueError(f"checkpoint seqnos must increase (got {seqno})")
+        new_encodings: Dict[int, bytes] = {}
+        new_digests: Dict[int, bytes] = {}
+        updates: List[Tuple[int, bytes, int]] = []
         for index in sorted(self._modified):
-            self.tree.update_leaf(index, digest(self._get_obj(index)), seqno)
+            value = self._get_obj(index)
+            if self._encoding_memo.get(index) == value:
+                digest_value = self._digest_memo[index]
+                self.counters.add("checkpoint_hashes_avoided")
+            else:
+                digest_value = digest(value)
             self.counters.add("checkpoint_digests")
+            new_encodings[index] = value
+            new_digests[index] = digest_value
+            updates.append((index, digest_value, seqno))
+        self.tree.update_leaves(updates)
+        # Retain the memo only for this interval's working set; cold entries
+        # would otherwise pin every object encoding in memory forever.
+        self._encoding_memo = new_encodings
+        self._digest_memo = new_digests
         self._modified.clear()
         self._checkpoints[seqno] = _Checkpoint(seqno, self.tree.snapshot())
         self.counters.add("checkpoints_taken")
@@ -188,7 +236,12 @@ class AbstractStateManager:
 
     def discard_checkpoints_below(self, seqno: int) -> None:
         for label in [s for s in self._checkpoints if s < seqno]:
-            del self._checkpoints[label]
+            checkpoint = self._checkpoints.pop(label)
+            for index in checkpoint.cow:
+                labels = self._cow_labels[index]
+                labels.remove(label)
+                if not labels:
+                    del self._cow_labels[index]
 
     def checkpoint_seqnos(self) -> List[int]:
         return list(self._checkpoints)
@@ -203,19 +256,20 @@ class AbstractStateManager:
     def get_object_at(self, seqno: int, index: int) -> Optional[bytes]:
         """Object value as of checkpoint ``seqno``.
 
-        Scans checkpoints from ``seqno`` forward: the first COW copy found is
-        the value at ``seqno`` (a copy in checkpoint s' >= s is the value the
-        object held from s' until its first subsequent modification, and the
-        absence of copies in [s, s') means it did not change there).  With no
-        copy anywhere, the current value stands.
+        The first COW copy at a checkpoint label >= ``seqno`` is the value at
+        ``seqno`` (a copy in checkpoint s' >= s is the value the object held
+        from s' until its first subsequent modification, and the absence of
+        copies in [s, s') means it did not change there).  With no copy
+        anywhere, the current value stands.  The per-object label index makes
+        this a bisect probe instead of a scan over all checkpoints.
         """
         if seqno not in self._checkpoints:
             return None
-        for label, checkpoint in self._checkpoints.items():
-            if label < seqno:
-                continue
-            if index in checkpoint.cow:
-                return checkpoint.cow[index]
+        labels = self._cow_labels.get(index)
+        if labels:
+            position = bisect_left(labels, seqno)
+            if position < len(labels):
+                return self._checkpoints[labels[position]].cow[index]
         return self._get_obj(index)
 
     def root_digest(self, seqno: int) -> Optional[bytes]:
@@ -238,6 +292,10 @@ class AbstractStateManager:
     def current_node(self, level: int, index: int) -> Tuple[int, bytes]:
         """⟨lm, digest⟩ of a live-tree node (leaves are at the deepest level)."""
         return self.tree.node(level, index)
+
+    def current_children(self, level: int, index: int) -> List[Tuple[int, bytes]]:
+        """⟨lm, digest⟩ of every live child of (level, index), in one walk."""
+        return self.tree.children(level, index)
 
     def set_leaf_lm(self, index: int, lm: int) -> None:
         """Overwrite a leaf's last-modified seqno, keeping its digest.
@@ -274,10 +332,14 @@ class AbstractStateManager:
             else:
                 self._client_table[index - self.num_objects] = decode_client_shard(value)
         apply_objects(service_objects)
-        for index, (value, lm) in objects.items():
-            self.tree.update_leaf(index, digest(value), lm)
+        self.tree.update_leaves(
+            [(index, digest(value), lm) for index, (value, lm) in objects.items()]
+        )
         self._modified.clear()
         self._checkpoints.clear()
+        self._cow_labels.clear()
+        self._encoding_memo.clear()
+        self._digest_memo.clear()
         self._checkpoints[seqno] = _Checkpoint(seqno, self.tree.snapshot())
         self.counters.add("state_transfer_installs")
         return self.tree.root()[1]
@@ -332,9 +394,9 @@ class AbstractStateManager:
                 self._client_table[index - self.num_objects] = decode_client_shard(value)
         if service_objects:
             apply_objects(service_objects)
-        for index in sorted(objects):
-            value, lm = objects[index]
-            self.tree.update_leaf(index, digest(value), lm)
+        self.tree.update_leaves(
+            [(index, digest(value), lm) for index, (value, lm) in sorted(objects.items())]
+        )
         self.counters.add("scrub_objects_installed", len(objects))
 
     def reset_to_current(self) -> None:
@@ -342,4 +404,7 @@ class AbstractStateManager:
         concrete state (used when a replica reconstructs after reboot)."""
         self._checkpoints.clear()
         self._modified.clear()
+        self._cow_labels.clear()
+        self._encoding_memo.clear()
+        self._digest_memo.clear()
         self._initialize_digests()

@@ -1,0 +1,172 @@
+"""``repro bench`` — deterministic benchmark suites from the command line.
+
+Runs a named suite of simulator scenarios (:mod:`repro.bench.suites`), writes
+machine-readable ``BENCH_<suite>.json``, and optionally compares against a
+committed baseline with a regression threshold.
+
+Exit codes: 0 = ok, 1 = regression against the baseline, 2 = usage error.
+
+The report is deliberately free of wall-clock timestamps and host identifiers:
+two runs of the same code produce byte-identical JSON, so baselines can be
+committed and compared exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.suites import SUITES, run_suite
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+
+SCHEMA_VERSION = 1
+
+#: Metrics compared against a baseline, with the direction that counts as a
+#: regression.  Anything not listed is informational only.
+LOWER_IS_BETTER = {
+    "virtual_seconds",
+    "latency_p50_ms",
+    "latency_p99_ms",
+    "messages_sent",
+    "bytes_sent",
+    "message_encodes",
+    "message_encode_bytes",
+    "encodes_per_send",
+    "mac_generate",
+    "mac_verify",
+    "key_derivations",
+    "digests",
+    "digest_combines",
+    "checkpoint_digests",
+    "cow_copies",
+    "cow_bytes",
+    "tree_nodes_copied",
+    "tree_nodes_copied_per_checkpoint",
+    "copy_scaling_ratio",
+    "objects_fetched",
+    "fetch_meta_sent",
+    "fetch_object_sent",
+}
+HIGHER_IS_BETTER = {"ops_per_vsec", "transfers_completed"}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run deterministic benchmark suites under the simulator.",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="smoke",
+        help="suite to run (default smoke)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="report path (default BENCH_<suite>.json in the working directory)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="baseline BENCH_*.json to compare against; regressions exit 1",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="allowed fractional regression vs the baseline (default 0.05)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    return parser
+
+
+def _compare_metric(name: str, current: float, baseline: float) -> Optional[float]:
+    """Fractional regression of ``current`` vs ``baseline`` (None if the
+    metric is informational or did not regress)."""
+    if name in LOWER_IS_BETTER:
+        if current <= baseline:
+            return None
+        return (current - baseline) / baseline if baseline else float("inf")
+    if name in HIGHER_IS_BETTER:
+        if current >= baseline:
+            return None
+        return (baseline - current) / baseline if baseline else float("inf")
+    return None
+
+
+def compare_reports(
+    current: Dict, baseline: Dict, threshold: float
+) -> List[Tuple[str, str, float, float, float]]:
+    """Regressions beyond ``threshold``: (scenario, metric, current, base, frac)."""
+    regressions: List[Tuple[str, str, float, float, float]] = []
+    for scenario, base_metrics in baseline.get("scenarios", {}).items():
+        current_metrics = current.get("scenarios", {}).get(scenario)
+        if current_metrics is None:
+            continue
+        for metric, base_value in base_metrics.items():
+            if metric not in current_metrics:
+                continue
+            frac = _compare_metric(metric, current_metrics[metric], base_value)
+            if frac is not None and frac > threshold:
+                regressions.append(
+                    (scenario, metric, current_metrics[metric], base_value, frac)
+                )
+    return regressions
+
+
+def bench_main(argv: List[str]) -> int:
+    try:
+        args = _parser().parse_args(argv)
+    except SystemExit as exc:
+        return EXIT_USAGE if exc.code not in (0, None) else EXIT_OK
+    if args.threshold < 0:
+        print("bench: --threshold must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+
+    baseline = None
+    if args.compare is not None:
+        baseline_path = Path(args.compare)
+        if not baseline_path.is_file():
+            print(f"bench: no such baseline: {baseline_path}", file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except ValueError as exc:
+            print(f"bench: malformed baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    log = None if args.quiet else print
+    results = run_suite(args.suite, log=log)
+    report = {
+        "schema": SCHEMA_VERSION,
+        "suite": args.suite,
+        "scenarios": results,
+    }
+
+    out_path = Path(args.out) if args.out else Path(f"BENCH_{args.suite}.json")
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"bench: wrote {out_path} ({len(results)} scenarios)")
+
+    if baseline is None:
+        return EXIT_OK
+    regressions = compare_reports(report, baseline, args.threshold)
+    if not regressions:
+        print(
+            f"bench: no regressions vs {baseline_path} "
+            f"(threshold {args.threshold:.0%})"
+        )
+        return EXIT_OK
+    for scenario, metric, current_value, base_value, frac in regressions:
+        print(
+            f"bench: REGRESSION {scenario}.{metric}: "
+            f"{current_value} vs baseline {base_value} ({frac:+.1%})"
+        )
+    return EXIT_REGRESSION

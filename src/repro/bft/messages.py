@@ -7,21 +7,94 @@ prepare, commit, reply, checkpoint) travel with MAC *authenticators*;
 pre-prepares, prepares, and checkpoints additionally carry a signature so
 they can be embedded as third-party-verifiable proofs inside view-change
 messages (the OSDI'99 signature variant of the view-change protocol).
+
+Encodings are computed once per instance and cached.  The first call to
+:meth:`signable_bytes` (or any digest derived from it) *freezes* the message:
+further field assignment raises :class:`FrozenMessageError`, so a cached
+encoding can never go stale.  ``sig`` and ``auth`` stay assignable — they are
+attached after the signable prefix is taken and are never part of it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.crypto.auth import Authenticator
 from repro.crypto.digest import combine_digests, digest
+from repro.util.stats import Counters
 from repro.util.xdr import XdrEncoder
+
+#: Process-wide encode accounting (all replicas in a simulation share it):
+#: ``message_encodes`` / ``message_encode_bytes`` count actual serializations;
+#: a broadcast that serializes once shows one encode however many recipients
+#: the send fans out to.
+MESSAGE_STATS = Counters()
+
+#: Fields legitimately attached after the canonical encoding exists.  The
+#: signable prefix excludes them by construction, so mutating them cannot
+#: invalidate any cache.
+_POST_FREEZE_MUTABLE = frozenset({"auth", "sig"})
+
+
+class FrozenMessageError(AttributeError):
+    """A protocol field was assigned after the message's encoding was cached."""
+
+
+def _caching_signable(encode: Callable[["Message"], bytes]) -> Callable[["Message"], bytes]:
+    def signable_bytes(self: "Message") -> bytes:
+        cached = self.__dict__.get("_signable")
+        if cached is None:
+            cached = encode(self)
+            self.__dict__["_signable"] = cached
+            self.__dict__["_frozen"] = True
+            MESSAGE_STATS.add("message_encodes")
+            MESSAGE_STATS.add("message_encode_bytes", len(cached))
+        return cached
+
+    signable_bytes.__doc__ = encode.__doc__
+    signable_bytes._caching = True  # type: ignore[attr-defined]
+    return signable_bytes
 
 
 @dataclass
 class Message:
     """Base class; subclasses fill in canonical encodings."""
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        # Wrap each subclass's literal ``signable_bytes`` definition (the
+        # protocol linter requires the method in every class body) with the
+        # freeze-and-cache layer, without touching the wire format.
+        super().__init_subclass__(**kwargs)
+        encode = cls.__dict__.get("signable_bytes")
+        if encode is not None and not getattr(encode, "_caching", False):
+            cls.signable_bytes = _caching_signable(encode)  # type: ignore[method-assign]
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name not in _POST_FREEZE_MUTABLE and self.__dict__.get("_frozen"):
+            raise FrozenMessageError(
+                f"cannot assign {type(self).__name__}.{name}: the canonical "
+                "encoding is cached; build a new message (dataclasses.replace) "
+                "instead of mutating a signed one"
+            )
+        object.__setattr__(self, name, value)
+
+    def __delattr__(self, name: str) -> None:
+        if name not in _POST_FREEZE_MUTABLE and self.__dict__.get("_frozen"):
+            raise FrozenMessageError(
+                f"cannot delete {type(self).__name__}.{name}: the canonical "
+                "encoding is cached"
+            )
+        object.__delattr__(self, name)
+
+    def _memo(self, key: str, compute: Callable[[], int]) -> int:
+        """Cache a static size sub-sum directly in ``__dict__`` (bypassing the
+        freeze guard; memo keys are not protocol fields)."""
+        value = self.__dict__.get(key)
+        if value is None:
+            value = compute()
+            self.__dict__[key] = value
+        return value
 
     def signable_bytes(self) -> bytes:
         raise NotImplementedError
@@ -53,7 +126,11 @@ class Request(Message):
         return enc.getvalue()
 
     def digest(self) -> bytes:
-        return digest(self.signable_bytes())
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = digest(self.signable_bytes())
+            self.__dict__["_digest"] = cached
+        return cached
 
 
 @dataclass
@@ -94,7 +171,14 @@ class PrePrepare(Message):
     auth: Optional[Authenticator] = None
 
     def batch_digest(self) -> bytes:
-        return batch_digest(self.requests, self.nondet)
+        cached = self.__dict__.get("_batch_digest")
+        if cached is None:
+            cached = batch_digest(self.requests, self.nondet)
+            self.__dict__["_batch_digest"] = cached
+            # The digest binds requests + nondet, so caching it freezes the
+            # message exactly like caching the full encoding does.
+            self.__dict__["_frozen"] = True
+        return cached
 
     def signable_bytes(self) -> bytes:
         enc = XdrEncoder()
@@ -104,11 +188,10 @@ class PrePrepare(Message):
         return enc.getvalue()
 
     def wire_size(self) -> int:
-        size = super().wire_size()
-        for request in self.requests:
-            size += request.wire_size()
-        size += len(self.nondet)
-        return size
+        return super().wire_size() + self._memo(
+            "_wire_extra",
+            lambda: sum(r.wire_size() for r in self.requests) + len(self.nondet),
+        )
 
 
 @dataclass
@@ -214,9 +297,11 @@ class ViewChange(Message):
         return enc.getvalue()
 
     def wire_size(self) -> int:
-        size = len(self.signable_bytes()) + len(self.sig)
-        size += sum(p.wire_size() for p in self.prepared)
-        return size
+        return (
+            len(self.signable_bytes())
+            + len(self.sig)
+            + self._memo("_wire_extra", lambda: sum(p.wire_size() for p in self.prepared))
+        )
 
 
 @dataclass
@@ -242,10 +327,15 @@ class NewView(Message):
         return enc.getvalue()
 
     def wire_size(self) -> int:
-        size = len(self.signable_bytes()) + len(self.sig)
-        size += sum(v.wire_size() for v in self.view_changes)
-        size += sum(p.wire_size() for p in self.pre_prepares)
-        return size
+        return (
+            len(self.signable_bytes())
+            + len(self.sig)
+            + self._memo(
+                "_wire_extra",
+                lambda: sum(v.wire_size() for v in self.view_changes)
+                + sum(p.wire_size() for p in self.pre_prepares),
+            )
+        )
 
 
 @dataclass
@@ -286,7 +376,9 @@ class CheckpointCert(Message):
         return enc.getvalue()
 
     def wire_size(self) -> int:
-        return len(self.signable_bytes()) + sum(len(c.sig) for c in self.proof)
+        return len(self.signable_bytes()) + self._memo(
+            "_wire_extra", lambda: sum(len(c.sig) for c in self.proof)
+        )
 
 
 @dataclass
@@ -310,12 +402,15 @@ class RetransmitCommitted(Message):
         return enc.getvalue()
 
     def wire_size(self) -> int:
-        size = len(self.signable_bytes())
-        for pp, prepares, commits in self.entries:
-            size += pp.wire_size()
-            size += sum(p.wire_size() for p in prepares)
-            size += sum(c.wire_size() for c in commits)
-        return size
+        def extra() -> int:
+            size = 0
+            for pp, prepares, commits in self.entries:
+                size += pp.wire_size()
+                size += sum(p.wire_size() for p in prepares)
+                size += sum(c.wire_size() for c in commits)
+            return size
+
+        return len(self.signable_bytes()) + self._memo("_wire_extra", extra)
 
 
 # --- state transfer -----------------------------------------------------------

@@ -126,9 +126,13 @@ class Replica(Node):
     # -- authenticated send helpers --------------------------------------------------
 
     def auth_multicast(self, message: Message) -> None:
+        # signable_bytes() caches on first call, so the whole MAC vector and
+        # every per-recipient send below reuse one serialization.
+        payload = message.signable_bytes()
         message.auth = self.keys.make_authenticator(  # type: ignore[attr-defined]
-            self.node_id, self.config.replica_ids, message.signable_bytes()
+            self.node_id, self.config.replica_ids, payload
         )
+        self.counters.add("auth_broadcasts")
         self.multicast(self.other_replicas(), message)
 
     def auth_send(self, dst: str, message: Message) -> None:

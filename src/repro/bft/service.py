@@ -113,6 +113,12 @@ class StateMachine:
         """⟨lm, digest⟩ of node (level, index) over the live state."""
         raise NotImplementedError
 
+    def current_children(self, level: int, index: int) -> List[Tuple[int, bytes]]:
+        """⟨lm, digest⟩ pairs of every live child of node (level, index) in
+        one call — one tree walk instead of one per child when checking a
+        metadata reply against local state."""
+        raise NotImplementedError
+
     def adopt_leaf_lm(self, index: int, lm: int) -> None:
         """Adopt a verified last-modified seqno for an up-to-date leaf (used
         after reboot, when local lm metadata may be stale while the object

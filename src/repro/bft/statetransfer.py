@@ -286,9 +286,12 @@ class StateTransferManager:
         leaves_level = service.num_levels()
         child_level = message.level + 1
         base = message.index * self._arity()
+        # One walk fetches every live child pair; per-child current_node calls
+        # would each re-walk the tree spine from the root.
+        current_children = service.current_children(message.level, message.index)
         for offset, (lm, child_digest) in enumerate(message.children):
             child_index = base + offset
-            current_lm, current_digest = service.current_node(child_level, child_index)
+            current_lm, current_digest = current_children[offset]
             if child_level == leaves_level:
                 if current_digest == child_digest:
                     if current_lm != lm:

@@ -111,6 +111,14 @@ class ViewChangeManager:
             return
         if view_change.replica_id not in replica.config.replica_ids:
             return
+        existing = self.messages.get(view_change.new_view, {}).get(view_change.replica_id)
+        if existing is not None and existing.signable_bytes() == view_change.signable_bytes():
+            # Byte-identical retransmission of a vote we already validated
+            # and recorded: skip re-verifying its signature and every proof
+            # inside it.  (Both encodings are cached, so this is one compare.)
+            replica.counters.add("view_change_duplicates")
+            self._try_new_view(view_change.new_view)
+            return
         if not replica.sigs.verify(
             view_change.replica_id, view_change.signable_bytes(), view_change.sig
         ):

@@ -71,6 +71,7 @@ class KeyTable:
     def __init__(self, secret: bytes = b"repro-base-secret") -> None:
         self._secret = secret
         self._inbound_epoch: Dict[str, int] = {}
+        self._key_cache: Dict[Tuple[str, str, int], bytes] = {}
         self.counters = Counters()
 
     def epoch_of(self, principal: str) -> int:
@@ -80,12 +81,24 @@ class KeyTable:
         """Bump ``principal``'s inbound epoch (proactive-recovery key change)."""
         new_epoch = self.epoch_of(principal) + 1
         self._inbound_epoch[principal] = new_epoch
+        # Keys derived under the principal's old inbound epochs are dead; drop
+        # them so the cache tracks the live key set.
+        self._key_cache = {
+            k: v for k, v in self._key_cache.items()
+            if not (k[1] == principal and k[2] < new_epoch)
+        }
         return new_epoch
 
     def key(self, sender: str, receiver: str, epoch: Optional[int] = None) -> bytes:
         if epoch is None:
             epoch = self.epoch_of(receiver)
-        return _derive_key(self._secret, sender, receiver, epoch)
+        cache_key = (sender, receiver, epoch)
+        derived = self._key_cache.get(cache_key)
+        if derived is None:
+            derived = _derive_key(self._secret, sender, receiver, epoch)
+            self._key_cache[cache_key] = derived
+            self.counters.add("key_derivations")
+        return derived
 
     def make_authenticator(self, sender: str, receivers, data: bytes) -> Authenticator:
         """MAC ``data`` once per receiver under current keys."""

@@ -10,15 +10,24 @@ from __future__ import annotations
 import hashlib
 from typing import Iterable
 
+from repro.util.stats import Counters
+
 DIGEST_SIZE = 32
 
 EMPTY_DIGEST = b"\x00" * DIGEST_SIZE
 """Digest placeholder for never-written state (all zeros, like BFT's null
 partition digests)."""
 
+#: Process-wide hash accounting, reported by ``repro bench``:
+#: ``digests`` / ``digest_bytes`` for :func:`digest`, ``digest_combines`` for
+#: :func:`combine_digests`.
+DIGEST_STATS = Counters()
+
 
 def digest(data: bytes) -> bytes:
     """SHA-256 digest of ``data``."""
+    DIGEST_STATS.add("digests")
+    DIGEST_STATS.add("digest_bytes", len(data))
     return hashlib.sha256(data).digest()
 
 
@@ -33,6 +42,7 @@ def combine_digests(parts: Iterable[bytes]) -> bytes:
     Each part is length-prefixed before hashing so the combination is not
     ambiguous under concatenation.
     """
+    DIGEST_STATS.add("digest_combines")
     h = hashlib.sha256()
     for part in parts:
         h.update(len(part).to_bytes(4, "big"))

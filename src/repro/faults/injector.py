@@ -8,6 +8,7 @@ forged cryptography.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable
 
 from repro.bft.messages import PrePrepare
@@ -83,7 +84,9 @@ def make_vote_corruptor(replica: Replica) -> None:
 
     def corrupt(message) -> None:
         if hasattr(message, "digest") and isinstance(getattr(message, "digest"), bytes):
-            message.digest = digest(b"garbage-vote")
+            # The outgoing vote is already signed, hence frozen: build the
+            # corrupted vote as a fresh message and re-sign it.
+            message = dataclasses.replace(message, digest=digest(b"garbage-vote"))
             if hasattr(message, "sig"):
                 message.sig = replica.signer.sign(message.signable_bytes())
             replica.counters.add("byzantine_corrupt_votes")

@@ -1,0 +1,96 @@
+"""The ``repro bench`` CLI: report shape, determinism contract, comparison."""
+
+import json
+
+from repro.bench.cli import (
+    EXIT_OK,
+    EXIT_REGRESSION,
+    EXIT_USAGE,
+    bench_main,
+    compare_reports,
+)
+from repro.bench.suites import SCENARIOS, SUITES
+
+
+def test_suites_reference_registered_scenarios():
+    assert "smoke" in SUITES and "full" in SUITES
+    for suite in SUITES.values():
+        for name in suite:
+            assert name in SCENARIOS
+
+
+def _report(**metrics):
+    return {"schema": 1, "suite": "smoke", "scenarios": {"s": metrics}}
+
+
+def test_compare_flags_cost_increase():
+    regressions = compare_reports(
+        _report(messages_sent=120), _report(messages_sent=100), threshold=0.05
+    )
+    assert [(r[0], r[1]) for r in regressions] == [("s", "messages_sent")]
+
+
+def test_compare_flags_throughput_drop():
+    regressions = compare_reports(
+        _report(ops_per_vsec=80.0), _report(ops_per_vsec=100.0), threshold=0.05
+    )
+    assert [(r[0], r[1]) for r in regressions] == [("s", "ops_per_vsec")]
+
+
+def test_compare_respects_direction_and_threshold():
+    # Improvements and sub-threshold noise never flag; informational metrics
+    # (not in either direction set) never flag.
+    current = _report(messages_sent=90, ops_per_vsec=104.0, ops=999)
+    baseline = _report(messages_sent=100, ops_per_vsec=100.0, ops=1)
+    assert compare_reports(current, baseline, threshold=0.05) == []
+    barely = _report(messages_sent=104)
+    assert compare_reports(barely, _report(messages_sent=100), threshold=0.05) == []
+
+
+def test_compare_ignores_scenarios_missing_from_current():
+    baseline = {"scenarios": {"gone": {"messages_sent": 1}}}
+    assert compare_reports({"scenarios": {}}, baseline, threshold=0.0) == []
+
+
+def test_usage_errors():
+    assert bench_main(["--suite", "nonsense"]) == EXIT_USAGE
+    assert bench_main(["--threshold", "-1"]) == EXIT_USAGE
+
+
+def test_compare_against_missing_baseline_is_usage_error(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    # The suite must not run before argument validation catches the baseline.
+    assert (
+        bench_main(["--compare", str(tmp_path / "nope.json"), "--quiet"]) == EXIT_USAGE
+    )
+
+
+def test_smoke_suite_end_to_end(tmp_path):
+    """Full CLI round trip: run, self-compare (exit 0), doctored baseline
+    regression (exit 1), byte-identical re-run."""
+    out = tmp_path / "BENCH_smoke.json"
+    assert bench_main(["--suite", "smoke", "--out", str(out), "--quiet"]) == EXIT_OK
+    report = json.loads(out.read_text())
+    assert report["suite"] == "smoke"
+    assert set(report["scenarios"]) == set(SUITES["smoke"])
+
+    assert (
+        bench_main(
+            ["--suite", "smoke", "--out", str(tmp_path / "again.json"),
+             "--compare", str(out), "--quiet"]
+        )
+        == EXIT_OK
+    )
+    assert (tmp_path / "again.json").read_bytes() == out.read_bytes()
+
+    doctored = json.loads(out.read_text())
+    doctored["scenarios"]["kv_throughput"]["messages_sent"] = 1
+    baseline = tmp_path / "doctored.json"
+    baseline.write_text(json.dumps(doctored))
+    assert (
+        bench_main(
+            ["--suite", "smoke", "--out", str(tmp_path / "third.json"),
+             "--compare", str(baseline), "--quiet"]
+        )
+        == EXIT_REGRESSION
+    )

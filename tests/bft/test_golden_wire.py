@@ -1,0 +1,236 @@
+"""Golden wire-format and checkpoint-digest pins.
+
+Every constant in this file was captured from the implementation BEFORE the
+encoding-cache / persistent-snapshot optimisations landed.  The caching layer
+must be byte-for-byte behavior-neutral: if any of these assertions fires, the
+wire format or the checkpoint digest format changed and every cross-version
+deployment (and every recorded BENCH_* trajectory) silently broke.
+"""
+
+import hashlib
+
+from repro.base.partition import PartitionTree
+from repro.base.statemgr import genesis_root_digest
+from repro.bft.messages import (
+    Checkpoint,
+    CheckpointCert,
+    Commit,
+    FetchMeta,
+    FetchObject,
+    FetchRoot,
+    MetaReply,
+    NewView,
+    ObjectReply,
+    PrePrepare,
+    Prepare,
+    PreparedProof,
+    Recovered,
+    Recovering,
+    Reply,
+    Request,
+    RetransmitCommitted,
+    Status,
+    TransferRoot,
+    ViewChange,
+)
+from repro.crypto.digest import digest
+
+D1 = digest(b"golden-digest-1")
+D2 = digest(b"golden-digest-2")
+
+
+def golden_messages():
+    """The fixed message instances the goldens were captured from."""
+    req = Request(client_id="C1", reqid=7, op=b"\x01\x02payload", read_only=False)
+    req2 = Request(client_id="C2", reqid=9, op=b"read-op", read_only=True)
+    pp = PrePrepare(
+        view=2,
+        seqno=11,
+        requests=[req, req2],
+        nondet=b"\x00\x01\x02\x03",
+        primary_id="R2",
+        sig=b"s" * 32,
+    )
+    prep = Prepare(view=2, seqno=11, digest=D1, replica_id="R1", sig=b"p" * 32)
+    com = Commit(view=2, seqno=11, digest=D1, replica_id="R3", sig=b"c" * 32)
+    ckpt = Checkpoint(seqno=16, state_digest=D2, replica_id="R0", sig=b"k" * 32)
+    proof = PreparedProof(pre_prepare=pp, prepares=[prep])
+    vc = ViewChange(
+        new_view=3,
+        stable_seqno=16,
+        checkpoint_proof=[ckpt],
+        prepared=[proof],
+        replica_id="R1",
+        sig=b"v" * 32,
+    )
+    cert = CheckpointCert(seqno=16, state_digest=D2, proof=[ckpt])
+    return {
+        "request": req,
+        "request_ro": req2,
+        "reply": Reply(
+            view=2, reqid=7, client_id="C1", replica_id="R1", result=b"ok", read_only=False
+        ),
+        "pre_prepare": pp,
+        "prepare": prep,
+        "commit": com,
+        "checkpoint": ckpt,
+        "view_change": vc,
+        "new_view": NewView(
+            view=3, view_changes=[vc], pre_prepares=[pp], primary_id="R3", sig=b"n" * 32
+        ),
+        "status": Status(
+            replica_id="R2", view=2, stable_seqno=16, last_executed=18, in_view_change=False
+        ),
+        "checkpoint_cert": cert,
+        "retransmit": RetransmitCommitted(replica_id="R0", entries=[(pp, [prep], [com])]),
+        "fetch_root": FetchRoot(requester="R3", min_seqno=16),
+        "transfer_root": TransferRoot(replica_id="R0", cert=cert),
+        "fetch_meta": FetchMeta(requester="R3", level=1, index=2, min_seqno=16),
+        "meta_reply": MetaReply(
+            replica_id="R0", seqno=16, level=1, index=2, children=[(3, D1), (0, D2)]
+        ),
+        "fetch_object": FetchObject(requester="R3", index=5, min_seqno=16),
+        "object_reply": ObjectReply(replica_id="R0", index=5, seqno=16, data=b"object-bytes"),
+        "recovering": Recovering(replica_id="R2", epoch=1),
+        "recovered": Recovered(replica_id="R2", epoch=1),
+    }
+
+
+SIGNABLE_HEX = {
+    "request": "000000075245515545535400000000024331000000000000000000070000000901027061796c6f616400000000000000",
+    "request_ro": "0000000752455155455354000000000243320000000000000000000900000007726561642d6f700000000001",
+    "reply": "000000055245504c590000000000000000000002000000000000000700000002433100000000000252310000000000026f6b000000000000",
+    "pre_prepare": "0000000b5052452d50524550415245000000000000000002000000000000000b9b0272ae6e391ff404e816f33ed75948333e7e6d8140953b4a5cdae9ff36ac2f0000000252320000",
+    "prepare": "0000000750524550415245000000000000000002000000000000000bf85186ebd7fc0d59ea77986bfa8c5112c80d87b73f168f863ee122abfce764670000000252310000",
+    "commit": "00000006434f4d4d495400000000000000000002000000000000000bf85186ebd7fc0d59ea77986bfa8c5112c80d87b73f168f863ee122abfce764670000000252330000",
+    "checkpoint": "0000000a434845434b504f494e54000000000000000000104f3bfe01724e115a39f3cc70cff5c7a341d938ad8e821c0ea57df2411766d6b60000000252300000",
+    "view_change": "0000000b564945572d4348414e47450000000000000000030000000000000010000000025231000000000001000000400000000a434845434b504f494e54000000000000000000104f3bfe01724e115a39f3cc70cff5c7a341d938ad8e821c0ea57df2411766d6b6000000025230000000000001000000480000000b5052452d50524550415245000000000000000002000000000000000b9b0272ae6e391ff404e816f33ed75948333e7e6d8140953b4a5cdae9ff36ac2f0000000252320000",
+    "new_view": "000000084e45572d564945570000000000000003000000025233000000000001000000c00000000b564945572d4348414e47450000000000000000030000000000000010000000025231000000000001000000400000000a434845434b504f494e54000000000000000000104f3bfe01724e115a39f3cc70cff5c7a341d938ad8e821c0ea57df2411766d6b6000000025230000000000001000000480000000b5052452d50524550415245000000000000000002000000000000000b9b0272ae6e391ff404e816f33ed75948333e7e6d8140953b4a5cdae9ff36ac2f000000025232000000000001000000480000000b5052452d50524550415245000000000000000002000000000000000b9b0272ae6e391ff404e816f33ed75948333e7e6d8140953b4a5cdae9ff36ac2f0000000252320000",
+    "status": "000000065354415455530000000000025232000000000000000000020000000000000010000000000000001200000000",
+    "checkpoint_cert": "0000000f434845434b504f494e542d434552540000000000000000104f3bfe01724e115a39f3cc70cff5c7a341d938ad8e821c0ea57df2411766d6b600000001000000400000000a434845434b504f494e54000000000000000000104f3bfe01724e115a39f3cc70cff5c7a341d938ad8e821c0ea57df2411766d6b60000000252300000",
+    "retransmit": "0000000a52455452414e534d49540000000000025230000000000001000000480000000b5052452d50524550415245000000000000000002000000000000000b9b0272ae6e391ff404e816f33ed75948333e7e6d8140953b4a5cdae9ff36ac2f0000000252320000",
+    "fetch_root": "0000000a46455443482d524f4f54000000000002523300000000000000000010",
+    "transfer_root": "0000000d5452414e534645522d524f4f540000000000000252300000000000840000000f434845434b504f494e542d434552540000000000000000104f3bfe01724e115a39f3cc70cff5c7a341d938ad8e821c0ea57df2411766d6b600000001000000400000000a434845434b504f494e54000000000000000000104f3bfe01724e115a39f3cc70cff5c7a341d938ad8e821c0ea57df2411766d6b60000000252300000",
+    "fetch_meta": "0000000a46455443482d4d455441000000000002523300000000000100000000000000020000000000000010",
+    "meta_reply": "0000000a4d4554412d5245504c59000000000002523000000000000000000010000000010000000000000002000000020000000000000003f85186ebd7fc0d59ea77986bfa8c5112c80d87b73f168f863ee122abfce7646700000000000000004f3bfe01724e115a39f3cc70cff5c7a341d938ad8e821c0ea57df2411766d6b6",
+    "fetch_object": "0000000c46455443482d4f424a454354000000025233000000000000000000050000000000000010",
+    "object_reply": "0000000c4f424a4543542d5245504c590000000252300000000000000000000500000000000000100000000c6f626a6563742d6279746573",
+    "recovering": "0000000a5245434f564552494e47000000000002523200000000000000000001",
+    "recovered": "000000095245434f564552454400000000000002523200000000000000000001",
+}
+
+WIRE_SIZES = {
+    "request": 48,
+    "request_ro": 44,
+    "reply": 56,
+    "pre_prepare": 200,
+    "prepare": 100,
+    "commit": 100,
+    "checkpoint": 96,
+    "view_change": 524,
+    "new_view": 1064,
+    "status": 48,
+    "checkpoint_cert": 164,
+    "retransmit": 504,
+    "fetch_root": 32,
+    "transfer_root": 328,
+    "fetch_meta": 44,
+    "meta_reply": 128,
+    "fetch_object": 40,
+    "object_reply": 56,
+    "recovering": 32,
+    "recovered": 32,
+}
+
+BATCH_DIGEST_HEX = "9b0272ae6e391ff404e816f33ed75948333e7e6d8140953b4a5cdae9ff36ac2f"
+REQUEST_DIGEST_HEX = "74f8f2554e07b2ec8b3ab9409db45ec464354fdadc227f92a35d007989b1d58c"
+
+# (num_objects, arity) -> (sha256 over the root-digest sequence of a fixed
+# 2n-step update run, initial root, final root).
+TREE_GOLDEN = {
+    (1, 8): (
+        "b8e2f54803502135c042e64414ece94f4bad4936d35f941152c27817b5428cb0",
+        "4237f6898633ac00f28e402b55ae19dda173139a81d3148f38fbc6fb3014af71",
+        "6e2392728df74e13242b86b832132b5518eec0420f7548e634a4cd575be4a7df",
+    ),
+    (7, 3): (
+        "cd033d55570289db30add22a711116602fc17f16f2356a2933cd9517ce7348ec",
+        "24304eb27e6638b54f43675b0f3ec4be862e68d925a7490b6511deebc7a620e5",
+        "5d8dde9088438592176a22565211d60c867bea8f3041ad0db49f8ba46c87f9a6",
+    ),
+    (10, 4): (
+        "492156284db0a48bb46cdedfb0143d255db9ced807720a87b2be1e7357b9898f",
+        "313d1ac2c723ff888725d3b0c3cea38dc0996912d082268c74f27fa48050bacd",
+        "6114b9985fe94e9de7ada17bcbe67e23d33704df2ca09d00ec847805f0d3b825",
+    ),
+    (16, 4): (
+        "12ec308e50fc7ead2a7ba1c0353d2fa326d6394275eafd27929eac736497aecc",
+        "dd9afb9af8f01f1b2437f5294647c32742c2de1b9fd9c30b99509bbdcf6eb092",
+        "7009db168fb483e546edbcc926250d39617437e87de16d5cb51cdf1f80b76547",
+    ),
+    (64, 8): (
+        "0b6316f04971faa8ce880dc3af036848be1af294b0047c9a283666e3a81cc018",
+        "83d46717646609327044167a1456173fbc77a42e1bbe1a61d1a3d37d4f3ee171",
+        "ca20dce8b196cb7f2561ddf07113a8c28a27aa20ab23036b63804fe586967535",
+    ),
+}
+
+GENESIS_ROOT_KV8_HEX = "c92ef9c04722094c01efebf155ffb2dbe0ab9b4051aae58ce6e81c69d806a195"
+GENESIS_ROOT_64_HEX = "dff76b98a80ae76f47f8d4097e8d54ada5c805f0468f9f395209a1398b824696"
+
+
+def test_signable_bytes_golden():
+    messages = golden_messages()
+    assert set(messages) == set(SIGNABLE_HEX)
+    for name, msg in messages.items():
+        assert msg.signable_bytes().hex() == SIGNABLE_HEX[name], name
+
+
+def test_wire_size_golden():
+    messages = golden_messages()
+    for name, msg in messages.items():
+        assert msg.wire_size() == WIRE_SIZES[name], name
+
+
+def test_wire_size_stable_on_repeated_calls():
+    for name, msg in golden_messages().items():
+        first = msg.wire_size()
+        assert msg.wire_size() == first, name
+
+
+def test_batch_and_request_digest_golden():
+    messages = golden_messages()
+    assert messages["pre_prepare"].batch_digest().hex() == BATCH_DIGEST_HEX
+    assert messages["request"].digest().hex() == REQUEST_DIGEST_HEX
+
+
+def test_partition_tree_roots_golden():
+    for (num_objects, arity), (chain_hex, first_hex, last_hex) in TREE_GOLDEN.items():
+        tree = PartitionTree(num_objects, arity=arity)
+        roots = [tree.root()[1]]
+        for step in range(2 * num_objects):
+            index = (step * 7 + 3) % num_objects
+            tree.update_leaf(index, digest(b"obj-%d-%d" % (index, step)), step + 1)
+            roots.append(tree.root()[1])
+        assert roots[0].hex() == first_hex, (num_objects, arity)
+        assert roots[-1].hex() == last_hex, (num_objects, arity)
+        chain = hashlib.sha256(b"".join(roots)).hexdigest()
+        assert chain == chain_hex, (num_objects, arity)
+
+
+def test_snapshot_roots_match_live_tree():
+    tree = PartitionTree(10, arity=4)
+    for step in range(20):
+        index = (step * 7 + 3) % 10
+        tree.update_leaf(index, digest(b"obj-%d-%d" % (index, step)), step + 1)
+        snap = tree.snapshot()
+        assert snap.root() == tree.root()
+        assert snap.leaf(index) == tree.leaf(index)
+
+
+def test_genesis_root_golden():
+    assert genesis_root_digest(8, lambda i: b"", arity=4).hex() == GENESIS_ROOT_KV8_HEX
+    assert (
+        genesis_root_digest(64, lambda i: b"init-%d" % i, arity=8, client_shards=8).hex()
+        == GENESIS_ROOT_64_HEX
+    )

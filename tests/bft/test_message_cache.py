@@ -1,0 +1,122 @@
+"""Freeze-after-sign semantics for the message encoding cache.
+
+The cache is only sound if a message can never change after its first
+encoding: a signer that mutated a field post-sign would keep broadcasting the
+stale cached bytes while believing it sent the new value.  Rather than
+invalidate on mutate (which would let that bug ship silently), mutation after
+``signable_bytes()`` raises.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bft.messages import (
+    MESSAGE_STATS,
+    Commit,
+    FrozenMessageError,
+    PrePrepare,
+    Prepare,
+    Request,
+)
+from repro.crypto.digest import digest
+
+
+def make_request(reqid=1):
+    return Request(client_id="C0", reqid=reqid, op=b"op-bytes", read_only=False)
+
+
+def make_pre_prepare():
+    return PrePrepare(
+        view=1,
+        seqno=5,
+        requests=[make_request(1), make_request(2)],
+        nondet=b"\x00\x01",
+        primary_id="R0",
+        sig=b"s" * 32,
+    )
+
+
+def test_mutation_after_encode_raises():
+    req = make_request()
+    req.signable_bytes()
+    with pytest.raises(FrozenMessageError):
+        req.reqid = 99
+    with pytest.raises(FrozenMessageError):
+        req.op = b"tampered"
+
+
+def test_mutation_before_encode_allowed():
+    req = make_request()
+    req.reqid = 42
+    assert req.reqid == 42
+    req.signable_bytes()
+    with pytest.raises(FrozenMessageError):
+        req.reqid = 43
+
+
+def test_delattr_after_encode_raises():
+    prep = Prepare(view=1, seqno=5, digest=digest(b"d"), replica_id="R1", sig=b"p" * 32)
+    prep.signable_bytes()
+    with pytest.raises(FrozenMessageError):
+        del prep.digest
+
+
+def test_auth_and_sig_stay_mutable_after_freeze():
+    """MAC authenticators and signatures are applied over the signable bytes,
+    after encoding — they are the one legitimate post-freeze write."""
+    com = Commit(view=1, seqno=5, digest=digest(b"d"), replica_id="R2", sig=b"c" * 32)
+    com.signable_bytes()
+    com.auth = [b"m" * 12]
+    com.sig = b"resigned" * 4
+    assert com.auth == [b"m" * 12]
+
+
+def test_encoding_cached_and_stable():
+    req = make_request()
+    before = MESSAGE_STATS.get("message_encodes")
+    first = req.signable_bytes()
+    assert MESSAGE_STATS.get("message_encodes") == before + 1
+    for _ in range(5):
+        assert req.signable_bytes() is first
+    assert MESSAGE_STATS.get("message_encodes") == before + 1
+
+
+def test_wire_size_does_not_reencode():
+    pp = make_pre_prepare()
+    pp.signable_bytes()
+    encodes = MESSAGE_STATS.get("message_encodes")
+    size = pp.wire_size()
+    assert pp.wire_size() == size
+    assert MESSAGE_STATS.get("message_encodes") == encodes
+
+
+def test_batch_digest_cached_and_freezes():
+    pp = make_pre_prepare()
+    first = pp.batch_digest()
+    assert pp.batch_digest() is first
+    with pytest.raises(FrozenMessageError):
+        pp.nondet = b"\xff"
+
+
+def test_request_digest_cached():
+    req = make_request()
+    assert req.digest() is req.digest()
+
+
+def test_dataclasses_replace_yields_unfrozen_copy():
+    """The sanctioned way to derive a modified message from a frozen one."""
+    req = make_request()
+    req.signable_bytes()
+    clone = dataclasses.replace(req, reqid=77)
+    assert clone.reqid == 77
+    clone.reqid = 78  # fresh instance: not frozen until its first encoding
+    assert req.reqid == 1
+    assert clone.signable_bytes() != req.signable_bytes()
+
+
+def test_replace_does_not_inherit_cached_encoding():
+    req = make_request()
+    original = req.signable_bytes()
+    clone = dataclasses.replace(req, op=b"different")
+    assert clone.signable_bytes() != original

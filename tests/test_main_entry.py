@@ -41,6 +41,11 @@ def test_lint_subcommand_is_wired(capsys):
     assert "DET001" in capsys.readouterr().out
 
 
+def test_bench_subcommand_is_wired():
+    # Usage errors surface as exit 2 without running any scenario.
+    assert main(["bench", "--suite", "frobnicate"]) == 2
+
+
 # -- repro explore / repro replay ----------------------------------------------------
 
 
