@@ -52,8 +52,9 @@ LOWER_IS_BETTER = {
     "objects_fetched",
     "fetch_meta_sent",
     "fetch_object_sent",
+    "view_changes_started",
 }
-HIGHER_IS_BETTER = {"ops_per_vsec", "transfers_completed"}
+HIGHER_IS_BETTER = {"ops_per_vsec", "transfers_completed", "goodput_per_vsec", "completed"}
 
 
 def _parser() -> argparse.ArgumentParser:

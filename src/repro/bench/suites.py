@@ -20,8 +20,16 @@ from typing import Callable, Dict, List, Optional
 
 from repro.bft.config import BFTConfig
 from repro.bft.messages import MESSAGE_STATS
+from repro.bft.overload import OpenLoopLoadGenerator
 from repro.bft.testing import encode_set, kv_cluster
 from repro.crypto.digest import DIGEST_STATS
+from repro.explore.plan import (
+    OVERLOAD_BANDWIDTH,
+    OVERLOAD_CLIENTS,
+    OVERLOAD_DURATION,
+    OVERLOAD_SUSTAINABLE,
+)
+from repro.net.network import NetworkConfig
 
 Metrics = Dict[str, float]
 
@@ -220,9 +228,74 @@ def kv_throughput_wide() -> Metrics:
     }
 
 
+def _overload_rung(rate: float) -> Metrics:
+    """One rung of the overload ladder: an open-loop swarm offers ``rate``
+    requests/second for :data:`OVERLOAD_DURATION` virtual seconds against
+    links squeezed to :data:`OVERLOAD_BANDWIDTH` bytes/vsec.
+
+    ``goodput_per_vsec`` (requests the primary actually executes) is the
+    figure of merit: below saturation it tracks the offered rate; past
+    saturation it must *plateau* — not collapse — while the admission queue
+    sheds the excess (``requests_shed`` grows) and the view number never
+    moves (``view_changes_started`` stays zero).  ``completed`` is the
+    client-side view, which open-loop cadence cancellation drives to zero
+    under deep overload even while the cluster keeps committing.
+    """
+    cluster = kv_cluster(
+        config=BFTConfig(checkpoint_interval=16, log_window=64, batch_max=16),
+        net_config=NetworkConfig(delay=0.0005, jitter=0.0005),
+    )
+
+    def swarm_op(client_id: str, seq: int) -> bytes:
+        return encode_set(seq % 16, f"{client_id}:{seq}".encode())
+
+    # Warm the pipeline first: damping demands evidence of a live primary (a
+    # recent commit), which a cold cluster cannot have.
+    cluster.client("C0").invoke(encode_set(0, b"warm"))
+    clients = [cluster.client(f"L{i}") for i in range(OVERLOAD_CLIENTS)]
+    swarm = OpenLoopLoadGenerator(cluster.sim, clients, rate, swarm_op)
+    primary = cluster.replica("R0")
+    executed_before = primary.counters.get("requests_executed")
+    cluster.network.config.bandwidth = OVERLOAD_BANDWIDTH
+    swarm.start()
+    cluster.sim.run_for(OVERLOAD_DURATION)
+    swarm.stop()
+    cluster.network.config.bandwidth = 0.0
+    cluster.sim.run_for(0.5)  # drain in-flight work before reading counters
+
+    executed = primary.counters.get("requests_executed") - executed_before
+    totals = cluster.total_counters()
+    return {
+        "offered": swarm.offered,
+        "completed": swarm.completed,
+        "executed": executed,
+        "goodput_per_vsec": _round(executed / OVERLOAD_DURATION),
+        "requests_shed": totals.get("requests_shed"),
+        "busy_replies": totals.get("busy_replies"),
+        "pending_evicted": totals.get("pending_evicted"),
+        "pending_superseded": totals.get("pending_superseded"),
+        "view_changes_started": totals.get("view_changes_started"),
+        "view_changes_damped": totals.get("view_changes_damped"),
+        "messages_dropped_link_overflow": totals.get("messages_dropped_link_overflow"),
+    }
+
+
+#: The overload ladder: below saturation, at 2x, and at 6x the sustainable
+#: rate (see OVERLOAD_SUSTAINABLE calibration in repro.explore.plan).
+OVERLOAD_LADDER = (
+    0.8 * OVERLOAD_SUSTAINABLE,
+    2.0 * OVERLOAD_SUSTAINABLE,
+    6.0 * OVERLOAD_SUSTAINABLE,
+)
+
+for _rate in OVERLOAD_LADDER:
+    scenario(f"overload_{int(_rate)}")(lambda rate=_rate: _overload_rung(rate))
+
+
 SUITES: Dict[str, List[str]] = {
     "smoke": ["kv_throughput", "checkpoint_cow", "state_transfer"],
     "full": ["kv_throughput", "kv_throughput_wide", "checkpoint_cow", "state_transfer"],
+    "overload": [f"overload_{int(rate)}" for rate in OVERLOAD_LADDER],
 }
 
 

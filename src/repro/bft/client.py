@@ -10,10 +10,11 @@ concurrently inside one benchmark.
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Dict, Optional
 
 from repro.bft.config import BFTConfig
-from repro.bft.messages import Reply, Request
+from repro.bft.messages import Busy, Reply, Request
 from repro.crypto.auth import KeyTable, MacVerificationError
 from repro.net.network import Network
 from repro.net.node import Node
@@ -27,7 +28,15 @@ class InvocationTimeout(ProtocolError):
 
 
 class _Invocation:
-    __slots__ = ("request", "callback", "replies", "read_only", "started", "retries")
+    __slots__ = (
+        "request",
+        "callback",
+        "replies",
+        "read_only",
+        "started",
+        "retries",
+        "busy_hint",
+    )
 
     def __init__(self, request: Request, callback: Callable[[bytes], None]) -> None:
         self.request = request
@@ -35,6 +44,7 @@ class _Invocation:
         self.replies: Dict[str, bytes] = {}
         self.read_only = request.read_only
         self.retries = 0
+        self.busy_hint = 0.0  # latest server-suggested retry delay, seconds
 
 
 class Client(Node):
@@ -54,6 +64,8 @@ class Client(Node):
         self.counters = Counters()
         self._reqid = 0
         self._current: Optional[_Invocation] = None
+        self._retry_timer = None  # EventHandle of the armed retransmission
+        self._retry_fire_at = 0.0
 
     # -- public API (paper: int invoke(req, rep, read_only)) ------------------------
 
@@ -98,6 +110,12 @@ class Client(Node):
         if self._current is not None:
             self.counters.add("invocations_cancelled")
             self._current = None
+        self._disarm_retry()
+
+    def _disarm_retry(self) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
 
     # -- transmission / retry ----------------------------------------------------------
 
@@ -115,7 +133,9 @@ class Client(Node):
         """Deterministic capped exponential backoff: retry ``k`` waits
         ``client_retry * 2**k`` seconds, capped at ``client_retry_max`` — so
         a cluster that is slow because it is repairing itself is not also
-        hammered by retransmission storms."""
+        hammered by retransmission storms.  A ``Busy`` hint from the primary
+        raises the floor to the server's suggestion plus deterministic
+        per-client jitter, de-synchronizing the retry herd."""
         invocation = self._current
         if invocation is not None and invocation.read_only:
             delay = self.config.read_only_timeout
@@ -125,7 +145,29 @@ class Client(Node):
             if delay > self.config.client_retry_max:
                 delay = self.config.client_retry_max
                 self.counters.add("retry_backoff_capped")
-        self.set_timer(delay, lambda: self._retry(reqid))
+            hint = invocation.busy_hint if invocation is not None else 0.0
+            if hint > 0.0:
+                congestion = self._clamp_hint(hint)
+                if congestion > delay:
+                    delay = congestion
+                delay += self._retry_jitter(reqid, retries, delay)
+        self._retry_fire_at = self.now() + delay
+        self._retry_timer = self.set_timer(delay, lambda: self._retry(reqid))
+
+    def _clamp_hint(self, hint: float) -> float:
+        """Server suggestions are advice, not authority: never retry sooner
+        than our own initial delay, never wait beyond twice our cap (a
+        Byzantine primary must not be able to park a client forever)."""
+        low = self.config.client_retry
+        high = 2.0 * self.config.client_retry_max
+        return min(max(hint, low), high)
+
+    def _retry_jitter(self, reqid: int, retries: int, delay: float) -> float:
+        """Deterministic per-client jitter, up to 25% of the delay — shed
+        clients all got Busy at the same instant; without jitter they would
+        all come back at the same instant too."""
+        seed = f"{self.node_id}:{reqid}:{retries}".encode()
+        return 0.25 * delay * ((zlib.crc32(seed) % 1024) / 1024.0)
 
     def _retry(self, reqid: int) -> None:
         invocation = self._current
@@ -147,6 +189,9 @@ class Client(Node):
     # -- replies --------------------------------------------------------------------------
 
     def on_message(self, message, src: str) -> None:
+        if isinstance(message, Busy):
+            self._on_busy(message, src)
+            return
         if not isinstance(message, Reply):
             return
         invocation = self._current
@@ -173,4 +218,39 @@ class Client(Node):
         if len(matching) >= needed:
             self.counters.add("replies_accepted")
             self._current = None
+            self._disarm_retry()
             invocation.callback(message.result)
+
+    def _on_busy(self, busy: Busy, src: str) -> None:
+        """The primary shed our request but is demonstrably alive: adopt its
+        retry suggestion and stretch the pending retransmission — later only,
+        never sooner, and never beyond twice our own cap."""
+        invocation = self._current
+        if invocation is None or invocation.read_only:
+            return
+        if busy.reqid != invocation.request.reqid:
+            return
+        if busy.replica_id != src or src not in self.config.replica_ids:
+            return
+        if busy.auth is None or busy.auth.sender != busy.replica_id:
+            return
+        try:
+            self.keys.check_authenticator(
+                busy.auth, self.node_id, busy.signable_bytes()
+            )
+        except MacVerificationError:
+            self.counters.add("busy_bad_auth")
+            return
+        self.counters.add("busy_replies_received")
+        hint = busy.retry_after_micros / 1_000_000.0
+        invocation.busy_hint = hint
+        stretched = self._clamp_hint(hint)
+        stretched += self._retry_jitter(busy.reqid, invocation.retries, stretched)
+        proposed = self.now() + stretched
+        if self._retry_timer is not None and proposed > self._retry_fire_at:
+            self._disarm_retry()
+            self._retry_fire_at = proposed
+            self._retry_timer = self.set_timer(
+                proposed - self.now(), lambda: self._retry(busy.reqid)
+            )
+            self.counters.add("retries_stretched_by_busy")

@@ -32,6 +32,23 @@ class BFTConfig:
                         falling back to a regular, ordered request.
     recovery_period:    full proactive-recovery rotation period (0 disables);
                         replica i reboots at phase i/n of each rotation.
+    admission_capacity: bound on the pending-request admission queue; beyond
+                        it requests are shed deterministically (never protocol
+                        messages) and the primary answers Busy.
+    admission_per_client: max requests one client may hold queued at a
+                        replica; excess arrivals from that client are shed
+                        first (fair drop-newest).
+    pending_ttl:        queued requests not refreshed by a client
+                        retransmission within this many seconds are expired —
+                        an abandoned (cancelled / satisfied-elsewhere) request
+                        must not pin the request timer forever.
+    overload_damping:   stretch the view-change timer while commits are still
+                        being observed, so a busy-but-alive primary is not
+                        mistaken for a silent one (anti-view-change-storm).
+    overload_damping_max: consecutive damped timer firings allowed while the
+                        oldest queued request makes no progress; after that a
+                        view change proceeds even under load (starvation
+                        escape hatch).
     """
 
     replica_ids: List[str] = field(default_factory=lambda: ["R0", "R1", "R2", "R3"])
@@ -46,6 +63,11 @@ class BFTConfig:
     client_retry_max: float = 0.6
     read_only_timeout: float = 0.05
     recovery_period: float = 0.0
+    admission_capacity: int = 64
+    admission_per_client: int = 8
+    pending_ttl: float = 2.0
+    overload_damping: bool = True
+    overload_damping_max: int = 8
 
     def __post_init__(self) -> None:
         if len(set(self.replica_ids)) != len(self.replica_ids):
@@ -67,6 +89,19 @@ class BFTConfig:
             raise ConfigurationError("max_outstanding must be >= 1")
         if self.client_retry_max < self.client_retry:
             raise ConfigurationError("client_retry_max must be >= client_retry")
+        if self.admission_capacity < self.batch_max:
+            raise ConfigurationError(
+                "admission_capacity must be >= batch_max (a full batch must fit)"
+            )
+        if self.admission_per_client < 1:
+            raise ConfigurationError("admission_per_client must be >= 1")
+        if self.pending_ttl <= self.client_retry_max:
+            raise ConfigurationError(
+                "pending_ttl must exceed client_retry_max (a live client's "
+                "retransmissions must be able to refresh its queue entry)"
+            )
+        if self.overload_damping_max < 1:
+            raise ConfigurationError("overload_damping_max must be >= 1")
 
     @property
     def n(self) -> int:

@@ -153,6 +153,29 @@ class Reply(Message):
         return enc.getvalue()
 
 
+@dataclass
+class Busy(Message):
+    """Authenticated load-shed notice: the primary accepted nothing for this
+    request and suggests a retry delay (micros, so the encoding stays
+    integral).  Congestion-aware clients fold the hint into their capped
+    exponential backoff; the message also proves the primary is alive, which
+    is what keeps overload from being misread as a silent primary."""
+
+    view: int
+    reqid: int
+    client_id: str
+    replica_id: str
+    retry_after_micros: int
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("BUSY").pack_u64(self.view).pack_u64(self.reqid)
+        enc.pack_string(self.client_id).pack_string(self.replica_id)
+        enc.pack_u64(self.retry_after_micros)
+        return enc.getvalue()
+
+
 def batch_digest(requests: List[Request], nondet: bytes) -> bytes:
     """Digest binding a pre-prepare's request batch and non-det value."""
     return combine_digests([r.digest() for r in requests] + [digest(nondet)])

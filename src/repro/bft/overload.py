@@ -1,0 +1,326 @@
+"""Overload robustness: bounded admission in front of ``Replica.pending``.
+
+A replica's pending-request queue used to be an unbounded ``OrderedDict``:
+the first saturation event would grow it without bound, stall execution, trip
+request timers, and turn a perfectly correct primary into a view-change storm.
+This module bounds it with a deterministic shedding policy:
+
+* **never protocol messages** — only client requests pass through admission;
+  pre-prepares, prepares, commits, checkpoints etc. are untouched;
+* **per-client cap** (``admission_per_client``) — one flooding client sheds
+  its own newest requests before it can displace anyone else's;
+* **fair drop-newest at capacity** (``admission_capacity``) — when the whole
+  queue is full, the *newest* request of the currently *heaviest* client is
+  evicted (ties broken by client id), so light clients keep their place;
+* **TTL expiry** (``pending_ttl``) — entries a client stops refreshing by
+  retransmission are expired, so an abandoned request cannot pin the request
+  timer (and hence the view-change machinery) forever.
+
+The queue stays FIFO by *enqueue* time: a retransmission refreshes an entry's
+liveness but never improves its position, which is what makes batching fair —
+a hot client's back-to-back stream cannot push a slow client's older request
+out of the next batch.
+
+:class:`OpenLoopLoadGenerator` is the matching traffic source: a swarm of
+clients issuing at a fixed offered rate regardless of completions (open loop),
+used by the ``overload`` explore step and the ``overload`` bench suite to
+actually produce saturation inside the deterministic simulator.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.simulator import EventHandle, Simulator
+
+Key = Tuple[str, int]
+
+#: Entries examined from the queue front per admission when looking for
+#: TTL-stale entries; bounds per-message work at O(1).
+EXPIRY_SWEEP_LIMIT = 8
+
+
+class _Entry:
+    __slots__ = ("request", "enqueued_at", "last_seen")
+
+    def __init__(self, request, enqueued_at: float) -> None:
+        self.request = request
+        self.enqueued_at = enqueued_at
+        self.last_seen = enqueued_at
+
+
+class AdmissionOutcome:
+    """What one :meth:`AdmissionQueue.admit` call did.
+
+    admitted:   the request now occupies a queue slot.
+    refreshed:  it was already queued; its TTL clock was reset.
+    shed_reason: "" if admitted/refreshed, else ``"client_cap"`` or
+                ``"capacity"`` — the request was dropped (the caller decides
+                whether to answer Busy).
+    expired:    keys removed by the TTL sweep during this call.
+    evicted:    key evicted (heaviest client's newest) to make room, if any.
+    """
+
+    __slots__ = ("admitted", "refreshed", "shed_reason", "expired", "evicted")
+
+    def __init__(self) -> None:
+        self.admitted = False
+        self.refreshed = False
+        self.shed_reason = ""
+        self.expired: List[Key] = []
+        self.evicted: Optional[Key] = None
+
+    @property
+    def shed(self) -> bool:
+        return bool(self.shed_reason)
+
+
+class AdmissionQueue:
+    """Bounded FIFO of client requests keyed by ``(client_id, reqid)``.
+
+    Drop-in for the mapping surface ``Replica`` uses on its ``pending``
+    queue (``in``, ``bool``, ``len``, iteration over keys in FIFO order,
+    ``pop``, ``clear``) plus the admission policy itself."""
+
+    def __init__(self, capacity: int, per_client: int, ttl: float) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if per_client < 1:
+            raise ValueError("per_client must be >= 1")
+        self.capacity = capacity
+        self.per_client = per_client
+        self.ttl = ttl
+        self._entries: "OrderedDict[Key, _Entry]" = OrderedDict()
+        self._per_client: Dict[str, int] = {}
+
+    # -- mapping surface used by Replica ------------------------------------
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def pop(self, key: Key, *default):
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            if default:
+                return default[0]
+            raise KeyError(key)
+        self._drop_count(key[0])
+        return entry.request
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._per_client.clear()
+
+    def get(self, key: Key):
+        entry = self._entries.get(key)
+        return None if entry is None else entry.request
+
+    def oldest_key(self) -> Optional[Key]:
+        for key in self._entries:
+            return key
+        return None
+
+    def queued_for(self, client_id: str) -> int:
+        return self._per_client.get(client_id, 0)
+
+    # -- admission policy ----------------------------------------------------
+
+    def admit(self, request, now: float) -> AdmissionOutcome:
+        outcome = AdmissionOutcome()
+        key = (request.client_id, request.reqid)
+        entry = self._entries.get(key)
+        if entry is not None:
+            # Retransmission of a queued request: refresh liveness, keep the
+            # original FIFO position (retransmitting buys no priority).
+            entry.last_seen = now
+            outcome.refreshed = True
+            return outcome
+
+        self._expire_stale(now, outcome)
+
+        if self._per_client.get(request.client_id, 0) >= self.per_client:
+            outcome.shed_reason = "client_cap"
+            return outcome
+
+        if len(self._entries) >= self.capacity:
+            victim = self._heaviest_client()
+            if victim is None or self._per_client.get(
+                request.client_id, 0
+            ) + 1 >= self._per_client[victim]:
+                # The newcomer would itself be (or tie) the heaviest: shed it
+                # rather than churn someone else's slot.
+                outcome.shed_reason = "capacity"
+                return outcome
+            evicted = self._newest_key_of(victim)
+            if evicted is None:  # unreachable: victim has queued entries
+                outcome.shed_reason = "capacity"
+                return outcome
+            del self._entries[evicted]
+            self._drop_count(victim)
+            outcome.evicted = evicted
+
+        self._entries[key] = _Entry(request, now)
+        self._per_client[request.client_id] = (
+            self._per_client.get(request.client_id, 0) + 1
+        )
+        outcome.admitted = True
+        return outcome
+
+    def expire_stale(self, now: float) -> List[Key]:
+        """Front sweep usable from timers (same bound as admission-time)."""
+        outcome = AdmissionOutcome()
+        self._expire_stale(now, outcome)
+        return outcome.expired
+
+    def abandoned_requests(self, now: float, age: float, limit: int) -> List:
+        """Oldest queued requests not refreshed by a retransmission within
+        ``age`` — their clients have gone quiet, so nobody but us will ever
+        re-offer them to the primary (the request-relay path's candidates).
+        Requests a live client still retransmits are excluded: the primary
+        hears those directly, so relaying them buys nothing."""
+        stale = []
+        for key, entry in self._entries.items():
+            if len(stale) >= limit:
+                break
+            if entry.last_seen + age <= now:
+                stale.append(entry.request)
+        return stale
+
+    def purge_superseded(self, client_id: str, reqid: int) -> List[Key]:
+        """Drop every queued request of ``client_id`` with reqid <= ``reqid``.
+
+        Called when a request for that client *executes*: at-most-once
+        semantics mean no earlier reqid can ever execute afterwards, so such
+        entries would otherwise sit in the queue until TTL expiry, pinning
+        the request timer of a replica that is in fact fully caught up."""
+        if self._per_client.get(client_id, 0) == 0:
+            return []
+        stale = [
+            key
+            for key in self._entries
+            if key[0] == client_id and key[1] <= reqid
+        ]
+        for key in stale:
+            del self._entries[key]
+            self._drop_count(client_id)
+        return stale
+
+    # -- internals -----------------------------------------------------------
+
+    def _expire_stale(self, now: float, outcome: AdmissionOutcome) -> None:
+        examined = 0
+        for key in list(self._entries):
+            if examined >= EXPIRY_SWEEP_LIMIT:
+                break
+            examined += 1
+            entry = self._entries[key]
+            if entry.last_seen + self.ttl <= now:
+                del self._entries[key]
+                self._drop_count(key[0])
+                outcome.expired.append(key)
+
+    def _heaviest_client(self) -> Optional[str]:
+        if not self._per_client:
+            return None
+        return max(self._per_client.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def _newest_key_of(self, client_id: str) -> Optional[Key]:
+        for key in reversed(self._entries):
+            if key[0] == client_id:
+                return key
+        return None
+
+    def _drop_count(self, client_id: str) -> None:
+        count = self._per_client.get(client_id, 0) - 1
+        if count <= 0:
+            self._per_client.pop(client_id, None)
+        else:
+            self._per_client[client_id] = count
+
+
+class OpenLoopLoadGenerator:
+    """A swarm of clients offering a fixed aggregate request rate.
+
+    Open loop: each client issues its next request on a fixed cadence whether
+    or not the previous one completed (the previous invocation is cancelled —
+    the real-world analogue is a user hitting reload).  This is what makes a
+    target *offered* load producible at all: a closed-loop workload self-limits
+    exactly when the system saturates.
+
+    ``op_factory(client_id, seq)`` must return a per-client-unique operation
+    (the safety oracles require distinct ops per client per incarnation).
+    Deterministic: client ``i`` of ``k`` ticks every ``k/rate`` seconds
+    starting at ``i/rate`` — no RNG anywhere.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clients: List,
+        rate: float,
+        op_factory: Callable[[str, int], bytes],
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        if not clients:
+            raise ValueError("need at least one client")
+        self.sim = sim
+        self.clients = clients
+        self.rate = rate
+        self.op_factory = op_factory
+        self.offered = 0
+        self.completed = 0
+        self.cancelled = 0
+        self._running = False
+        self._timers: List[EventHandle] = []
+        self._seq: Dict[str, int] = {}
+
+    def start(self) -> None:
+        self._running = True
+        interval = len(self.clients) / self.rate
+        for index, client in enumerate(self.clients):
+            self._arm(client, index / self.rate, interval)
+
+    def stop(self) -> None:
+        """Stop offering load and abandon whatever is still in flight."""
+        self._running = False
+        for handle in self._timers:
+            handle.cancel()
+        self._timers = []
+        for client in self.clients:
+            if client._current is not None:
+                client.cancel()
+
+    def _arm(self, client, delay: float, interval: float) -> None:
+        def tick() -> None:
+            if not self._running:
+                return
+            self._issue(client)
+            self._arm(client, interval, interval)
+
+        self._timers.append(self.sim.schedule(delay, tick))
+
+    def _issue(self, client) -> None:
+        if client._current is not None:
+            # Open loop: the cadence wins; the stale invocation is abandoned.
+            client.cancel()
+            self.cancelled += 1
+        seq = self._seq.get(client.node_id, 0)
+        self._seq[client.node_id] = seq + 1
+        op = self.op_factory(client.node_id, seq)
+        self.offered += 1
+
+        def done(_result: bytes) -> None:
+            self.completed += 1
+
+        client.invoke_async(op, done)

@@ -10,12 +10,12 @@ and are wired in here as managers.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.bft.config import BFTConfig
 from repro.bft.log import MessageLog, Slot
 from repro.bft.messages import (
+    Busy,
     Checkpoint,
     CheckpointCert,
     Commit,
@@ -37,6 +37,7 @@ from repro.bft.messages import (
     TransferRoot,
     ViewChange,
 )
+from repro.bft.overload import AdmissionOutcome, AdmissionQueue
 from repro.bft.service import StateMachine
 from repro.bft.statetransfer import StateTransferManager
 from repro.bft.viewchange import ViewChangeManager
@@ -48,6 +49,12 @@ from repro.net.simulator import Simulator
 from repro.util.errors import FaultInjected
 from repro.util.stats import Counters
 from repro.util.trace import Tracer, emit
+
+#: How many request-timer periods back a commit may lie and still count as
+#: "the primary is alive, just saturated" for anti-storm damping.  A valid
+#: timer firing proves no commit landed within the current period (execution
+#: re-arms the timer), so the window must exceed one period to be satisfiable.
+DAMPING_WINDOW_FACTOR = 2.0
 
 
 class Replica(Node):
@@ -84,7 +91,14 @@ class Replica(Node):
         self.committed: Dict[int, PrePrepare] = {}
         self.checkpoint_votes: Dict[int, Dict[str, Checkpoint]] = {}
         self.own_checkpoints: Dict[int, Checkpoint] = {}
-        self.pending: "OrderedDict[Tuple[str, int], Request]" = OrderedDict()
+        # Bounded admission queue: client requests only, deterministic
+        # shedding (per-client cap, fair drop-newest, TTL expiry) — protocol
+        # messages never pass through it.  See repro.bft.overload.
+        self.pending = AdmissionQueue(
+            config.admission_capacity,
+            config.admission_per_client,
+            config.pending_ttl,
+        )
         self.in_flight: set = set()  # (client, reqid) already in a pre-prepare
         self.recovering = False
         self.on_recovered = None  # hook set by ReplicaHost for WoV accounting
@@ -106,6 +120,14 @@ class Replica(Node):
         self.transfer = StateTransferManager(self)
 
         self._request_deadline: Optional[float] = None
+        # Anti-view-change-storm damping state (docs/overload.md): when this
+        # replica last advanced last_executed (-inf = never), and how long the
+        # oldest queued request has been starving across damped firings.
+        self._last_commit_time = float("-inf")
+        self._last_primary_seen = float("-inf")
+        self._damped_streak = 0
+        self._damp_oldest: Optional[tuple] = None
+        self._relayed_once = False
         self._start_status_loop()
 
     # -- identity helpers ---------------------------------------------------------
@@ -162,6 +184,11 @@ class Replica(Node):
     # -- message dispatch ---------------------------------------------------------------
 
     def on_message(self, message: Message, src: str) -> None:
+        if src == self.config.primary(self.view):
+            # Any traffic from the current primary — pre-prepares, status
+            # gossip, checkpoints — is evidence it is alive; anti-storm
+            # damping only holds back a view change while this is fresh.
+            self._last_primary_seen = self.now()
         if isinstance(message, Request):
             self.on_request(message, src)
         elif isinstance(message, PrePrepare):
@@ -218,13 +245,46 @@ class Replica(Node):
         if key in self.in_flight:
             # Already assigned to a sequence number; the reply will come.
             return
+        outcome = self.pending.admit(request, self.now())
+        self._account_admission(outcome)
         if self.view_changes.in_view_change or self.recovering:
-            self.pending[key] = request
             return
-        self.pending[key] = request
+        if outcome.shed:
+            self._send_busy(request)
+            return
         self._arm_request_timer()
         if self.is_primary():
             self.try_send_pre_prepare()
+
+    def _account_admission(self, outcome: AdmissionOutcome) -> None:
+        if outcome.expired:
+            self.counters.add("pending_expired", len(outcome.expired))
+        if outcome.evicted is not None:
+            self.counters.add("pending_evicted")
+        if outcome.shed:
+            # Shed arrivals also count as evictions from the bounded queue:
+            # `pending_evicted` is the memory bound at work on any replica,
+            # `requests_shed` breaks out why the arrival was refused.
+            self.counters.add("pending_evicted")
+            self.counters.add("requests_shed")
+            self.counters.add("requests_shed_" + outcome.shed_reason)
+
+    def _send_busy(self, request: Request) -> None:
+        """Primary-only load-shed notice: proves we are alive and suggests a
+        retry delay scaled by queue fill (congestion-aware backoff hint)."""
+        if not self.is_primary():
+            return
+        fill = len(self.pending) / self.pending.capacity
+        hint = self.config.client_retry_max * (1.0 + fill)
+        busy = Busy(
+            view=self.view,
+            reqid=request.reqid,
+            client_id=request.client_id,
+            replica_id=self.node_id,
+            retry_after_micros=int(hint * 1_000_000),
+        )
+        self.counters.add("busy_replies")
+        self.auth_send(request.client_id, busy)
 
     def crash_self(self, reason: str) -> None:
         """The wrapped implementation died (aging, deterministic bug): this
@@ -454,6 +514,8 @@ class Replica(Node):
             pre_prepare = self.committed[seqno]
             self._execute_batch(seqno, pre_prepare)
             self.last_executed = seqno
+            self._last_commit_time = self.now()
+            self._relayed_once = False
             if seqno % self.config.checkpoint_interval == 0:
                 self._take_checkpoint(seqno)
         self._rearm_request_timer()
@@ -465,7 +527,7 @@ class Replica(Node):
             recorded = self.service.last_recorded(request.client_id)
             if recorded is not None and request.reqid <= recorded[0]:
                 self.counters.add("skipped_duplicates")
-                self.pending.pop((request.client_id, request.reqid), None)
+                self._purge_superseded(request.client_id, request.reqid)
                 self.in_flight.discard((request.client_id, request.reqid))
                 continue
             try:
@@ -484,9 +546,18 @@ class Replica(Node):
                 replica_id=self.node_id,
                 result=result,
             )
-            self.pending.pop((request.client_id, request.reqid), None)
+            self._purge_superseded(request.client_id, request.reqid)
             self.in_flight.discard((request.client_id, request.reqid))
             self.auth_send(request.client_id, reply)
+
+    def _purge_superseded(self, client_id: str, reqid: int) -> None:
+        """Executing reqid ``r`` for a client makes every queued reqid <= r
+        unexecutable (at-most-once): drop them so a fully caught-up replica's
+        request timer is not pinned by requests that can never commit."""
+        stale = self.pending.purge_superseded(client_id, reqid)
+        if len(stale) > 1:
+            # The executed key itself is expected; extra drops are accounted.
+            self.counters.add("pending_superseded", len(stale) - 1)
 
     # -- checkpoints -----------------------------------------------------------------------------------
 
@@ -612,12 +683,93 @@ class Replica(Node):
         if self._request_deadline != deadline:
             return
         self._request_deadline = None
+        expired = self.pending.expire_stale(self.now())
+        if expired:
+            # Abandoned requests (client cancelled, or satisfied via another
+            # replica's path) must not pin the timer into a view change.
+            self.counters.add("pending_expired", len(expired))
         stalled = bool(self.pending or self.in_flight)
         if stalled and not self.view_changes.in_view_change and not self.recovering:
+            if self._should_damp():
+                self.counters.add("view_changes_damped")
+                self._arm_request_timer()
+                return
+            if self._relay_pending():
+                self._arm_request_timer()
+                return
+            self._damped_streak = 0
+            self._damp_oldest = None
             self.counters.add("request_timeouts")
             self.view_changes.start(self.view + 1)
         else:
+            self._damped_streak = 0
+            self._damp_oldest = None
             self._arm_request_timer()
+
+    def _relay_pending(self) -> bool:
+        """PBFT request relay (OSDI'99 section 4.4): before blaming the
+        primary, a backup whose timer expired forwards its oldest *abandoned*
+        queued requests — ones whose client has stopped retransmitting, so
+        the primary (which shed them under load, or never saw the multicast)
+        will not hear them from anyone else.  Requests a live client still
+        retransmits are not worth delaying a view change for.  One shot per
+        stall: if relaying does not restore progress by the next firing, the
+        view change proceeds."""
+        if self.is_primary() or self._relayed_once or not self.pending:
+            return False
+        # "Abandoned" = not refreshed within 1.5x the client's *initial* retry
+        # interval: a client that still wants the reply and believes the
+        # primary faulty is in its early, fast retransmission stages, so its
+        # entry stays fresher than this.  (Deep-backoff clients can be
+        # misclassified; a redundant relay is harmless — the primary dedups.)
+        abandoned = self.pending.abandoned_requests(
+            self.now(), 1.5 * self.config.client_retry, self.config.batch_max
+        )
+        if not abandoned:
+            return False
+        self._relayed_once = True
+        primary = self.config.primary(self.view)
+        for request in abandoned:
+            self.send(primary, request)
+        self.counters.add("requests_relayed", len(abandoned))
+        return True
+
+    def _should_damp(self) -> bool:
+        """A busy-but-alive cluster is not a faulty one: while commits keep
+        landing (even slower than one timer period apart), stretch our
+        patience instead of starting a view change (anti-storm damping).
+        "Recent" means within ``DAMPING_WINDOW_FACTOR`` timer periods — a
+        valid timer firing already proves no commit landed in the *current*
+        period, so the window must look further back to distinguish a slow
+        primary from a dead one.  The escape hatch: if the *same* oldest
+        queued request starves across ``overload_damping_max`` consecutive
+        damped firings, the primary is making progress while discriminating
+        against someone — view-change anyway."""
+        if not self.config.overload_damping:
+            return False
+        if 2 * len(self.pending) < self.pending.capacity:
+            # No local overload evidence: a near-empty admission queue means
+            # the stall is about one slow request, not saturation — treat the
+            # timeout at face value (a crash-looping primary must not hide
+            # behind damping meant for saturated-but-healthy clusters).
+            return False
+        window = DAMPING_WINDOW_FACTOR * self.view_changes.current_timeout()
+        if self.now() - self._last_commit_time > window:
+            return False
+        if not self.is_primary() and self.now() - self._last_primary_seen > window:
+            # Commits were recent but the primary has gone silent: that is a
+            # dead primary with residual pipeline drain, not a busy one.
+            return False
+        if self.pending:
+            marker = ("pending", self.pending.oldest_key())
+        else:
+            marker = ("in-flight", min(self.in_flight))
+        if marker == self._damp_oldest:
+            self._damped_streak += 1
+        else:
+            self._damped_streak = 1
+            self._damp_oldest = marker
+        return self._damped_streak <= self.config.overload_damping_max
 
     # -- status gossip and retransmission ---------------------------------------------------------------------
 
@@ -789,6 +941,8 @@ class Replica(Node):
         """Called by the transfer manager once fetched state is installed."""
         self.last_executed = max(self.last_executed, seqno)
         self.next_seqno = max(self.next_seqno, seqno)
+        self._last_commit_time = self.now()
+        self._relayed_once = False
         # Requests ordered below the transferred checkpoint were executed by
         # the quorum; our tracking entries for them are stale.  Any client
         # that still wants a reply will retransmit.

@@ -357,11 +357,13 @@ def recording_cluster(
     return cluster, recorder
 
 
-def kv_cluster(config=None, seed: int = 0, num_slots: int = 32, disks=None):
+def kv_cluster(config=None, seed: int = 0, num_slots: int = 32, disks=None, net_config=None):
     """A 4-replica cluster running the KV test service.
 
     ``disks`` (replica_id -> dict) makes service state survive proactive
-    recovery reboots; pass a dict you keep a reference to.
+    recovery reboots; pass a dict you keep a reference to.  ``net_config``
+    (a :class:`~repro.net.network.NetworkConfig`) shapes the links — the
+    overload benchmarks use it to cap per-link bandwidth.
     """
     from repro.bft.cluster import Cluster
 
@@ -375,4 +377,4 @@ def kv_cluster(config=None, seed: int = 0, num_slots: int = 32, disks=None):
 
         return make
 
-    return Cluster(factory_for, config=config, seed=seed)
+    return Cluster(factory_for, config=config, seed=seed, net_config=net_config)

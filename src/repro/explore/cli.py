@@ -60,6 +60,12 @@ def _explore_parser() -> argparse.ArgumentParser:
         "to generated plans, exercising reactive repair and the scrubber",
     )
     parser.add_argument(
+        "--overload",
+        action="store_true",
+        help="generate pure-overload saturation plans (open-loop client swarm "
+        "at >= 4x sustainable load) judged by the goodput-under-overload oracle",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true", help="skip shrinking the violating plan"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
@@ -84,6 +90,7 @@ def explore_main(argv: List[str]) -> int:
         check_interval=args.check_interval,
         shrink=not args.no_shrink,
         implementation_faults=args.impl_faults,
+        overload=args.overload,
         log=log,
     )
     if not result.found:

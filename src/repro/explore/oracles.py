@@ -16,6 +16,12 @@ checkable property over the live cluster plus the execution evidence a
 * **checkpoint-stability** — for each sequence number there is exactly one
   certifiable state digest: every stable certificate and every correct
   replica's own checkpoint at that seqno carry the same digest.
+* **overload-goodput** — bracketing an ``overload`` episode
+  (:meth:`OracleSuite.begin_overload` / :meth:`OracleSuite.end_overload`):
+  the cluster must keep committing while saturated, and during a *pure*
+  (fault-free) episode it must shed rather than collapse — requests are
+  dropped by admission control, yet not a single view change starts
+  (overload must never be misdiagnosed as a faulty primary).
 
 The suite registers itself as a simulator step hook, so properties are
 checked as the run unfolds (catching violations that later garbage
@@ -104,6 +110,7 @@ class OracleSuite:
         self._views: Dict[str, Tuple[object, int]] = {}
         self._events_since_check = 0
         self._uninstall: Optional[Callable[[], None]] = None
+        self._overload: Optional[Dict[str, object]] = None
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -192,6 +199,67 @@ class OracleSuite:
                     f"{rid} moved backwards from view {seen[1]} to {replica.view}",
                 )
             self._views[rid] = (replica, replica.view)
+
+    # -- goodput under overload ----------------------------------------------------
+
+    def _overload_totals(self) -> Dict[str, int]:
+        executed = 0
+        shed = 0
+        view_changes = 0
+        for _rid, host in self.correct_hosts():
+            replica = host.replica
+            executed = max(executed, replica.last_executed)
+            shed += replica.counters.get("requests_shed")
+            view_changes += replica.counters.get("view_changes_started")
+        return {
+            "last_executed": executed,
+            "requests_shed": shed,
+            "view_changes_started": view_changes,
+        }
+
+    def begin_overload(self, strict: bool) -> None:
+        """Snapshot progress/shedding/view counters at episode start.
+
+        ``strict`` means the plan is pure overload (no faults anywhere): the
+        episode must then also shed (otherwise it was not an overload at all)
+        and must not start a single view change."""
+        if self._overload is not None:
+            raise ValueError("overlapping overload episodes")
+        totals = self._overload_totals()
+        totals["strict"] = strict
+        self._overload = totals
+
+    def end_overload(self) -> None:
+        """Judge the bracketed episode; raises on the first offense."""
+        snapshot = self._overload
+        if snapshot is None:
+            raise ValueError("end_overload without begin_overload")
+        self._overload = None
+        totals = self._overload_totals()
+        committed = totals["last_executed"] - snapshot["last_executed"]
+        shed = totals["requests_shed"] - snapshot["requests_shed"]
+        view_changes = (
+            totals["view_changes_started"] - snapshot["view_changes_started"]
+        )
+        if committed <= 0:
+            self.record_violation(
+                "overload-goodput",
+                "cluster stopped committing under overload "
+                "(shed {0}, view changes {1})".format(shed, view_changes),
+            )
+        if snapshot["strict"] and shed <= 0:
+            self.record_violation(
+                "overload-goodput",
+                "offered load was fully absorbed: the episode never "
+                "overloaded the cluster (calibration error)",
+            )
+        if snapshot["strict"] and view_changes > 0:
+            self.record_violation(
+                "overload-goodput",
+                f"{view_changes} view change(s) started during a fault-free "
+                f"overload episode — saturation was misdiagnosed as a "
+                f"faulty primary",
+            )
 
     def _check_checkpoint_stability(self) -> None:
         for rid, host in self.correct_hosts():

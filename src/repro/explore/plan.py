@@ -42,7 +42,16 @@ BENIGN_KINDS: FrozenSet[str] = frozenset(
 # supervisor armed.
 IMPLEMENTATION_KINDS: FrozenSet[str] = frozenset({"poison_request", "corrupt_object"})
 
-STEP_KINDS: FrozenSet[str] = BYZANTINE_KINDS | BENIGN_KINDS | IMPLEMENTATION_KINDS
+# Overload steps are not faults at all: every node stays correct, the
+# *offered load* is the adversary.  ``overload`` runs an open-loop client
+# swarm at ``rate`` requests/second for ``duration`` seconds, optionally
+# squeezing every link to ``bandwidth`` bytes/vsec so saturation is
+# producible; the goodput-under-overload oracle judges the episode.
+OVERLOAD_KINDS: FrozenSet[str] = frozenset({"overload"})
+
+STEP_KINDS: FrozenSet[str] = (
+    BYZANTINE_KINDS | BENIGN_KINDS | IMPLEMENTATION_KINDS | OVERLOAD_KINDS
+)
 
 
 @dataclass(frozen=True)
@@ -54,8 +63,13 @@ class FaultStep:
     target:   replica id, for steps that act on one replica.
     groups:   partition groups (``partition`` only).
     fraction: outbound drop fraction (``drop`` only).
-    duration: how long a ``drop`` interceptor stays installed.
+    duration: how long a ``drop`` interceptor stays installed, or how long an
+              ``overload`` episode lasts.
     index:    abstract object index (``corrupt_object`` only).
+    rate:     offered load in requests/second (``overload`` only).
+    clients:  size of the open-loop client swarm (``overload`` only).
+    bandwidth: per-link capacity in bytes/vsec during the episode
+              (``overload`` only; 0 leaves links infinite).
     """
 
     at: float
@@ -65,6 +79,9 @@ class FaultStep:
     fraction: float = 0.0
     duration: float = 0.0
     index: int = 0
+    rate: float = 0.0
+    clients: int = 0
+    bandwidth: float = 0.0
 
     def to_dict(self) -> Dict:
         entry: Dict = {"at": self.at, "kind": self.kind}
@@ -78,6 +95,12 @@ class FaultStep:
             entry["duration"] = self.duration
         if self.index:
             entry["index"] = self.index
+        if self.rate:
+            entry["rate"] = self.rate
+        if self.clients:
+            entry["clients"] = self.clients
+        if self.bandwidth:
+            entry["bandwidth"] = self.bandwidth
         return entry
 
     @classmethod
@@ -92,6 +115,9 @@ class FaultStep:
             fraction=float(entry.get("fraction", 0.0)),
             duration=float(entry.get("duration", 0.0)),
             index=int(entry.get("index", 0)),
+            rate=float(entry.get("rate", 0.0)),
+            clients=int(entry.get("clients", 0)),
+            bandwidth=float(entry.get("bandwidth", 0.0)),
         )
 
 
@@ -114,6 +140,15 @@ class FaultPlan:
 
     def has_implementation_faults(self) -> bool:
         return any(s.kind in IMPLEMENTATION_KINDS for s in self.steps)
+
+    def has_overload(self) -> bool:
+        return any(s.kind in OVERLOAD_KINDS for s in self.steps)
+
+    def pure_overload(self) -> bool:
+        """Fault-free saturation: every step is an overload episode.  Only
+        then may the goodput oracle be strict (shed-but-commit, view number
+        bounded) — real faults legitimately cause view changes."""
+        return bool(self.steps) and all(s.kind in OVERLOAD_KINDS for s in self.steps)
 
     def to_dict(self) -> Dict:
         return {
@@ -184,6 +219,15 @@ def validate_plan(plan: FaultPlan, f: int = 1) -> List[str]:
                 problems.append(f"{step.kind} needs a target replica")
             if step.kind == "corrupt_object" and step.index < 0:
                 problems.append("corrupt_object index must be >= 0")
+        elif step.kind == "overload":
+            if step.rate <= 0:
+                problems.append("overload rate must be > 0")
+            if step.clients <= 0:
+                problems.append("overload needs at least one swarm client")
+            if step.duration <= 0:
+                problems.append("overload duration must be > 0")
+            if step.bandwidth < 0:
+                problems.append("overload bandwidth must be >= 0")
     if crashed:
         problems.append(f"plan ends with {sorted(crashed)} still crashed")
     if partitioned:
@@ -210,6 +254,37 @@ def validate_plan(plan: FaultPlan, f: int = 1) -> List[str]:
     return problems
 
 
+# Overload-episode shape shared by generated plans and the acceptance tests:
+# with every link squeezed to OVERLOAD_BANDWIDTH bytes/vsec the cluster
+# sustains roughly OVERLOAD_SUSTAINABLE requests/second end to end (measured:
+# an open-loop swarm at 80 req/s is fully absorbed, 120 req/s already sheds),
+# so the generated rates are all >= 4x sustainable
+# (see tests/explore/test_overload.py, which pins the calibration).
+OVERLOAD_CLIENTS = 8
+OVERLOAD_BANDWIDTH = 40_000.0
+OVERLOAD_DURATION = 1.5
+OVERLOAD_SUSTAINABLE = 100.0
+OVERLOAD_RATES: Tuple[float, ...] = (600.0, 800.0, 1000.0)
+
+
+def make_overload_step(
+    at: float = 0.1,
+    rate: float = OVERLOAD_RATES[0],
+    clients: int = OVERLOAD_CLIENTS,
+    duration: float = OVERLOAD_DURATION,
+    bandwidth: float = OVERLOAD_BANDWIDTH,
+) -> FaultStep:
+    """The canonical pure-overload episode (open-loop swarm, squeezed links)."""
+    return FaultStep(
+        at=at,
+        kind="overload",
+        rate=rate,
+        clients=clients,
+        duration=duration,
+        bandwidth=bandwidth,
+    )
+
+
 def generate_plan(
     seed: int,
     requests: int = 24,
@@ -217,6 +292,7 @@ def generate_plan(
     replica_ids: Tuple[str, ...] = REPLICA_IDS,
     f: int = 1,
     implementation_faults: bool = False,
+    overload: bool = False,
 ) -> FaultPlan:
     """Deterministically generate one exploration plan from a seed.
 
@@ -231,8 +307,24 @@ def generate_plan(
     across versions) mixes in ``poison_request`` / ``corrupt_object`` steps
     targeting one replica, dropping any crash or Byzantine groups so the
     combined fault count stays within ``f``.
+
+    ``overload`` (also opt-in) generates a *pure-overload* plan instead: one
+    fault-free open-loop saturation episode at a seeded rate >= 4x the
+    sustainable load, judged strictly by the goodput oracle (sheds happen,
+    commits continue, the view number stays put).
     """
     rng = random.Random(seed)
+    if overload:
+        step = make_overload_step(
+            at=round(rng.uniform(0.05, 0.2), 4),
+            rate=rng.choice(OVERLOAD_RATES),
+        )
+        return FaultPlan(
+            seed=rng.randrange(2**31),
+            requests=requests,
+            steps=(step,),
+            perturb_seed=rng.randrange(2**31) if rng.random() < 0.5 else None,
+        )
     # Step groups are (time-ordered within themselves) lists of steps that
     # must travel together; the plan is their time-sorted merge.
     groups: List[List[FaultStep]] = []

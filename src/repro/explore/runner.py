@@ -22,6 +22,7 @@ from repro.bft.client import InvocationTimeout
 from repro.bft.cluster import Cluster
 from repro.bft.config import BFTConfig
 from repro.bft.messages import CheckpointCert
+from repro.bft.overload import OpenLoopLoadGenerator
 from repro.bft.repair import RepairPolicy
 from repro.bft.testing import encode_set, recording_cluster
 from repro.crypto.digest import digest
@@ -47,6 +48,34 @@ _POISON_SLOT = 30
 _CORRUPT_SLOT_BASE = 8
 _CORRUPT_SLOT_SPAN = 16
 
+# The overload swarm writes slots 24..29 (disjoint from the workload, the
+# poison/corruption slots, and the liveness probe); each op's value embeds
+# the swarm client id and a per-client sequence number so the prefix oracle's
+# per-client-unique-op requirement holds.
+_OVERLOAD_SLOT_BASE = 24
+_OVERLOAD_SLOT_SPAN = 6
+
+#: Cross-replica counters surfaced in every run verdict (all zero on plans
+#: that never saturate anything, which is itself evidence).
+_VERDICT_COUNTERS = (
+    "requests_shed",
+    "busy_replies",
+    "busy_replies_received",
+    "pending_evicted",
+    "pending_expired",
+    "pending_superseded",
+    "requests_relayed",
+    "view_changes_started",
+    "view_changes_damped",
+)
+
+
+def _swarm_op(client_id: str, seq: int) -> bytes:
+    return encode_set(
+        _OVERLOAD_SLOT_BASE + seq % _OVERLOAD_SLOT_SPAN,
+        f"{client_id}:{seq}".encode(),
+    )
+
 
 @dataclass
 class RunOutcome:
@@ -55,12 +84,14 @@ class RunOutcome:
     violation: Optional[Violation]
     completed: int  # acknowledged workload requests
     events: int  # simulator events processed
+    counters: Dict[str, int] = field(default_factory=dict)  # overload evidence
 
     def to_dict(self) -> Dict:
         return {
             "violation": self.violation.to_dict() if self.violation else None,
             "completed": self.completed,
             "events": self.events,
+            "counters": self.counters,
         }
 
 
@@ -211,8 +242,13 @@ def run_plan(
     plant: Optional[str] = None,
     check_interval: int = 10,
     liveness_timeout: float = 30.0,
+    overload_damping: bool = True,
 ) -> RunOutcome:
-    """Execute one fault plan against a fresh cluster; fully deterministic."""
+    """Execute one fault plan against a fresh cluster; fully deterministic.
+
+    ``overload_damping=False`` disables the anti-view-change-storm damping —
+    used by the acceptance tests to demonstrate that without it, a pure
+    overload episode degenerates into view changes."""
     if plant is not None and plant not in PLANTED_BUGS:
         raise ValueError(f"unknown planted bug {plant!r}")
     impl_ctx: Optional[Dict] = None
@@ -236,7 +272,10 @@ def run_plan(
         )
     cluster, recorder = recording_cluster(
         config=BFTConfig(
-            checkpoint_interval=8, log_window=16, recovery_period=plan.recovery_period
+            checkpoint_interval=8,
+            log_window=16,
+            recovery_period=plan.recovery_period,
+            overload_damping=overload_damping,
         ),
         net_config=NetworkConfig(delay=0.0005, jitter=0.0005, drop_rate=plan.drop_rate),
         seed=plan.seed,
@@ -258,11 +297,38 @@ def run_plan(
         cluster.sim.set_tiebreak(random.Random(plan.perturb_seed), window=4)
 
     drop_removers: List[Callable[[], None]] = []
+    strict_overload = plan.pure_overload()
+    swarms: List[OpenLoopLoadGenerator] = []
+
+    def _begin_overload(step) -> None:
+        swarm_index = len(swarms)
+        clients = [
+            cluster.client(f"L{swarm_index}-{i}") for i in range(step.clients)
+        ]
+        swarm = OpenLoopLoadGenerator(cluster.sim, clients, step.rate, _swarm_op)
+        swarms.append(swarm)
+        previous_bandwidth = cluster.network.config.bandwidth
+        if step.bandwidth > 0:
+            cluster.network.config.bandwidth = step.bandwidth
+        suite.begin_overload(strict=strict_overload)
+        swarm.start()
+
+        def _end_overload() -> None:
+            swarm.stop()
+            if step.bandwidth > 0:
+                cluster.network.config.bandwidth = previous_bandwidth
+            suite.end_overload()
+
+        cluster.sim.schedule(step.duration, _end_overload)
+
     for step in plan.steps:
-        cluster.sim.schedule(
-            max(0.0, step.at),
-            lambda s=step: _apply_step(cluster, s, drop_removers, impl_ctx),
-        )
+        if step.kind == "overload":
+            cluster.sim.schedule(max(0.0, step.at), lambda s=step: _begin_overload(s))
+        else:
+            cluster.sim.schedule(
+                max(0.0, step.at),
+                lambda s=step: _apply_step(cluster, s, drop_removers, impl_ctx),
+            )
     if plan.recovery_period > 0:
         cluster.start_proactive_recovery()
 
@@ -277,8 +343,18 @@ def run_plan(
                     completed += 1
             except InvocationTimeout:
                 client.cancel()
-        # Let any fault steps scheduled past the workload's end still fire.
-        horizon = max((s.at for s in plan.steps), default=0.0) + 0.5
+        # Let any fault steps scheduled past the workload's end still fire
+        # (an overload episode occupies [at, at + duration]).
+        horizon = (
+            max(
+                (
+                    s.at + (s.duration if s.kind == "overload" else 0.0)
+                    for s in plan.steps
+                ),
+                default=0.0,
+            )
+            + 0.5
+        )
         if cluster.sim.now() < horizon:
             cluster.sim.run_until(horizon)
         # Heal the world, then demand liveness: a correct implementation
@@ -308,8 +384,15 @@ def run_plan(
             suite.check_now()
     except OracleViolation as caught:
         violation = caught.violation
+    totals = cluster.total_counters()
+    counters = {name: totals.get(name) for name in _VERDICT_COUNTERS}
+    counters["offered"] = sum(s.offered for s in swarms)
+    counters["swarm_completed"] = sum(s.completed for s in swarms)
     return RunOutcome(
-        violation=violation, completed=completed, events=cluster.sim.events_processed
+        violation=violation,
+        completed=completed,
+        events=cluster.sim.events_processed,
+        counters=counters,
     )
 
 
@@ -326,6 +409,7 @@ def explore(
     shrink: bool = True,
     max_shrink_runs: int = 64,
     implementation_faults: bool = False,
+    overload: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> ExploreResult:
     """Run up to ``budget`` seeded random plans; stop at the first violation.
@@ -333,7 +417,9 @@ def explore(
     With a fixed ``seed`` the generated plans, their verdicts, and any shrunk
     repro are identical across runs.  ``implementation_faults`` adds
     poison_request / corrupt_object steps to the generated plans, exercising
-    the fault-containment supervisor under the oracles.
+    the fault-containment supervisor under the oracles.  ``overload``
+    generates pure-overload saturation plans judged strictly by the
+    goodput-under-overload oracle.
     """
     master = random.Random(seed)
     result = ExploreResult(seed=seed, budget=budget, plans_run=0)
@@ -343,6 +429,7 @@ def explore(
             requests=requests,
             max_steps=max_steps,
             implementation_faults=implementation_faults,
+            overload=overload,
         )
         outcome = run_plan(plan, plant=plant, check_interval=check_interval)
         result.plans_run += 1

@@ -28,11 +28,18 @@ class NetworkConfig:
     delay:      one-way base latency, virtual seconds.
     jitter:     uniform extra latency in [0, jitter].
     drop_rate:  probability a message is silently dropped.
+    bandwidth:  link capacity in bytes per virtual second; 0 means infinite
+                (the default — no serialization delay, no queueing).
+    queue_bytes: max backlog a directed link will queue before tail-dropping
+                (``messages_dropped_link_overflow``); 0 means unbounded.
+                Only meaningful when ``bandwidth`` is finite.
     """
 
     delay: float = 0.0005
     jitter: float = 0.0001
     drop_rate: float = 0.0
+    bandwidth: float = 0.0
+    queue_bytes: int = 0
 
 
 def wire_size(message: Any) -> int:
@@ -58,6 +65,10 @@ class Network:
         self._partitions: List[FrozenSet[str]] = []
         self._down: Set[str] = set()
         self._interceptors: List[Interceptor] = []
+        # Per directed link: virtual time until which the link is busy
+        # serializing earlier messages (capacity model; empty when every
+        # link has infinite bandwidth).
+        self._link_busy_until: Dict[Tuple[str, str], float] = {}
         self.counters = Counters()
 
     # -- membership ---------------------------------------------------------
@@ -150,6 +161,20 @@ class Network:
         latency = config.delay
         if config.jitter:
             latency += self.sim.rng.uniform(0.0, config.jitter)
+        if config.bandwidth > 0.0:
+            # Finite link capacity: messages serialize one after another at
+            # ``bandwidth`` bytes/vsec; the backlog is the queue.  A bounded
+            # queue tail-drops (this is how overload becomes producible).
+            size = wire_size(message)
+            now = self.sim.now()
+            start = max(now, self._link_busy_until.get((src, dst), now))
+            backlog_bytes = (start - now) * config.bandwidth
+            if config.queue_bytes and backlog_bytes + size > config.queue_bytes:
+                self.counters.add("messages_dropped_link_overflow")
+                return
+            serialization = size / config.bandwidth
+            self._link_busy_until[(src, dst)] = start + serialization
+            latency += (start - now) + serialization
         self.sim.schedule(latency, lambda: self._deliver(src, dst, message))
 
     def multicast(self, src: str, dsts: Sequence[str], message: Any) -> None:

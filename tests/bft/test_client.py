@@ -176,3 +176,115 @@ def test_reqids_strictly_increase():
     client.cancel()
     second = client.invoke_async(encode_set(0, b"b"), lambda r: None)
     assert second == first + 1
+
+
+def test_cancel_disarms_pending_retry_timer():
+    """cancel() must kill the armed retransmission outright: a cancelled
+    invocation never retransmits, even if the timer was already scheduled."""
+    cluster = kv_cluster()
+    for rid in ("R0", "R1", "R2", "R3"):
+        cluster.crash(rid)
+    client = cluster.client("C0")
+    client.invoke_async(encode_set(0, b"x"), lambda r: None)
+    client.cancel()
+    assert client._retry_timer is None
+    cluster.sim.run_for(5.0)
+    assert not client.counters.get("request_retransmissions")
+
+
+def test_busy_hint_stretches_pending_retry_later_only():
+    """An authenticated Busy from the primary pushes the armed retry later
+    (never sooner), clamped to at most twice the client's own cap."""
+    from repro.bft.messages import Busy
+
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    for rid in ("R0", "R1", "R2", "R3"):
+        cluster.crash(rid)
+    reqid = client.invoke_async(encode_set(0, b"x"), lambda r: None)
+    before = client._retry_fire_at
+
+    def busy_from(replica_id, micros):
+        busy = Busy(
+            view=0,
+            reqid=reqid,
+            client_id="C0",
+            replica_id=replica_id,
+            retry_after_micros=micros,
+        )
+        busy.auth = cluster.keys.make_authenticator(
+            replica_id, ["C0"], busy.signable_bytes()
+        )
+        return busy
+
+    client.on_message(busy_from("R0", 1_000_000), "R0")
+    assert client.counters.get("busy_replies_received") == 1
+    assert client.counters.get("retries_stretched_by_busy") == 1
+    stretched = client._retry_fire_at
+    assert stretched > before
+    # Clamp: the server cannot park the client beyond 2x its own cap (plus
+    # <= 25% deterministic jitter).
+    ceiling = 2.0 * cluster.config.client_retry_max
+    assert stretched - cluster.sim.now() <= ceiling * 1.25 + 1e-9
+    # A second hint proposing an *earlier* fire time is ignored.
+    client.on_message(busy_from("R0", 100_000), "R0")
+    assert client._retry_fire_at == stretched
+    client.cancel()
+
+
+def test_busy_without_valid_auth_is_ignored():
+    from repro.bft.messages import Busy
+
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    for rid in ("R0", "R1", "R2", "R3"):
+        cluster.crash(rid)
+    reqid = client.invoke_async(encode_set(0, b"x"), lambda r: None)
+    before = client._retry_fire_at
+    forged = Busy(
+        view=0,
+        reqid=reqid,
+        client_id="C0",
+        replica_id="R0",
+        retry_after_micros=10_000_000,
+        auth=None,
+    )
+    client.on_message(forged, "R0")
+    wrong_sender = Busy(
+        view=0,
+        reqid=reqid,
+        client_id="C0",
+        replica_id="R0",
+        retry_after_micros=10_000_000,
+    )
+    # Authenticated by R1 but claiming to be R0: dropped on the sender check.
+    wrong_sender.auth = cluster.keys.make_authenticator(
+        "R1", ["C0"], wrong_sender.signable_bytes()
+    )
+    client.on_message(wrong_sender, "R0")
+    bad_mac = Busy(
+        view=0,
+        reqid=reqid,
+        client_id="C0",
+        replica_id="R0",
+        retry_after_micros=10_000_000,
+    )
+    # R0's keys but over different bytes: the MAC itself fails.
+    bad_mac.auth = cluster.keys.make_authenticator("R0", ["C0"], b"other-bytes")
+    client.on_message(bad_mac, "R0")
+    assert not client.counters.get("busy_replies_received")
+    assert client.counters.get("busy_bad_auth") == 1
+    assert client._retry_fire_at == before
+    client.cancel()
+
+
+def test_busy_jitter_is_deterministic_and_bounded():
+    """Shed clients de-synchronize via per-client jitter that is a pure
+    function of (client, reqid, retries) — replayable, and at most 25%."""
+    cluster = kv_cluster()
+    client = cluster.client("C0")
+    delays = [client._retry_jitter(reqid=5, retries=2, delay=1.0) for _ in range(3)]
+    assert delays[0] == delays[1] == delays[2]
+    assert 0.0 <= delays[0] <= 0.25
+    other = cluster.client("C1")._retry_jitter(reqid=5, retries=2, delay=1.0)
+    assert other != delays[0]  # different clients spread out

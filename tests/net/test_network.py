@@ -60,6 +60,86 @@ def test_duplicate_registration_rejected(rig):
         Recorder("A", sim, net)
 
 
+# -- link capacity model --------------------------------------------------------
+
+
+class Sized:
+    """A message with an explicit wire size."""
+
+    def __init__(self, size):
+        self.size = size
+
+    def wire_size(self):
+        return self.size
+
+
+@pytest.fixture
+def capped():
+    sim = Simulator(seed=1)
+    # 1000 bytes/vsec, no jitter: a 100-byte message serializes in 0.1s.
+    net = Network(sim, NetworkConfig(delay=0.0, jitter=0.0, bandwidth=1000.0))
+    nodes = {name: Recorder(name, sim, net) for name in ["A", "B", "C"]}
+    return sim, net, nodes
+
+
+def test_bandwidth_adds_serialization_delay(capped):
+    sim, net, nodes = capped
+    nodes["A"].send("B", Sized(100))
+    sim.run_until_idle()
+    assert sim.now() == pytest.approx(0.1)
+    assert len(nodes["B"].received) == 1
+
+
+def test_backlog_accumulates_per_directed_link(capped):
+    sim, net, nodes = capped
+    # Two back-to-back messages on A->B queue; the reverse link is idle.
+    nodes["A"].send("B", Sized(100))
+    nodes["A"].send("B", Sized(100))
+    nodes["B"].send("A", Sized(100))
+    sim.run_until_idle()
+    assert sim.now() == pytest.approx(0.2)  # A->B drained at 0.2, B->A at 0.1
+    assert len(nodes["B"].received) == 2
+    assert len(nodes["A"].received) == 1
+
+
+def test_link_idles_down_between_sends(capped):
+    sim, net, nodes = capped
+    nodes["A"].send("B", Sized(100))
+    sim.run_until_idle()
+    # After the link drains, the next send pays only its own serialization.
+    nodes["A"].send("B", Sized(100))
+    sim.run_until_idle()
+    assert sim.now() == pytest.approx(0.2)
+
+
+def test_bounded_queue_tail_drops(capped):
+    sim, net, nodes = capped
+    net.config.queue_bytes = 250
+    for _ in range(5):
+        nodes["A"].send("B", Sized(100))
+    sim.run_until_idle()
+    # 100 (in service) + 100 queued fit; the rest overflow 250 bytes.
+    assert len(nodes["B"].received) < 5
+    assert net.counters.get("messages_dropped_link_overflow") >= 1
+    assert (
+        len(nodes["B"].received)
+        + net.counters.get("messages_dropped_link_overflow")
+        == 5
+    )
+
+
+def test_default_config_has_infinite_bandwidth(rig):
+    sim, net, nodes = rig
+    assert net.config.bandwidth == 0.0
+    for _ in range(50):
+        nodes["A"].send("B", Sized(10_000))
+    sim.run_until_idle()
+    # No capacity model: everything arrives after base delay, no queueing.
+    assert len(nodes["B"].received) == 50
+    assert sim.now() == pytest.approx(0.001)
+    assert not net.counters.get("messages_dropped_link_overflow")
+
+
 def test_down_node_neither_sends_nor_receives(rig):
     sim, net, nodes = rig
     net.set_down("B")
