@@ -35,6 +35,10 @@ DEFAULT_PATHS = ["src"]
 DEFAULT_PROTOCOL_MESSAGES = "src/repro/bft/messages.py"
 DEFAULT_PROTOCOL_DISPATCH = ["src/repro/bft"]
 
+#: Where quorum arithmetic lives: every vote-count comparison in these paths
+#: is checked against the 2f+1 / f+1 bounds by ``repro analyze``.
+DEFAULT_QUORUM_PATHS = ["src/repro/bft"]
+
 
 @dataclass
 class LintConfig:
@@ -51,6 +55,9 @@ class LintConfig:
     protocol_dispatch: List[str] = field(
         default_factory=lambda: list(DEFAULT_PROTOCOL_DISPATCH)
     )
+    quorum_paths: List[str] = field(
+        default_factory=lambda: list(DEFAULT_QUORUM_PATHS)
+    )
 
     def is_deterministic_scope(self, relpath: str) -> bool:
         return _matches_any(relpath, self.deterministic_scope)
@@ -60,6 +67,9 @@ class LintConfig:
 
     def is_dispatch_path(self, relpath: str) -> bool:
         return _matches_any(relpath, self.protocol_dispatch)
+
+    def is_quorum_path(self, relpath: str) -> bool:
+        return _matches_any(relpath, self.quorum_paths)
 
 
 def _matches_any(relpath: str, entries: List[str]) -> bool:
@@ -101,6 +111,7 @@ def _apply_table(config: LintConfig, table: Dict[str, object], source: Path) -> 
         "exclude": "exclude",
         "disable": "disable",
         "protocol-dispatch": "protocol_dispatch",
+        "quorum-paths": "quorum_paths",
     }
     for key, attr in str_list_keys.items():
         if key in table:

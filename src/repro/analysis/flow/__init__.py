@@ -1,0 +1,22 @@
+"""Interprocedural analysis layer behind ``python -m repro analyze``.
+
+Builds on the per-file lint engine (PR 1): same file collection, config,
+suppressions, and reporters, plus call-graph-aware passes the per-file rules
+cannot express:
+
+* :mod:`repro.analysis.flow.taint` — TAINT4xx, nondeterminism laundered
+  through helpers outside the deterministic scope;
+* :mod:`repro.analysis.flow.quorum` — QUORUM5xx, symbolic 2f+1 / f+1
+  threshold checking over the BFT core;
+* :mod:`repro.analysis.flow.msgflow` — FLOW6xx, the message producer/consumer
+  graph and the static freeze check;
+* :mod:`repro.analysis.flow.graphs` — DOT/JSON dumps for ``--graph``.
+
+Importing this package registers the flow rules; the engine does so at
+import time so their ids are known to both ``lint`` and ``analyze``.
+"""
+
+from repro.analysis.flow import msgflow, quorum, taint  # noqa: F401  (rule registration)
+from repro.analysis.flow.context import FlowContext
+
+__all__ = ["FlowContext"]

@@ -1,0 +1,109 @@
+"""Serializers for ``repro analyze --graph``.
+
+Two formats:
+
+* **dot** — the message-flow graph as GraphViz source: message types as
+  boxes, producing/consuming functions as ellipses, ``produce``/``consume``/
+  ``embed`` edges.  This is what ``docs/analysis.md`` renders.
+* **json** — the call graph (functions + resolved edges) plus the full
+  message graph, for tooling and the planned protocol meta-model.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.msgflow import MessageGraph
+
+GRAPH_FORMAT_VERSION = 1
+
+
+def _short(qualname: str) -> str:
+    """Trim the common package prefix for readable node labels."""
+    for prefix in ("repro.bft.", "repro."):
+        if qualname.startswith(prefix):
+            return qualname[len(prefix) :]
+    return qualname
+
+
+def render_dot(messages: MessageGraph) -> str:
+    lines: List[str] = [
+        "digraph message_flow {",
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica", fontsize=10];',
+    ]
+    functions: Dict[str, None] = {}
+    edges: List[str] = []
+    for name in sorted(messages.nodes):
+        node = messages.nodes[name]
+        lines.append(f'  "{name}" [shape=box, style=bold];')
+        for qualname, _relpath, _line in node.producers:
+            functions.setdefault(qualname)
+            edges.append(f'  "{_short(qualname)}" -> "{name}" [label="produce"];')
+        for consumer in node.consumers:
+            functions.setdefault(consumer.func.qualname)
+            edges.append(
+                f'  "{name}" -> "{_short(consumer.func.qualname)}" '
+                '[label="consume"];'
+            )
+        for container in sorted(node.embedded_in):
+            edges.append(
+                f'  "{name}" -> "{container}" [label="embed", style=dashed];'
+            )
+    for qualname in sorted(functions):
+        lines.append(f'  "{_short(qualname)}" [shape=ellipse];')
+    seen: Dict[str, None] = {}
+    for edge in edges:
+        if edge not in seen:
+            seen[edge] = None
+            lines.append(edge)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def render_graph_json(graph: CallGraph, messages: MessageGraph) -> str:
+    payload = {
+        "format": GRAPH_FORMAT_VERSION,
+        "callgraph": {
+            "functions": [
+                {
+                    "qualname": func.qualname,
+                    "path": func.relpath,
+                    "line": getattr(func.node, "lineno", 1),
+                    "deterministic_scope": func.deterministic,
+                }
+                for func in sorted(
+                    graph.functions.values(), key=lambda f: f.qualname
+                )
+            ],
+            "edges": sorted(set(graph.edges())),
+        },
+        "messages": {
+            name: {
+                "path": node.relpath,
+                "line": node.line,
+                "fields": dict(sorted(node.fields.items())),
+                "embedded_in": sorted(node.embedded_in),
+                "producers": [
+                    {"function": q, "path": p, "line": line}
+                    for q, p, line in node.producers
+                ],
+                "emitters": [
+                    {"function": q, "path": p, "line": line}
+                    for q, p, line in node.emitters
+                ],
+                "consumers": [
+                    {
+                        "function": c.func.qualname,
+                        "path": c.relpath,
+                        "line": c.line,
+                    }
+                    for c in node.consumers
+                ],
+            }
+            for name, node in sorted(messages.nodes.items())
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

@@ -1,0 +1,369 @@
+"""FLOW6xx: the protocol message-flow graph.
+
+Cross-references, for every ``Message`` subclass, its construction sites,
+its emissions (being passed to ``send``/``multicast``/``auth_send``/
+``auth_multicast``), and its dispatch arms (``isinstance`` in the configured
+dispatch paths) into a producer/consumer graph.  The graph itself feeds
+``repro analyze --graph`` and docs; three rules read it:
+
+* **FLOW601** — a message type is emitted somewhere but no dispatch arm
+  consumes it: it would arrive and be dropped (or worse, hit a default arm).
+  Types embedded in other messages (``CheckpointCert`` inside
+  ``TransferRoot``) travel as fields, not as datagrams, and are exempt.
+* **FLOW602** — a dispatch arm exists for a type nothing constructs: dead
+  protocol surface, usually a renamed or half-deleted message.
+* **FLOW603** — a message field is assigned after the message was frozen by
+  ``signable_bytes()``/``digest()``/``batch_digest()`` or by being handed to
+  a send primitive.  This is the static shadow of the runtime freeze guard in
+  :mod:`repro.bft.messages`: the runtime check catches the mutation when the
+  code path runs, this catches it at analyze time.  The runtime's
+  ``_POST_FREEZE_MUTABLE`` allow-list (``auth``/``sig``) is read from the
+  messages module source so the two stay in sync.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    mentioned_classes,
+)
+from repro.analysis.registry import ProjectIndex, flow_rule
+from repro.analysis.violations import Violation
+
+#: network primitives a message can be handed to (emission = it goes on the wire)
+SEND_PRIMITIVES = {"send", "multicast", "auth_send", "auth_multicast"}
+
+#: calls that freeze a message against further field writes
+FREEZE_METHODS = {"signable_bytes", "digest", "batch_digest"}
+
+_FALLBACK_MUTABLE = frozenset({"auth", "sig"})
+
+
+@dataclass
+class Consumer:
+    """One dispatch arm consuming a message type."""
+
+    func: FunctionInfo
+    arm: Optional[ast.If]  # None: isinstance guard without a dedicated arm body
+    relpath: str
+    line: int
+
+
+@dataclass
+class MessageNode:
+    name: str
+    relpath: str
+    line: int
+    fields: Dict[str, str] = field(default_factory=dict)  # field -> annotation
+    embedded_in: List[str] = field(default_factory=list)
+    producers: List[Tuple[str, str, int]] = field(default_factory=list)
+    emitters: List[Tuple[str, str, int]] = field(default_factory=list)
+    consumers: List[Consumer] = field(default_factory=list)
+
+
+@dataclass
+class MessageGraph:
+    nodes: Dict[str, MessageNode]
+    post_freeze_mutable: frozenset
+
+
+def build_message_graph(index: ProjectIndex, graph: CallGraph) -> MessageGraph:
+    nodes: Dict[str, MessageNode] = {}
+    message_file = index.config.protocol_messages
+    class_infos = {
+        name: info
+        for name, infos in graph.classes.items()
+        for info in infos
+        if info.relpath == message_file
+    }
+
+    def is_message(name: str, seen: Optional[Set[str]] = None) -> bool:
+        if name == "Message":
+            return True
+        info = class_infos.get(name)
+        if info is None:
+            return False
+        seen = seen or set()
+        if name in seen:
+            return False
+        seen.add(name)
+        return any(is_message(base, seen) for base in info.bases)
+
+    for name, info in class_infos.items():
+        if name == "Message" or not is_message(name):
+            continue
+        nodes[name] = MessageNode(
+            name=name,
+            relpath=info.relpath,
+            line=getattr(info.node, "lineno", 1),
+            fields=dict(info.attr_annotations),
+        )
+
+    names = set(nodes)
+    for container in nodes.values():
+        for annotation in container.fields.values():
+            for mentioned in mentioned_classes(annotation, names):
+                if mentioned != container.name:
+                    embedded = nodes[mentioned]
+                    if container.name not in embedded.embedded_in:
+                        embedded.embedded_in.append(container.name)
+
+    _collect_producers_and_emitters(graph, nodes)
+    _collect_consumers(index, graph, nodes)
+    for node in nodes.values():
+        node.producers.sort(key=lambda p: (p[1], p[2]))
+        node.emitters.sort(key=lambda e: (e[1], e[2]))
+        node.consumers.sort(key=lambda c: (c.relpath, c.line))
+    return MessageGraph(
+        nodes=nodes, post_freeze_mutable=_post_freeze_mutable(index)
+    )
+
+
+def _collect_producers_and_emitters(
+    graph: CallGraph, nodes: Dict[str, MessageNode]
+) -> None:
+    for func in graph.functions.values():
+        local_types: Optional[Dict[str, str]] = None
+        for site in func.calls:
+            call = site.node
+            constructed = graph._constructed_class(call, func.ctx)
+            if constructed in nodes and func.relpath != nodes[constructed].relpath:
+                nodes[constructed].producers.append(
+                    (func.qualname, func.relpath, getattr(call, "lineno", 1))
+                )
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in SEND_PRIMITIVES
+            ):
+                for arg in call.args:
+                    emitted = graph._constructed_class(arg, func.ctx)
+                    if emitted is None:
+                        if local_types is None:
+                            local_types = graph.local_types(func)
+                        emitted = graph.infer_type(arg, func, local_types)
+                    if emitted in nodes:
+                        nodes[emitted].emitters.append(
+                            (func.qualname, func.relpath, getattr(call, "lineno", 1))
+                        )
+
+
+def _collect_consumers(
+    index: ProjectIndex, graph: CallGraph, nodes: Dict[str, MessageNode]
+) -> None:
+    dispatch = {ctx.relpath for ctx in index.dispatch_files()}
+    for func in graph.functions.values():
+        if func.relpath not in dispatch:
+            continue
+        arm_tests: Set[int] = set()
+        for stmt in ast.walk(func.node):
+            if isinstance(stmt, ast.If) and _isinstance_classes(stmt.test):
+                arm_tests.add(id(stmt.test))
+                for name in _isinstance_classes(stmt.test):
+                    if name in nodes:
+                        nodes[name].consumers.append(
+                            Consumer(
+                                func=func,
+                                arm=stmt,
+                                relpath=func.relpath,
+                                line=getattr(stmt, "lineno", 1),
+                            )
+                        )
+        for call in ast.walk(func.node):
+            if (
+                isinstance(call, ast.Call)
+                and id(call) not in arm_tests
+                and _isinstance_classes(call)
+            ):
+                for name in _isinstance_classes(call):
+                    if name in nodes:
+                        nodes[name].consumers.append(
+                            Consumer(
+                                func=func,
+                                arm=None,
+                                relpath=func.relpath,
+                                line=getattr(call, "lineno", 1),
+                            )
+                        )
+
+
+def _isinstance_classes(node: ast.AST) -> List[str]:
+    if (
+        not isinstance(node, ast.Call)
+        or not isinstance(node.func, ast.Name)
+        or node.func.id != "isinstance"
+        or len(node.args) != 2
+    ):
+        return []
+    spec = node.args[1]
+    names: List[str] = []
+    elements = spec.elts if isinstance(spec, ast.Tuple) else [spec]
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.append(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.append(element.attr)
+    return names
+
+
+def _post_freeze_mutable(index: ProjectIndex):
+    """Read ``_POST_FREEZE_MUTABLE`` out of the messages module source."""
+    ctx = index.by_relpath(index.config.protocol_messages)
+    if ctx is not None:
+        for stmt in ctx.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "_POST_FREEZE_MUTABLE"
+                    for t in stmt.targets
+                )
+            ):
+                values = {
+                    inner.value
+                    for inner in ast.walk(stmt.value)
+                    if isinstance(inner, ast.Constant)
+                    and isinstance(inner.value, str)
+                }
+                if values:
+                    return frozenset(values)
+    return _FALLBACK_MUTABLE
+
+
+# -- rules --------------------------------------------------------------------------
+
+
+def _graph(fctx) -> MessageGraph:
+    return fctx.message_graph
+
+
+@flow_rule(
+    "FLOW601",
+    "emitted-never-consumed",
+    "a message type goes on the wire but no dispatch arm handles it",
+)
+def flow601_never_consumed(fctx):
+    for node in sorted(_graph(fctx).nodes.values(), key=lambda n: n.name):
+        if node.consumers or node.embedded_in or not node.emitters:
+            continue
+        qualname, relpath, line = node.emitters[0]
+        yield Violation(
+            rule="FLOW601",
+            path=relpath,
+            line=line,
+            col=0,
+            message=(
+                f"`{node.name}` is emitted by `{qualname}` but no dispatch "
+                "arm consumes it; receivers will drop it on the floor"
+            ),
+        )
+
+
+@flow_rule(
+    "FLOW602",
+    "dispatched-never-produced",
+    "a dispatch arm handles a message type nothing constructs",
+)
+def flow602_never_produced(fctx):
+    for node in sorted(_graph(fctx).nodes.values(), key=lambda n: n.name):
+        if node.producers or not node.consumers:
+            continue
+        first = node.consumers[0]
+        yield Violation(
+            rule="FLOW602",
+            path=first.relpath,
+            line=first.line,
+            col=0,
+            message=(
+                f"dispatch arm for `{node.name}` but nothing in the project "
+                "constructs it: dead protocol surface (renamed or "
+                "half-deleted message?)"
+            ),
+        )
+
+
+@flow_rule(
+    "FLOW603",
+    "post-freeze-write",
+    "a message field is assigned after signable_bytes()/send froze the message",
+)
+def flow603_post_freeze_write(fctx):
+    graph = fctx.callgraph
+    message_graph = _graph(fctx)
+    mutable = message_graph.post_freeze_mutable
+    names = set(message_graph.nodes)
+    for func in graph.functions.values():
+        # message-typed locals assigned from a constructor in this function
+        locals_msg: Dict[str, int] = {}
+        for stmt in ast.walk(func.node):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                constructed = graph._constructed_class(stmt.value, func.ctx)
+                if constructed in names:
+                    locals_msg.setdefault(
+                        stmt.targets[0].id, getattr(stmt, "lineno", 1)
+                    )
+        if not locals_msg:
+            continue
+        freezes: Dict[str, Tuple[int, str]] = {}  # local -> (line, what froze it)
+        for call in ast.walk(func.node):
+            if not isinstance(call, ast.Call):
+                continue
+            if isinstance(call.func, ast.Attribute):
+                receiver = call.func.value
+                if (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id in locals_msg
+                    and call.func.attr in FREEZE_METHODS
+                ):
+                    _record_freeze(freezes, receiver.id, call, f".{call.func.attr}()")
+                if call.func.attr in SEND_PRIMITIVES:
+                    for arg in call.args:
+                        if isinstance(arg, ast.Name) and arg.id in locals_msg:
+                            _record_freeze(
+                                freezes, arg.id, call, f".{call.func.attr}(...)"
+                            )
+        if not freezes:
+            continue
+        for stmt in ast.walk(func.node):
+            if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in freezes
+                        and target.attr not in mutable
+                    ):
+                        freeze_line, frozen_by = freezes[target.value.id]
+                        write_line = getattr(stmt, "lineno", 1)
+                        if write_line > freeze_line:
+                            yield Violation(
+                                rule="FLOW603",
+                                path=func.relpath,
+                                line=write_line,
+                                col=getattr(stmt, "col_offset", 0),
+                                message=(
+                                    f"`{target.value.id}.{target.attr}` assigned "
+                                    f"after `{target.value.id}{frozen_by}` froze "
+                                    f"the message at line {freeze_line}; the "
+                                    "signed bytes no longer match the fields "
+                                    f"(only {sorted(mutable)} stay writable)"
+                                ),
+                            )
+
+
+def _record_freeze(
+    freezes: Dict[str, Tuple[int, str]], name: str, call: ast.Call, what: str
+) -> None:
+    line = getattr(call, "lineno", 1)
+    if name not in freezes or line < freezes[name][0]:
+        freezes[name] = (line, what)

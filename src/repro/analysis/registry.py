@@ -1,12 +1,17 @@
 """Rule registry and the contexts rules run against.
 
-Two kinds of rule:
+Three kinds of rule:
 
 * **file rules** see one parsed module at a time (:class:`FileContext`).
   Rules registered with ``deterministic_only=True`` run only on files inside
   the configured deterministic scope.
 * **project rules** see every parsed module at once (:class:`ProjectIndex`)
   — used for cross-file invariants like "every message class has a handler".
+* **flow rules** additionally see the interprocedural artifacts (call graph,
+  taint summaries, message-flow graph) built by :mod:`repro.analysis.flow`.
+  They are expensive, so ``repro lint`` skips them; ``repro analyze`` runs
+  everything.  Their ids are still registered here so ``# repro: allow[...]``
+  suppressions naming them are recognized by both commands.
 
 Registration is declarative::
 
@@ -15,8 +20,8 @@ Registration is declarative::
     def det001(ctx):
         yield ctx.violation("DET001", node, "...")
 
-New rule families plug in by importing :func:`file_rule`/:func:`project_rule`
-and getting imported from :mod:`repro.analysis.engine`.
+New rule families plug in by importing :func:`file_rule`/:func:`project_rule`/
+:func:`flow_rule` and getting imported from :mod:`repro.analysis.engine`.
 """
 
 from __future__ import annotations
@@ -111,7 +116,7 @@ class RuleInfo:
     id: str
     name: str
     summary: str
-    kind: str  # "file" | "project"
+    kind: str  # "file" | "project" | "flow"
     deterministic_only: bool
     check: Callable[..., Iterator[Violation]]
 
@@ -143,6 +148,23 @@ def project_rule(
 ) -> Callable[[Callable[[ProjectIndex], Iterable[Violation]]], Callable]:
     def register(check: Callable[[ProjectIndex], Iterable[Violation]]) -> Callable:
         _add(RuleInfo(rule_id, name, summary, "project", False, check))
+        return check
+
+    return register
+
+
+def flow_rule(
+    rule_id: str, name: str, summary: str
+) -> Callable[[Callable[..., Iterable[Violation]]], Callable]:
+    """Register an interprocedural rule run only by ``repro analyze``.
+
+    The check receives a ``repro.analysis.flow.FlowContext`` (a
+    :class:`ProjectIndex` plus lazily built call-graph / message-flow
+    artifacts shared across flow rules).
+    """
+
+    def register(check: Callable[..., Iterable[Violation]]) -> Callable:
+        _add(RuleInfo(rule_id, name, summary, "flow", False, check))
         return check
 
     return register

@@ -54,7 +54,13 @@ LOWER_IS_BETTER = {
     "fetch_object_sent",
     "view_changes_started",
 }
-HIGHER_IS_BETTER = {"ops_per_vsec", "transfers_completed", "goodput_per_vsec", "completed"}
+HIGHER_IS_BETTER = {
+    "ops_per_vsec",
+    "transfers_completed",
+    "goodput_per_vsec",
+    "completed",
+    "within_budget",
+}
 
 
 def _parser() -> argparse.ArgumentParser:

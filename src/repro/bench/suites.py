@@ -16,8 +16,12 @@ scenario so scenarios compose without contaminating each other.
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.config import load_config
+from repro.analysis.engine import analyze_project
 from repro.bft.config import BFTConfig
 from repro.bft.messages import MESSAGE_STATS
 from repro.bft.overload import OpenLoopLoadGenerator
@@ -228,6 +232,43 @@ def kv_throughput_wide() -> Metrics:
     }
 
 
+#: Wall-clock ceiling for one full `repro analyze` pass over this checkout.
+ANALYZE_BUDGET_SECONDS = 30.0
+
+
+@scenario("analyze_timing")
+def analyze_timing() -> Metrics:
+    """Cost of one `repro analyze` pass (call graph + taint + quorum + flow).
+
+    The one deliberate exception to the suite's bit-identical story:
+    ``analyze_seconds`` is host wall-clock and purely informational.  The
+    *compared* metric is ``within_budget`` — 1.0 when the analyzer finishes
+    clean inside :data:`ANALYZE_BUDGET_SECONDS` — so the baseline gate fails
+    only when the analyzer regresses past the budget (or stops being clean),
+    never on machine-to-machine timing noise.  Outside a checkout (no
+    pyproject.toml above the package) the scenario degrades to a pass.
+    """
+    root = Path(__file__).resolve().parents[3]
+    if not (root / "pyproject.toml").is_file():
+        return {
+            "files_checked": 0,
+            "violations": 0,
+            "analyze_seconds": 0.0,
+            "within_budget": 1.0,
+        }
+    started = time.perf_counter()  # repro: allow[DET001] bench harness wall-clock; never replicated
+    config = load_config(project_root=root)  # repro: allow[TAINT401] reads this checkout's lint config; not replica state
+    result = analyze_project(config)
+    elapsed = time.perf_counter() - started  # repro: allow[DET001] bench harness wall-clock; never replicated
+    within = 1.0 if result.clean and elapsed < ANALYZE_BUDGET_SECONDS else 0.0
+    return {
+        "files_checked": result.files_checked,
+        "violations": len(result.violations),
+        "analyze_seconds": _round(elapsed),
+        "within_budget": within,
+    }
+
+
 def _overload_rung(rate: float) -> Metrics:
     """One rung of the overload ladder: an open-loop swarm offers ``rate``
     requests/second for :data:`OVERLOAD_DURATION` virtual seconds against
@@ -293,8 +334,14 @@ for _rate in OVERLOAD_LADDER:
 
 
 SUITES: Dict[str, List[str]] = {
-    "smoke": ["kv_throughput", "checkpoint_cow", "state_transfer"],
-    "full": ["kv_throughput", "kv_throughput_wide", "checkpoint_cow", "state_transfer"],
+    "smoke": ["kv_throughput", "checkpoint_cow", "state_transfer", "analyze_timing"],
+    "full": [
+        "kv_throughput",
+        "kv_throughput_wide",
+        "checkpoint_cow",
+        "state_transfer",
+        "analyze_timing",
+    ],
     "overload": [f"overload_{int(rate)}" for rate in OVERLOAD_LADDER],
 }
 

@@ -1,0 +1,81 @@
+"""`repro analyze` CLI: exit codes, reporters, and the --graph dumps."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_USAGE, EXIT_VIOLATIONS, analyze_main
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def test_analyze_clean_tree_exits_zero(capsys):
+    code = analyze_main(["--root", str(REPO_ROOT)])
+    out = capsys.readouterr().out
+    assert code == EXIT_CLEAN
+    assert "clean:" in out
+
+
+def test_analyze_json_report(capsys):
+    code = analyze_main(["--root", str(REPO_ROOT), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_CLEAN
+    assert payload["violations"] == []
+
+
+def test_analyze_reports_violations_with_exit_one(tmp_path, capsys):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro.lint]\n"
+        'paths = ["src"]\n'
+        'deterministic-scope = []\n'
+        'quorum-paths = ["src"]\n',
+        encoding="utf-8",
+    )
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "log.py").write_text(
+        "class Log:\n"
+        "    def __init__(self, config):\n"
+        "        self.config = config\n"
+        "\n"
+        "    def prepared(self, prepares):\n"
+        "        return len(prepares) >= self.config.f\n",
+        encoding="utf-8",
+    )
+    code = analyze_main(["--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == EXIT_VIOLATIONS
+    assert "QUORUM501" in out
+
+
+def test_analyze_graph_dot_to_file(tmp_path, capsys):
+    out_file = tmp_path / "flow.dot"
+    code = analyze_main(
+        ["--root", str(REPO_ROOT), "--graph", "dot", "--graph-out", str(out_file)]
+    )
+    capsys.readouterr()
+    assert code == EXIT_CLEAN
+    dot = out_file.read_text(encoding="utf-8")
+    assert dot.startswith("digraph message_flow {")
+    assert '"ViewChange"' in dot
+
+
+def test_analyze_graph_json_to_stdout(capsys):
+    code = analyze_main(["--root", str(REPO_ROOT), "--graph", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_CLEAN
+    assert set(payload) == {"format", "callgraph", "messages"}
+
+
+def test_analyze_list_rules_includes_flow_families(capsys):
+    code = analyze_main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert code == EXIT_CLEAN
+    for rule in ("TAINT401", "QUORUM501", "QUORUM504", "FLOW601", "FLOW603"):
+        assert rule in out
+
+
+def test_analyze_bad_path_is_usage_error(tmp_path, capsys):
+    (tmp_path / "pyproject.toml").write_text("", encoding="utf-8")
+    code = analyze_main(["--root", str(tmp_path), "no/such/path.py"])
+    capsys.readouterr()
+    assert code == EXIT_USAGE

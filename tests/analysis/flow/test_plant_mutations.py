@@ -1,0 +1,63 @@
+"""The analyzer must catch every planted regression *statically*.
+
+``repro.faults.plant`` sabotages live replica objects at runtime; its
+``SOURCE_MUTATIONS`` table expresses the same regressions as textual edits to
+the real source tree.  Each test applies one mutation to a temp copy of
+``src/`` and asserts ``repro analyze`` reports the expected QUORUM5xx rules —
+the static mirror of the exploration engine finding them dynamically.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import load_config
+from repro.analysis.engine import analyze_project
+from repro.faults.plant import PLANTED_BUGS, SOURCE_MUTATIONS
+
+from tests.analysis.flow.util import rules_fired
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def test_every_runtime_plant_has_a_source_mirror():
+    assert set(SOURCE_MUTATIONS) == set(PLANTED_BUGS)
+
+
+def _mutated_tree(tmp_path: Path, name: str) -> Path:
+    root = tmp_path / name
+    shutil.copytree(REPO_ROOT / "src", root / "src")
+    shutil.copy(REPO_ROOT / "pyproject.toml", root / "pyproject.toml")
+    for relpath, before, after in SOURCE_MUTATIONS[name]["edits"]:
+        target = root / relpath
+        source = target.read_text(encoding="utf-8")
+        assert before in source, (
+            f"{relpath} no longer contains {before!r}; the BFT core was "
+            "refactored — update SOURCE_MUTATIONS to keep static coverage"
+        )
+        target.write_text(source.replace(before, after), encoding="utf-8")
+    return root
+
+
+@pytest.mark.parametrize("name", sorted(SOURCE_MUTATIONS))
+def test_mutation_is_caught_statically(tmp_path, name):
+    root = _mutated_tree(tmp_path, name)
+    result = analyze_project(load_config(project_root=root))
+    fired = rules_fired(result)
+    expected = SOURCE_MUTATIONS[name]["expect_rules"]
+    assert fired == sorted(expected), (
+        f"planted {name}: expected exactly {expected}, analyzer reported "
+        f"{fired}:\n" + "\n".join(v.render() for v in result.violations)
+    )
+
+
+def test_blind_cert_mutation_names_every_cert_carrying_message(tmp_path):
+    root = _mutated_tree(tmp_path, "blind-checkpoint-certs")
+    result = analyze_project(load_config(project_root=root))
+    named = {
+        cls
+        for cls in ("CheckpointCert", "TransferRoot", "ViewChange")
+        if any(cls in v.message for v in result.violations)
+    }
+    assert named == {"CheckpointCert", "TransferRoot", "ViewChange"}

@@ -1,0 +1,153 @@
+"""QUORUM5xx: symbolic 2f+1 / f+1 threshold checking."""
+
+from tests.analysis.flow.util import rules_fired, run_analyze
+
+
+def _log_module(prepare_bound: str, commit_bound: str) -> str:
+    return f"""
+class MessageLog:
+    def __init__(self, config):
+        self.config = config
+
+    def prepared(self, slot):
+        votes = {{p.replica_id for p in slot.matching_prepares()}}
+        return len(votes) >= {prepare_bound}
+
+    def committed_local(self, slot):
+        votes = {{c.replica_id for c in slot.matching_commits()}}
+        return len(votes) >= {commit_bound}
+"""
+
+
+def _analyze_quorum(tmp_path, files):
+    return run_analyze(tmp_path, files, quorum_paths=["src"])
+
+
+def test_correct_bounds_are_clean(tmp_path):
+    result = _analyze_quorum(
+        tmp_path,
+        {"src/log.py": _log_module("2 * self.config.f", "self.config.quorum")},
+    )
+    assert result.clean, [v.render() for v in result.violations]
+
+
+def test_prepare_accepting_f_votes_is_below_weak_quorum(tmp_path):
+    result = _analyze_quorum(
+        tmp_path,
+        {"src/log.py": _log_module("self.config.f", "self.config.quorum")},
+    )
+    assert rules_fired(result) == ["QUORUM501"]
+
+
+def test_commit_accepting_f_plus_one_is_a_weak_certificate(tmp_path):
+    result = _analyze_quorum(
+        tmp_path,
+        {"src/log.py": _log_module("2 * self.config.f", "self.config.f + 1")},
+    )
+    assert rules_fired(result) == ["QUORUM502"]
+    assert "2f+1" in result.violations[0].message
+
+
+def test_prepare_accepting_weak_quorum_is_a_weak_prepare_cert(tmp_path):
+    result = _analyze_quorum(
+        tmp_path,
+        {"src/log.py": _log_module("self.config.weak_quorum", "self.config.quorum")},
+    )
+    assert rules_fired(result) == ["QUORUM503"]
+
+
+def test_hardcoded_constant_threshold(tmp_path):
+    result = _analyze_quorum(
+        tmp_path,
+        {"src/log.py": _log_module("3", "self.config.quorum")},
+    )
+    assert rules_fired(result) == ["QUORUM505"]
+
+
+def test_guard_polarity_normalizes_to_the_same_bound(tmp_path):
+    source = """
+class Replica:
+    def __init__(self, config):
+        self.config = config
+
+    def adopt(self, commits):
+        if len(commits) < self.config.quorum:
+            return False
+        return True
+
+    def weak_adopt(self, commits):
+        if len(commits) < self.config.f + 1:
+            return False
+        return True
+"""
+    result = _analyze_quorum(tmp_path, {"src/replica.py": source})
+    fired = rules_fired(result)
+    assert fired == ["QUORUM502"]
+    assert result.violations[0].line == 12
+
+
+def test_conditional_threshold_judged_by_weakest_branch(tmp_path):
+    source = """
+class Client:
+    def __init__(self, config):
+        self.config = config
+
+    def done(self, replies, read_only):
+        needed = self.config.quorum if read_only else self.config.weak_quorum
+        return len(replies) >= needed
+
+    def weak_done(self, replies, read_only):
+        needed = self.config.quorum if read_only else self.config.f
+        return len(replies) >= needed
+"""
+    result = _analyze_quorum(tmp_path, {"src/client.py": source})
+    # reply quorum f+1 is legitimate; the f branch is below the weak quorum
+    assert rules_fired(result) == ["QUORUM501"]
+    assert result.violations[0].line == 12
+
+
+def test_annotation_classified_collection(tmp_path):
+    # the collection's name says nothing; its annotation types it as
+    # view-change votes, and f of them is below the f+1 join proof
+    source = """
+from typing import Dict
+
+from msgs import ViewChange
+
+
+class Manager:
+    def __init__(self, config):
+        self.config = config
+        self.pending: Dict[str, ViewChange] = {}
+
+    def should_join(self):
+        return len(self.pending) >= self.config.f
+"""
+    msgs = """
+class ViewChange:
+    pass
+"""
+    result = _analyze_quorum(
+        tmp_path, {"src/manager.py": source, "src/msgs.py": msgs}
+    )
+    assert rules_fired(result) == ["QUORUM501"]
+
+
+def test_unclassified_or_unrelated_comparisons_are_ignored(tmp_path):
+    source = """
+class Replica:
+    def __init__(self, config):
+        self.config = config
+        self.batch = []
+
+    def full(self):
+        return len(self.batch) >= self.config.batch_max
+
+    def window_ok(self, entries):
+        return len(entries) >= 8
+
+    def capacity(self, pending):
+        return 2 * len(pending) < self.config.f
+"""
+    result = _analyze_quorum(tmp_path, {"src/replica.py": source})
+    assert result.clean, [v.render() for v in result.violations]

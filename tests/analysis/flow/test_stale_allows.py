@@ -1,0 +1,78 @@
+"""Stale-allow auditing across the two commands.
+
+A suppression is only *stale* when every rule it names actually ran in the
+invocation: an ``allow[TAINT401]`` must survive ``repro lint`` (which skips
+flow rules) but is audited — used or flagged — by ``repro analyze``.
+"""
+
+from tests.analysis.util import run_lint
+from tests.analysis.flow.util import rules_fired, run_analyze
+
+HELPERS = """
+import uuid
+
+
+def wrapper():
+    return uuid.uuid4().hex
+"""
+
+SUPPRESSED_SINK = """
+from util.helpers import wrapper
+
+
+def apply_op():
+    handle = wrapper()  # repro: allow[TAINT401] bootstrap only, replayed verbatim
+    return handle
+"""
+
+POINTLESS_ALLOW = """
+def pure():
+    # repro: allow[TAINT401] nothing nondeterministic here at all
+    return 1
+"""
+
+
+def test_flow_allow_is_not_stale_under_lint(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {"src/util/helpers.py": HELPERS, "src/det/core.py": SUPPRESSED_SINK},
+        det_scope=["src/det"],
+    )
+    # lint skips flow rules, so it can't judge the allow: neither a LINT901
+    # (the id is registered) nor a LINT903 (the rule didn't run)
+    assert result.clean, [v.render() for v in result.violations]
+
+
+def test_flow_allow_is_used_under_analyze(tmp_path):
+    result = run_analyze(
+        tmp_path,
+        {"src/util/helpers.py": HELPERS, "src/det/core.py": SUPPRESSED_SINK},
+        det_scope=["src/det"],
+    )
+    assert result.clean, [v.render() for v in result.violations]
+    assert result.suppressions_used == 1
+
+
+def test_pointless_flow_allow_is_stale_under_analyze_only(tmp_path):
+    files = {"src/det/core.py": POINTLESS_ALLOW}
+    lint_result = run_lint(tmp_path, files, det_scope=["src/det"])
+    assert lint_result.clean, [v.render() for v in lint_result.violations]
+
+    analyze_result = run_analyze(tmp_path, files, det_scope=["src/det"])
+    assert rules_fired(analyze_result) == ["LINT903"]
+    assert "TAINT401" in analyze_result.violations[0].message
+
+
+def test_unknown_rule_id_still_flagged_by_both(tmp_path):
+    files = {
+        "src/det/core.py": """
+def pure():
+    # repro: allow[NOPE999] mystery rule
+    return 1
+"""
+    }
+    for result in (
+        run_lint(tmp_path, files, det_scope=["src/det"]),
+        run_analyze(tmp_path, files, det_scope=["src/det"]),
+    ):
+        assert rules_fired(result) == ["LINT901"]

@@ -1,0 +1,60 @@
+"""Helpers for the flow-analysis tests: build a throwaway project tree and
+run the interprocedural analyzer (or just build its artifacts) against it."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import LintResult, analyze_project, collect_files, parse_file
+from repro.analysis.flow import FlowContext
+from repro.analysis.registry import ProjectIndex
+
+
+def _write_tree(tmp_path: Path, files: Dict[str, str]) -> None:
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+
+
+def make_config(
+    tmp_path: Path,
+    files: Dict[str, str],
+    det_scope: Optional[List[str]] = None,
+    protocol_messages: str = "does/not/exist.py",
+    protocol_dispatch: Optional[List[str]] = None,
+    quorum_paths: Optional[List[str]] = None,
+    disable: Optional[List[str]] = None,
+) -> LintConfig:
+    _write_tree(tmp_path, files)
+    return LintConfig(
+        project_root=tmp_path,
+        paths=sorted({relpath.split("/")[0] for relpath in files}),
+        deterministic_scope=det_scope if det_scope is not None else [],
+        protocol_messages=protocol_messages,
+        protocol_dispatch=protocol_dispatch if protocol_dispatch is not None else [],
+        quorum_paths=quorum_paths if quorum_paths is not None else [],
+        disable=disable if disable is not None else [],
+    )
+
+
+def run_analyze(tmp_path: Path, files: Dict[str, str], **kwargs) -> LintResult:
+    """Write ``files`` (relpath -> source) under ``tmp_path`` and analyze."""
+    return analyze_project(make_config(tmp_path, files, **kwargs))
+
+
+def build_flow_context(tmp_path: Path, files: Dict[str, str], **kwargs) -> FlowContext:
+    """Build the FlowContext (call graph, message graph) without running rules."""
+    config = make_config(tmp_path, files, **kwargs)
+    contexts = []
+    for path in collect_files(config, None):
+        ctx = parse_file(path, config)
+        if ctx is not None:
+            contexts.append(ctx)
+    return FlowContext(ProjectIndex(config=config, files=contexts))
+
+
+def rules_fired(result: LintResult) -> List[str]:
+    return sorted({violation.rule for violation in result.violations})
