@@ -99,6 +99,22 @@ class _Checkpoint:
         self.tree = tree
 
 
+class _SpecFrame:
+    """Undo record for one speculatively executed batch.
+
+    Holds each touched object's first pre-speculation encoding plus the set
+    of indices the frame *introduced* into the modified set.  Tree leaves and
+    memos need no restoration: they only change at ``take_checkpoint``, which
+    is forbidden while frames are open.
+    """
+
+    __slots__ = ("undo", "new_modified")
+
+    def __init__(self) -> None:
+        self.undo: Dict[int, bytes] = {}
+        self.new_modified: Set[int] = set()
+
+
 class AbstractStateManager:
     """Copy-on-write checkpointing over an abstract-object array."""
 
@@ -130,6 +146,9 @@ class AbstractStateManager:
         # encodings.
         self._encoding_memo: Dict[int, bytes] = {}
         self._digest_memo: Dict[int, bytes] = {}
+        # Open speculation frames, oldest first (fast path): each holds the
+        # undo record for one tentatively executed batch.
+        self._spec_frames: List[_SpecFrame] = []
         self._initialize_digests()
 
     def _get_obj(self, index: int) -> bytes:
@@ -189,6 +208,13 @@ class AbstractStateManager:
                 self._cow_labels.setdefault(index, []).append(latest)
                 self.counters.add("cow_copies")
                 self.counters.add("cow_bytes", len(value))
+        if self._spec_frames:
+            frame = self._spec_frames[-1]
+            if index not in frame.undo:
+                frame.undo[index] = self._get_obj(index)
+                self.counters.add("spec_undo_copies")
+            if index not in self._modified:
+                frame.new_modified.add(index)
         self._modified.add(index)
 
     def modified_since_checkpoint(self) -> "frozenset[int]":
@@ -204,10 +230,65 @@ class AbstractStateManager:
         checkpoint?"""
         return index in self._modified
 
+    # -- speculation frames (fast path) ---------------------------------------------
+
+    def begin_speculation(self) -> None:
+        """Open an undo frame: mutations until the matching commit/rollback
+        are tentative.  Frames nest (one per speculated batch) and resolve
+        strictly in order — oldest commits first, newest rolls back first."""
+        self._spec_frames.append(_SpecFrame())
+        self.counters.add("spec_frames_opened")
+
+    def in_speculation(self) -> bool:
+        return bool(self._spec_frames)
+
+    def commit_speculation(self) -> None:
+        """Promote the oldest open frame: its mutations become permanent.
+        COW copies and modified-set entries it produced are already exactly
+        what a non-speculative execution would have left behind."""
+        if not self._spec_frames:
+            raise ValueError("commit_speculation without an open frame")
+        self._spec_frames.pop(0)
+
+    def rollback_speculation(
+        self, apply_objects: Callable[[Dict[int, bytes]], None]
+    ) -> int:
+        """Undo every open frame, newest first; returns how many were undone.
+
+        ``apply_objects`` is the service's put upcall, invoked once per frame
+        with the decoded service-object values to restore (client-table
+        shards are restored internally).  The tree and memos were never
+        touched by the frames — checkpoints cannot be taken while frames are
+        open — so restoring the concrete values and the modified-set delta
+        re-establishes the exact pre-speculation manager state.
+        """
+        rolled = len(self._spec_frames)
+        while self._spec_frames:
+            frame = self._spec_frames.pop()
+            service_objects: Dict[int, bytes] = {}
+            for index, value in frame.undo.items():
+                if index < self.num_objects:
+                    service_objects[index] = value
+                else:
+                    self._client_table[index - self.num_objects] = decode_client_shard(
+                        value
+                    )
+            if service_objects:
+                apply_objects(service_objects)
+            self._modified.difference_update(frame.new_modified)
+        if rolled:
+            self.counters.add("spec_frames_rolled_back", rolled)
+        return rolled
+
     # -- checkpoints ------------------------------------------------------------------
 
     def take_checkpoint(self, seqno: int) -> bytes:
         """Freeze the current abstract state as checkpoint ``seqno``."""
+        if self._spec_frames:
+            raise ValueError(
+                "cannot checkpoint while speculation frames are open "
+                "(checkpoint boundaries must execute on the committed path)"
+            )
         if self._checkpoints and seqno <= next(reversed(self._checkpoints)):
             raise ValueError(f"checkpoint seqnos must increase (got {seqno})")
         new_encodings: Dict[int, bytes] = {}
@@ -335,6 +416,9 @@ class AbstractStateManager:
         self.tree.update_leaves(
             [(index, digest(value), lm) for index, (value, lm) in objects.items()]
         )
+        # Speculation frames must be rolled back before a transfer session
+        # starts (the replica does); any record left here is stale.
+        self._spec_frames.clear()
         self._modified.clear()
         self._checkpoints.clear()
         self._cow_labels.clear()
@@ -402,6 +486,7 @@ class AbstractStateManager:
     def reset_to_current(self) -> None:
         """Drop checkpoints and recompute every leaf digest from the current
         concrete state (used when a replica reconstructs after reboot)."""
+        self._spec_frames.clear()
         self._checkpoints.clear()
         self._modified.clear()
         self._cow_labels.clear()

@@ -109,6 +109,30 @@ def _compare_metric(name: str, current: float, baseline: float) -> Optional[floa
     return None
 
 
+def _validate_baseline(baseline) -> Optional[str]:
+    """Shape check for a parsed baseline: valid JSON is not enough — a
+    truncated or hand-mangled file must die with a one-line error, not a
+    traceback from deep inside the comparison."""
+    if not isinstance(baseline, dict):
+        return f"expected a JSON object, got {type(baseline).__name__}"
+    scenarios = baseline.get("scenarios", {})
+    if not isinstance(scenarios, dict):
+        return f"'scenarios' must be an object, got {type(scenarios).__name__}"
+    for scenario, metrics in scenarios.items():
+        if not isinstance(metrics, dict):
+            return (
+                f"scenario {scenario!r} must map metrics to numbers, got "
+                f"{type(metrics).__name__}"
+            )
+        for metric, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return (
+                    f"metric {scenario}.{metric} must be a number, got "
+                    f"{type(value).__name__}"
+                )
+    return None
+
+
 def compare_reports(
     current: Dict, baseline: Dict, threshold: float
 ) -> List[Tuple[str, str, float, float, float]]:
@@ -146,8 +170,18 @@ def bench_main(argv: List[str]) -> int:
             return EXIT_USAGE
         try:
             baseline = json.loads(baseline_path.read_text())
+        except OSError as exc:
+            print(f"bench: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
         except ValueError as exc:
             print(f"bench: malformed baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        problem = _validate_baseline(baseline)
+        if problem is not None:
+            print(
+                f"bench: malformed baseline {baseline_path}: {problem}",
+                file=sys.stderr,
+            )
             return EXIT_USAGE
 
     log = None if args.quiet else print

@@ -11,10 +11,10 @@ concurrently inside one benchmark.
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.bft.config import BFTConfig
-from repro.bft.messages import Busy, Reply, Request
+from repro.bft.messages import Busy, Reply, Request, SpecReply
 from repro.crypto.auth import KeyTable, MacVerificationError
 from repro.net.network import Network
 from repro.net.node import Node
@@ -32,6 +32,7 @@ class _Invocation:
         "request",
         "callback",
         "replies",
+        "tentative",
         "read_only",
         "started",
         "retries",
@@ -42,6 +43,7 @@ class _Invocation:
         self.request = request
         self.callback = callback
         self.replies: Dict[str, bytes] = {}
+        self.tentative: Dict[str, Tuple[int, bytes]] = {}  # replica -> (view, result)
         self.read_only = request.read_only
         self.retries = 0
         self.busy_hint = 0.0  # latest server-suggested retry delay, seconds
@@ -127,7 +129,15 @@ class Client(Node):
         request.auth = self.keys.make_authenticator(
             self.node_id, self.config.replica_ids, request.signable_bytes()
         )
-        self.multicast(self.config.replica_ids, request)
+        if invocation.read_only and self.config.read_leases and invocation.retries == 0:
+            # Leased reads go to just 2f+1 replicas; the safety condition is
+            # unchanged (2f+1 matching results), so this only narrows fan-out.
+            # Retransmissions fall back to full multicast — the lease set may
+            # be partly crashed or lease-less.
+            self.counters.add("leased_read_sends")
+            self.multicast(self.config.replica_ids[: self.config.quorum], request)
+        else:
+            self.multicast(self.config.replica_ids, request)
 
     def _arm_retry(self, reqid: int) -> None:
         """Deterministic capped exponential backoff: retry ``k`` waits
@@ -192,6 +202,9 @@ class Client(Node):
         if isinstance(message, Busy):
             self._on_busy(message, src)
             return
+        if isinstance(message, SpecReply):
+            self._on_spec_reply(message, src)
+            return
         if not isinstance(message, Reply):
             return
         invocation = self._current
@@ -217,6 +230,42 @@ class Client(Node):
         ]
         if len(matching) >= needed:
             self.counters.add("replies_accepted")
+            self._current = None
+            self._disarm_retry()
+            invocation.callback(message.result)
+
+    def _on_spec_reply(self, message: SpecReply, src: str) -> None:
+        """Tentative replies from speculating replicas.  Acceptance rule (the
+        BFT library's tentative-execution optimization): 2f+1 matching
+        tentative replies *from the same view* — quorum intersection with the
+        view-change quorum then guarantees the tentative order survives any
+        view change, so the result is as good as committed.  Tentative and
+        committed replies are never mixed toward one quorum."""
+        invocation = self._current
+        if invocation is None or invocation.read_only:
+            return
+        if message.reqid != invocation.request.reqid:
+            return
+        if message.replica_id != src or src not in self.config.replica_ids:
+            return
+        if message.auth is None:
+            return
+        try:
+            self.keys.check_authenticator(
+                message.auth, self.node_id, message.signable_bytes()
+            )
+        except MacVerificationError:
+            self.counters.add("reply_bad_auth")
+            return
+        invocation.tentative[src] = (message.view, message.result)
+        matching = [
+            t
+            for t in invocation.tentative.values()
+            if t == (message.view, message.result)
+        ]
+        if len(matching) >= self.config.quorum:
+            self.counters.add("replies_accepted")
+            self.counters.add("tentative_replies_accepted")
             self._current = None
             self._disarm_retry()
             invocation.callback(message.result)

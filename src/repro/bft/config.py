@@ -49,6 +49,18 @@ class BFTConfig:
                         oldest queued request makes no progress; after that a
                         view change proceeds even under load (starvation
                         escape hatch).
+    pipeline_depth:     fast path — widen the primary's ordering pipeline to
+                        this many concurrent in-flight sequence slots
+                        (0 keeps the baseline ``max_outstanding`` bound).
+    speculative_execution: fast path — execute batches tentatively at
+                        prepare-quorum time (one phase early) and answer with
+                        SpecReply; rolled back on view change or divergence,
+                        confirmed when the commit certificate lands.
+    read_leases:        fast path — the primary grants a read lease to all
+                        replicas whenever no write is in flight and revokes
+                        it before proposing the next write; replicas serve
+                        read-only requests only while holding a valid lease,
+                        and lease-aware clients read from just 2f+1 replicas.
     """
 
     replica_ids: List[str] = field(default_factory=lambda: ["R0", "R1", "R2", "R3"])
@@ -68,6 +80,9 @@ class BFTConfig:
     pending_ttl: float = 2.0
     overload_damping: bool = True
     overload_damping_max: int = 8
+    pipeline_depth: int = 0
+    speculative_execution: bool = False
+    read_leases: bool = False
 
     def __post_init__(self) -> None:
         if len(set(self.replica_ids)) != len(self.replica_ids):
@@ -102,6 +117,19 @@ class BFTConfig:
             )
         if self.overload_damping_max < 1:
             raise ConfigurationError("overload_damping_max must be >= 1")
+        if self.pipeline_depth < 0:
+            raise ConfigurationError("pipeline_depth must be >= 0 (0 disables)")
+        if self.pipeline_depth >= self.log_window:
+            raise ConfigurationError(
+                "pipeline_depth must be smaller than log_window (in-flight "
+                "slots all have to fit inside the water-mark window)"
+            )
+
+    @property
+    def outstanding_window(self) -> int:
+        """Ordering instances the primary may keep in flight: the fast-path
+        ``pipeline_depth`` when set, else the baseline ``max_outstanding``."""
+        return self.pipeline_depth if self.pipeline_depth > 0 else self.max_outstanding
 
     @property
     def n(self) -> int:

@@ -32,6 +32,7 @@ class Slot:
     sent_prepare: bool = False
     sent_commit: bool = False
     executed: bool = False
+    spec_executed: bool = False  # fast path: batch ran tentatively at prepare time
 
     def digest(self) -> Optional[bytes]:
         if self.pre_prepare is None:

@@ -154,6 +154,69 @@ class Reply(Message):
 
 
 @dataclass
+class SpecReply(Message):
+    """Tentative (speculative) answer to one request, sent when the batch
+    reached its prepare quorum but has not committed yet.  A client accepts a
+    result from 2f+1 matching tentative replies *in the same view* — quorum
+    intersection with any later view-change quorum then guarantees the batch
+    keeps its sequence number.  Kept as a distinct message (instead of a bit
+    on :class:`Reply`) so the committed reply wire format is untouched."""
+
+    view: int
+    reqid: int
+    client_id: str
+    replica_id: str
+    result: bytes
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("SPEC-REPLY").pack_u64(self.view).pack_u64(self.reqid)
+        enc.pack_string(self.client_id).pack_string(self.replica_id)
+        enc.pack_opaque(self.result)
+        return enc.getvalue()
+
+
+@dataclass
+class Lease(Message):
+    """Primary-granted read lease: while it is the newest grant and no
+    revocation for it has arrived, a replica in the same view whose
+    ``last_executed`` has reached ``seqno`` may answer read-only requests
+    directly.  Epochs are per-primary monotonic so grant/revoke races
+    resolve deterministically; a view change invalidates every lease."""
+
+    view: int
+    epoch: int
+    seqno: int
+    primary_id: str
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("LEASE").pack_u64(self.view).pack_u64(self.epoch)
+        enc.pack_u64(self.seqno).pack_string(self.primary_id)
+        return enc.getvalue()
+
+
+@dataclass
+class LeaseRevoke(Message):
+    """Revocation of every lease with epoch <= ``epoch``: multicast by the
+    primary before it proposes a conflicting write, so no replica serves a
+    leased read concurrently with an in-flight mutation."""
+
+    view: int
+    epoch: int
+    primary_id: str
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("LEASE-REVOKE").pack_u64(self.view).pack_u64(self.epoch)
+        enc.pack_string(self.primary_id)
+        return enc.getvalue()
+
+
+@dataclass
 class Busy(Message):
     """Authenticated load-shed notice: the primary accepted nothing for this
     request and suggests a retry delay (micros, so the encoding stays

@@ -48,6 +48,25 @@ class StateMachine:
         """(reqid, reply) of the client's newest executed request, if any."""
         raise NotImplementedError
 
+    # -- speculative execution (fast path, optional) ---------------------------
+
+    def begin_speculation(self) -> None:
+        """Open an undo frame: executions until the matching commit/rollback
+        are tentative.  Only called when ``BFTConfig.speculative_execution``
+        is on; services that do not support it must leave these unimplemented
+        (the flag then cannot be used with them)."""
+        raise NotImplementedError
+
+    def commit_speculation(self) -> None:
+        """Make the oldest open frame's executions permanent (its batch
+        gathered a commit certificate)."""
+        raise NotImplementedError
+
+    def rollback_speculation(self) -> int:
+        """Undo every open frame, newest first (view change, divergence, or
+        incoming state transfer); returns how many frames were undone."""
+        raise NotImplementedError
+
     # -- non-determinism agreement (paper section 2.2) ------------------------
 
     def propose_nondet(self) -> bytes:

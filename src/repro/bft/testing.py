@@ -77,6 +77,22 @@ class KVStateMachine(StateMachine):
         self.executed_ops += 1
         return b"OK"
 
+    # -- speculative execution: delegate to the manager's undo frames -----------------
+
+    def begin_speculation(self) -> None:
+        self.manager.begin_speculation()
+
+    def commit_speculation(self) -> None:
+        self.manager.commit_speculation()
+
+    def rollback_speculation(self) -> int:
+        def apply(values: Dict[int, bytes]) -> None:
+            for index, value in values.items():
+                self.cells[index] = value
+                self.disk[index] = value
+
+        return self.manager.rollback_speculation(apply)
+
     # -- checkpointing / state transfer: delegate to the manager ----------------------
 
     def take_checkpoint(self, seqno: int) -> bytes:
@@ -161,6 +177,10 @@ class HistoryRecorder:
     def __init__(self) -> None:
         self.history_segments: Dict[str, List[List[Tuple[str, bytes]]]] = {}
         self.reply_logs: Dict[str, List[List[Tuple[str, int]]]] = {}
+        # Per-replica committed watermark into the *live* (last) segment while
+        # speculation frames are open: entries past it are tentative and are
+        # excluded from the committed views the oracles check.
+        self._spec_base: Dict[str, Tuple[int, int]] = {}
 
     def begin_incarnation(
         self, replica_id: str
@@ -170,7 +190,48 @@ class HistoryRecorder:
         replies: List[Tuple[str, int]] = []
         self.history_segments.setdefault(replica_id, []).append(history)
         self.reply_logs.setdefault(replica_id, []).append(replies)
+        # A service that died mid-speculation never rolled its frames back;
+        # the watermark addressed the old segment and must not truncate the
+        # new one.
+        self._spec_base.pop(replica_id, None)
         return history, replies
+
+    def set_speculative_base(
+        self, replica_id: str, history_len: int, reply_len: int
+    ) -> None:
+        """Mark where committed evidence ends in the live segment (everything
+        past the mark belongs to an open speculation frame)."""
+        self._spec_base[replica_id] = (history_len, reply_len)
+
+    def clear_speculative_base(self, replica_id: str) -> None:
+        self._spec_base.pop(replica_id, None)
+
+    def committed_history_segments(
+        self,
+    ) -> Dict[str, List[List[Tuple[str, bytes]]]]:
+        """History segments with tentative (not yet committed) entries cut
+        from each live segment — the view the order oracles must check, since
+        a speculated batch may legitimately be rolled back and re-executed
+        differently after a view change."""
+        return {
+            rid: self._truncated(segments, self._spec_base.get(rid, (None, None))[0])
+            for rid, segments in self.history_segments.items()
+        }
+
+    def committed_reply_logs(self) -> Dict[str, List[List[Tuple[str, int]]]]:
+        """Reply logs with tentative entries cut from each live segment."""
+        return {
+            rid: self._truncated(
+                segments, self._spec_base.get(rid, (None, None))[1]
+            )
+            for rid, segments in self.reply_logs.items()
+        }
+
+    @staticmethod
+    def _truncated(segments: List[list], base: Optional[int]) -> List[list]:
+        if base is None or not segments or len(segments[-1]) <= base:
+            return segments
+        return segments[:-1] + [segments[-1][:base]]
 
     def cumulative_histories(self) -> Dict[str, List[Tuple[str, bytes]]]:
         """Per-replica histories concatenated across incarnations (only
@@ -183,11 +244,21 @@ class HistoryRecorder:
 
 
 class RecordingKV(KVStateMachine):
-    """KV service that reports executions and replies to a recorder."""
+    """KV service that reports executions and replies to a recorder.
+
+    Speculation-aware: tentative executions are recorded like any others (so
+    divergence between speculating replicas is still caught), but the
+    recorder's committed watermark tracks the oldest open frame, and a
+    rollback truncates the tentative suffix — rolled-back work must not read
+    as a prefix or at-most-once violation.
+    """
 
     def __init__(self, recorder: HistoryRecorder, replica_id: str, **kwargs) -> None:
         super().__init__(**kwargs)
+        self._recorder = recorder
+        self._recorder_id = replica_id
         self._history, self._replies = recorder.begin_incarnation(replica_id)
+        self._spec_marks: List[Tuple[int, int]] = []
 
     def execute(self, op: bytes, client_id: str, nondet: bytes, read_only: bool = False) -> bytes:
         if not read_only:
@@ -197,6 +268,35 @@ class RecordingKV(KVStateMachine):
     def record_reply(self, client_id: str, reqid: int, reply: bytes) -> None:
         self._replies.append((client_id, reqid))
         super().record_reply(client_id, reqid, reply)
+
+    def begin_speculation(self) -> None:
+        self._spec_marks.append((len(self._history), len(self._replies)))
+        self._sync_spec_base()
+        super().begin_speculation()
+
+    def commit_speculation(self) -> None:
+        super().commit_speculation()
+        self._spec_marks.pop(0)
+        self._sync_spec_base()
+
+    def rollback_speculation(self) -> int:
+        rolled = super().rollback_speculation()
+        if self._spec_marks:
+            history_mark, reply_mark = self._spec_marks[0]
+            del self._history[history_mark:]
+            del self._replies[reply_mark:]
+            self._spec_marks.clear()
+        self._sync_spec_base()
+        return rolled
+
+    def _sync_spec_base(self) -> None:
+        if self._spec_marks:
+            history_mark, reply_mark = self._spec_marks[0]
+            self._recorder.set_speculative_base(
+                self._recorder_id, history_mark, reply_mark
+            )
+        else:
+            self._recorder.clear_speculative_base(self._recorder_id)
 
 
 class PoisonableRecordingKV(RecordingKV):
@@ -296,6 +396,30 @@ def order_divergence(
                     )
                 last = pos
     return None
+
+
+def canonical_committed_history(recorder: HistoryRecorder) -> List[Tuple[str, bytes]]:
+    """The cluster's committed operation sequence, as evidenced by the most
+    complete replica: per replica, concatenate its committed segments keeping
+    the first occurrence of each ``(client_id, op)`` (a reboot legitimately
+    re-executes the suffix above the stable checkpoint), then take the
+    longest merged history.  Used by the differential harness — under the
+    order oracles, any two configs that committed the same requests must
+    produce identical canonical sequences.
+    """
+    committed = recorder.committed_history_segments()
+    best: List[Tuple[str, bytes]] = []
+    for rid in sorted(committed):
+        merged: List[Tuple[str, bytes]] = []
+        seen = set()
+        for segment in committed[rid]:
+            for entry in segment:
+                if entry not in seen:
+                    seen.add(entry)
+                    merged.append(entry)
+        if len(merged) > len(best):
+            best = merged
+    return best
 
 
 def assert_order_consistent(recorder: HistoryRecorder, exclude=()) -> None:

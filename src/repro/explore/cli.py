@@ -66,10 +66,26 @@ def _explore_parser() -> argparse.ArgumentParser:
         "at >= 4x sustainable load) judged by the goodput-under-overload oracle",
     )
     parser.add_argument(
+        "--fast-path",
+        action="store_true",
+        help="run every plan with the RECIPE-style fast path on (pipelined "
+        "ordering, speculative execution, read leases) — the oracles must "
+        "hold exactly as they do for the baseline protocol",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true", help="skip shrinking the violating plan"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     return parser
+
+
+#: BFTConfig overrides applied by ``--fast-path`` (kept in one place so
+#: explore and replay exercise the identical configuration).
+FAST_PATH_OVERRIDES = {
+    "pipeline_depth": 8,
+    "speculative_execution": True,
+    "read_leases": True,
+}
 
 
 def explore_main(argv: List[str]) -> int:
@@ -92,6 +108,7 @@ def explore_main(argv: List[str]) -> int:
         implementation_faults=args.impl_faults,
         overload=args.overload,
         log=log,
+        config_overrides=FAST_PATH_OVERRIDES if args.fast_path else None,
     )
     if not result.found:
         print(
@@ -132,6 +149,12 @@ def _replay_parser() -> argparse.ArgumentParser:
         default=10,
         help="events between oracle sweeps (default 10; must match the artifact run)",
     )
+    parser.add_argument(
+        "--fast-path",
+        action="store_true",
+        help="replay under the fast-path configuration (must match the "
+        "configuration the artifact was recorded with)",
+    )
     return parser
 
 
@@ -149,7 +172,12 @@ def replay_main(argv: List[str]) -> int:
     except (ValueError, KeyError) as exc:
         print(f"replay: malformed artifact: {exc}", file=sys.stderr)
         return EXIT_USAGE
-    outcome = replay(plan, plant=plant, check_interval=args.check_interval)
+    outcome = replay(
+        plan,
+        plant=plant,
+        check_interval=args.check_interval,
+        config_overrides=FAST_PATH_OVERRIDES if args.fast_path else None,
+    )
     if outcome.violation is None:
         print(
             f"replay: no violation (recorded run saw [{recorded.get('oracle')}]); "

@@ -158,8 +158,12 @@ class OracleSuite:
         raise OracleViolation(violation)
 
     def _check_prefix(self) -> None:
+        # Committed view: entries past a replica's oldest open speculation
+        # frame are tentative and may legitimately be rolled back and
+        # re-executed in a different order after a view change — they are not
+        # evidence of divergence until promoted.
         problem = order_divergence(
-            self.recorder.history_segments, exclude=self.byzantine
+            self.recorder.committed_history_segments(), exclude=self.byzantine
         )
         if problem is not None:
             self.record_violation("prefix", problem)
@@ -180,7 +184,9 @@ class OracleSuite:
                     )
 
     def _check_at_most_once(self) -> None:
-        problem = check_reply_segments(self.recorder.reply_logs, exclude=self.byzantine)
+        problem = check_reply_segments(
+            self.recorder.committed_reply_logs(), exclude=self.byzantine
+        )
         if problem is not None:
             self.record_violation("at-most-once", problem)
 

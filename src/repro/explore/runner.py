@@ -24,7 +24,7 @@ from repro.bft.config import BFTConfig
 from repro.bft.messages import CheckpointCert
 from repro.bft.overload import OpenLoopLoadGenerator
 from repro.bft.repair import RepairPolicy
-from repro.bft.testing import encode_set, recording_cluster
+from repro.bft.testing import canonical_committed_history, encode_set, recording_cluster
 from repro.crypto.digest import digest
 from repro.explore.oracles import OracleSuite, OracleViolation, Violation
 from repro.explore.plan import FaultPlan, generate_plan
@@ -67,6 +67,15 @@ _VERDICT_COUNTERS = (
     "requests_relayed",
     "view_changes_started",
     "view_changes_damped",
+    # Fast-path evidence: zero on baseline runs, and the differential tests
+    # assert the fast-path runs actually speculated (a dormant fast path
+    # would make the equivalence checks vacuous).
+    "spec_batches",
+    "spec_promotions",
+    "spec_rollbacks",
+    "tentative_replies_accepted",
+    "lease_grants",
+    "leased_reads_served",
 )
 
 
@@ -85,6 +94,11 @@ class RunOutcome:
     completed: int  # acknowledged workload requests
     events: int  # simulator events processed
     counters: Dict[str, int] = field(default_factory=dict)  # overload evidence
+    # Differential-testing evidence (not serialized: replies are raw bytes and
+    # the committed history can be long; the differential harness consumes
+    # them in-process).
+    client_replies: Optional[List[Optional[bytes]]] = None
+    committed_history: Optional[List] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -243,12 +257,17 @@ def run_plan(
     check_interval: int = 10,
     liveness_timeout: float = 30.0,
     overload_damping: bool = True,
+    config_overrides: Optional[Dict] = None,
 ) -> RunOutcome:
     """Execute one fault plan against a fresh cluster; fully deterministic.
 
     ``overload_damping=False`` disables the anti-view-change-storm damping —
     used by the acceptance tests to demonstrate that without it, a pure
-    overload episode degenerates into view changes."""
+    overload episode degenerates into view changes.
+
+    ``config_overrides`` merges extra :class:`BFTConfig` fields into the run
+    configuration — the differential harness uses it to replay one fault plan
+    under baseline and fast-path configurations and compare the outcomes."""
     if plant is not None and plant not in PLANTED_BUGS:
         raise ValueError(f"unknown planted bug {plant!r}")
     impl_ctx: Optional[Dict] = None
@@ -276,6 +295,7 @@ def run_plan(
             log_window=16,
             recovery_period=plan.recovery_period,
             overload_damping=overload_damping,
+            **(config_overrides or {}),
         ),
         net_config=NetworkConfig(delay=0.0005, jitter=0.0005, drop_rate=plan.drop_rate),
         seed=plan.seed,
@@ -334,14 +354,18 @@ def run_plan(
 
     client = cluster.client("C0")
     completed = 0
+    client_replies: List[Optional[bytes]] = []
     violation: Optional[Violation] = None
     try:
         for i in range(plan.requests):
             op = encode_set(i % 8, bytes([i % 251, plan.seed % 251]))
             try:
-                if client.invoke(op, timeout=8.0) == b"OK":
+                reply = client.invoke(op, timeout=8.0)
+                client_replies.append(reply)
+                if reply == b"OK":
                     completed += 1
             except InvocationTimeout:
+                client_replies.append(None)
                 client.cancel()
         # Let any fault steps scheduled past the workload's end still fire
         # (an overload episode occupies [at, at + duration]).
@@ -393,6 +417,8 @@ def run_plan(
         completed=completed,
         events=cluster.sim.events_processed,
         counters=counters,
+        client_replies=client_replies,
+        committed_history=canonical_committed_history(recorder),
     )
 
 
@@ -411,6 +437,7 @@ def explore(
     implementation_faults: bool = False,
     overload: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    config_overrides: Optional[Dict] = None,
 ) -> ExploreResult:
     """Run up to ``budget`` seeded random plans; stop at the first violation.
 
@@ -419,7 +446,9 @@ def explore(
     poison_request / corrupt_object steps to the generated plans, exercising
     the fault-containment supervisor under the oracles.  ``overload``
     generates pure-overload saturation plans judged strictly by the
-    goodput-under-overload oracle.
+    goodput-under-overload oracle.  ``config_overrides`` (extra
+    :class:`BFTConfig` fields, e.g. the fast-path flags) apply to every plan
+    run, including shrinking.
     """
     master = random.Random(seed)
     result = ExploreResult(seed=seed, budget=budget, plans_run=0)
@@ -431,7 +460,12 @@ def explore(
             implementation_faults=implementation_faults,
             overload=overload,
         )
-        outcome = run_plan(plan, plant=plant, check_interval=check_interval)
+        outcome = run_plan(
+            plan,
+            plant=plant,
+            check_interval=check_interval,
+            config_overrides=config_overrides,
+        )
         result.plans_run += 1
         result.verdicts.append(
             {"index": index, "plan": plan.to_dict(), "outcome": outcome.to_dict()}
@@ -453,7 +487,10 @@ def explore(
                     plan,
                     outcome.violation,
                     lambda p: run_plan(
-                        p, plant=plant, check_interval=check_interval
+                        p,
+                        plant=plant,
+                        check_interval=check_interval,
+                        config_overrides=config_overrides,
                     ).violation,
                     max_runs=max_shrink_runs,
                 )
@@ -470,7 +507,15 @@ def explore(
 
 
 def replay(
-    plan: FaultPlan, plant: Optional[str] = None, check_interval: int = 10
+    plan: FaultPlan,
+    plant: Optional[str] = None,
+    check_interval: int = 10,
+    config_overrides: Optional[Dict] = None,
 ) -> RunOutcome:
     """Re-execute a saved plan exactly (same seeds, same verdict)."""
-    return run_plan(plan, plant=plant, check_interval=check_interval)
+    return run_plan(
+        plan,
+        plant=plant,
+        check_interval=check_interval,
+        config_overrides=config_overrides,
+    )

@@ -65,6 +65,30 @@ def test_compare_against_missing_baseline_is_usage_error(tmp_path, monkeypatch):
     )
 
 
+def test_compare_against_corrupt_baseline_is_usage_error(tmp_path, monkeypatch, capsys):
+    """Corrupt or mis-shaped baselines must die with a one-line error and
+    exit 2 — never a traceback — and always before the suite runs."""
+    monkeypatch.chdir(tmp_path)
+    cases = [
+        ("truncated.json", '{"scenarios": {"kv"'),  # invalid JSON
+        ("list.json", "[1, 2, 3]"),  # valid JSON, wrong top-level type
+        ("scalar.json", '"BENCH"'),  # valid JSON, scalar
+        ("bad-scenarios.json", '{"scenarios": [1]}'),  # scenarios not an object
+        ("bad-metrics.json", '{"scenarios": {"kv": 7}}'),  # metrics not an object
+        (
+            "bad-value.json",
+            '{"scenarios": {"kv": {"ops_per_vsec": "fast"}}}',
+        ),  # metric value not a number
+    ]
+    for name, content in cases:
+        baseline = tmp_path / name
+        baseline.write_text(content)
+        assert bench_main(["--compare", str(baseline), "--quiet"]) == EXIT_USAGE, name
+        err = capsys.readouterr().err
+        assert err.startswith("bench:"), (name, err)
+        assert "Traceback" not in err, name
+
+
 def _without_wall_clock(report):
     """``analyze_seconds`` is the suite's one deliberate wall-clock
     (informational-only) metric; everything else must be bit-identical."""

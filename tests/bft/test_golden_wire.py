@@ -18,6 +18,8 @@ from repro.bft.messages import (
     FetchMeta,
     FetchObject,
     FetchRoot,
+    Lease,
+    LeaseRevoke,
     MetaReply,
     NewView,
     ObjectReply,
@@ -29,6 +31,7 @@ from repro.bft.messages import (
     Reply,
     Request,
     RetransmitCommitted,
+    SpecReply,
     Status,
     TransferRoot,
     ViewChange,
@@ -93,6 +96,13 @@ def golden_messages():
         "object_reply": ObjectReply(replica_id="R0", index=5, seqno=16, data=b"object-bytes"),
         "recovering": Recovering(replica_id="R2", epoch=1),
         "recovered": Recovered(replica_id="R2", epoch=1),
+        # Fast-path messages (pinned when the RECIPE-style fast path landed;
+        # everything above this line predates it and must stay byte-identical).
+        "spec_reply": SpecReply(
+            view=2, reqid=7, client_id="C1", replica_id="R1", result=b"ok"
+        ),
+        "lease": Lease(view=2, epoch=5, seqno=24, primary_id="R2"),
+        "lease_revoke": LeaseRevoke(view=2, epoch=5, primary_id="R2"),
     }
 
 
@@ -117,6 +127,9 @@ SIGNABLE_HEX = {
     "object_reply": "0000000c4f424a4543542d5245504c590000000252300000000000000000000500000000000000100000000c6f626a6563742d6279746573",
     "recovering": "0000000a5245434f564552494e47000000000002523200000000000000000001",
     "recovered": "000000095245434f564552454400000000000002523200000000000000000001",
+    "spec_reply": "0000000a535045432d5245504c5900000000000000000002000000000000000700000002433100000000000252310000000000026f6b0000",
+    "lease": "000000054c454153450000000000000000000002000000000000000500000000000000180000000252320000",
+    "lease_revoke": "0000000c4c454153452d5245564f4b45000000000000000200000000000000050000000252320000",
 }
 
 WIRE_SIZES = {
@@ -140,6 +153,9 @@ WIRE_SIZES = {
     "object_reply": 56,
     "recovering": 32,
     "recovered": 32,
+    "spec_reply": 56,
+    "lease": 44,
+    "lease_revoke": 40,
 }
 
 BATCH_DIGEST_HEX = "9b0272ae6e391ff404e816f33ed75948333e7e6d8140953b4a5cdae9ff36ac2f"
