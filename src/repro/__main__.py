@@ -5,7 +5,8 @@
     python -m repro lint       # determinism & protocol-invariant linter
     python -m repro analyze    # interprocedural analyzer (taint/quorum/msg-flow)
     python -m repro explore    # fault-schedule exploration under safety oracles
-    python -m repro replay F   # re-execute a saved exploration repro artifact
+    python -m repro replay F   # re-execute a saved repro or soak artifact
+    python -m repro soak       # long-horizon fault campaign vs availability SLO
     python -m repro bench      # deterministic benchmark suites (BENCH_*.json)
     python -m repro version
 """
@@ -99,6 +100,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.explore.cli import replay_main
 
         return replay_main(args[1:])
+    elif command == "soak":
+        from repro.soak.cli import soak_main
+
+        return soak_main(args[1:])
     elif command == "bench":
         from repro.bench.cli import bench_main
 

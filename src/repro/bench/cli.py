@@ -60,6 +60,9 @@ HIGHER_IS_BETTER = {
     "goodput_per_vsec",
     "completed",
     "within_budget",
+    "availability",
+    "min_window_availability",
+    "probe_ops",
 }
 
 

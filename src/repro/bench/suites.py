@@ -375,6 +375,85 @@ for _rate in OVERLOAD_LADDER:
     scenario(f"overload_{int(_rate)}")(lambda rate=_rate: _overload_rung(rate))
 
 
+#: Seed shared by the three ``wan`` scenarios: identical protocol randomness,
+#: so the only variable across them is the fault schedule / rotation.
+_WAN_SEED = 1202
+
+
+def _wan_storm_steps():
+    """The shared storm schedule for ``wan_storm`` / ``wan_storm_rotation``:
+    a 3-cut partition storm overlapping a ramped flash crowd."""
+    from repro.explore.plan import FaultStep
+
+    return (
+        FaultStep(at=20.0, kind="partition_storm", count=3, duration=60.0),
+        FaultStep(at=30.0, kind="flash_crowd", rate=16.0, clients=4, duration=80.0),
+    )
+
+
+def _wan_run(steps, recovery_period: float) -> Metrics:
+    """One soak-judged campaign on the ``wan3`` preset (probe gap 1s,
+    60-second SLO windows so even the short bench horizon yields several)."""
+    from repro.explore.plan import FaultPlan
+    from repro.soak.runner import SoakSLO, run_soak
+
+    plan = FaultPlan(
+        seed=_WAN_SEED,
+        requests=0,
+        steps=steps,
+        topology="wan3",
+        recovery_period=recovery_period,
+    )
+    report = run_soak(plan, slo=SoakSLO(window=60.0))
+    return {
+        "probe_ops": report.probe_ops,
+        "availability": _round(report.availability),
+        "min_window_availability": _round(report.min_window_availability),
+        "max_outage_span": _round(report.max_outage_span),
+        "events": report.events,
+        "view_changes_started": report.counters.get("view_changes_started") or 0,
+        "view_changes_damped": report.counters.get("view_changes_damped") or 0,
+        "recoveries_started": report.counters.get("recoveries_started") or 0,
+        "storm_cuts": report.counters.get("storm_cuts") or 0,
+        "messages_dropped_cut": report.counters.get("messages_dropped_cut") or 0,
+        "swarm_offered": report.swarm_offered,
+        "swarm_completed": report.swarm_completed,
+        "slo_violations": len(report.slo_violations),
+        "safety_violations": len(report.safety_violations),
+    }
+
+
+@scenario("wan_baseline")
+def wan_baseline() -> Metrics:
+    """Fault-free geo baseline: the availability probe alone on ``wan3``.
+
+    Pins what cross-region consensus costs with nothing going wrong —
+    availability must be 1.0 and the view number must never move; every
+    other wan scenario is read against this floor."""
+    return _wan_run((), recovery_period=0.0)
+
+
+@scenario("wan_storm")
+def wan_storm() -> Metrics:
+    """Partition storm + flash crowd on ``wan3``, no proactive rotation.
+
+    Correlated region-boundary cuts land mid flash-crowd; availability dips
+    while cuts hold and recovers when they heal.  ``storm_cuts`` and
+    ``messages_dropped_cut`` pin the storm geometry byte-exactly."""
+    return _wan_run(_wan_storm_steps(), recovery_period=0.0)
+
+
+@scenario("wan_storm_rotation")
+def wan_storm_rotation() -> Metrics:
+    """The identical storm with staggered proactive rotation (period 120s).
+
+    Rotation windows overlap the cuts, so this pins the interesting
+    composition: reboots during partial connectivity must neither wedge the
+    protocol (``safety_violations`` stays 0) nor collapse availability
+    relative to ``wan_storm``."""
+    return _wan_run(_wan_storm_steps(), recovery_period=120.0)
+
+
 SUITES: Dict[str, List[str]] = {
     "smoke": [
         "kv_throughput",
@@ -392,6 +471,11 @@ SUITES: Dict[str, List[str]] = {
         "analyze_timing",
     ],
     "overload": [f"overload_{int(rate)}" for rate in OVERLOAD_LADDER],
+    "wan": [
+        "wan_baseline",
+        "wan_storm",
+        "wan_storm_rotation",
+    ],
 }
 
 

@@ -287,9 +287,8 @@ class OpenLoopLoadGenerator:
 
     def start(self) -> None:
         self._running = True
-        interval = len(self.clients) / self.rate
         for index, client in enumerate(self.clients):
-            self._arm(client, index / self.rate, interval)
+            self._arm(client, index / self.rate)
 
     def stop(self) -> None:
         """Stop offering load and abandon whatever is still in flight."""
@@ -301,12 +300,22 @@ class OpenLoopLoadGenerator:
             if client._current is not None:
                 client.cancel()
 
-    def _arm(self, client, delay: float, interval: float) -> None:
+    def set_rate(self, rate: float) -> None:
+        """Change the offered rate; each client's next tick picks up the new
+        cadence (flash-crowd schedules ramp the rate while the swarm runs)."""
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self.rate = rate
+
+    def _arm(self, client, delay: float) -> None:
         def tick() -> None:
             if not self._running:
                 return
             self._issue(client)
-            self._arm(client, interval, interval)
+            # Cadence is re-read per tick so set_rate() takes effect at each
+            # client's next issue; at a constant rate this is the historical
+            # fixed interval exactly.
+            self._arm(client, len(self.clients) / self.rate)
 
         self._timers.append(self.sim.schedule(delay, tick))
 

@@ -506,6 +506,19 @@ class Replica(Node):
         if prepare.replica_id == self.config.primary(prepare.view):
             self.counters.add("prepare_from_primary")
             return
+        if (
+            self.view_changes.in_view_change
+            and prepare.view < self.view_changes.pending_view
+        ):
+            # OSDI'99 section 4.4: once we sent VIEW-CHANGE for v' our
+            # prepared set for older views is frozen as reported — letting a
+            # late prepare grow it now would create certificates the
+            # in-flight view-change messages do not carry, and the new
+            # view's O computation could then silently drop a batch that
+            # goes on to commit (prepares for views >= v' are still
+            # recorded: they belong to the view being installed).
+            self.counters.add("prepare_during_view_change")
+            return
         if not self.in_window(prepare.seqno):
             return
         if not self.sigs.verify(prepare.replica_id, prepare.signable_bytes(), prepare.sig):
@@ -517,6 +530,10 @@ class Replica(Node):
 
     def _maybe_commit(self, slot: Slot) -> None:
         if slot.view != self.view or slot.sent_commit:
+            return
+        if self.view_changes.in_view_change:
+            # No commits for the old view after our VIEW-CHANGE went out:
+            # the vote would be invisible to the view change in progress.
             return
         if not self.log.prepared(slot, self.node_id):
             return
@@ -538,6 +555,14 @@ class Replica(Node):
         if not self.check_auth(commit):
             return
         if src != commit.replica_id or commit.replica_id not in self.config.replica_ids:
+            return
+        if (
+            self.view_changes.in_view_change
+            and commit.view < self.view_changes.pending_view
+        ):
+            # Same freeze as prepares: old-view commits must not complete
+            # certificates behind the back of an in-progress view change.
+            self.counters.add("commit_during_view_change")
             return
         if not self.in_window(commit.seqno):
             return

@@ -140,7 +140,10 @@ def explore_main(argv: List[str]) -> int:
 def _replay_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro replay",
-        description="Deterministically re-execute a saved exploration repro artifact.",
+        description=(
+            "Deterministically re-execute a saved exploration repro artifact "
+            "or a soak-run artifact."
+        ),
     )
     parser.add_argument("artifact", help="path to a JSON repro artifact")
     parser.add_argument(
@@ -166,6 +169,14 @@ def replay_main(argv: List[str]) -> int:
     path = Path(args.artifact)
     if not path.is_file():
         print(f"replay: no such artifact: {path}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        import json
+
+        if json.loads(path.read_text()).get("format") == "soak":
+            return _replay_soak(path)
+    except (ValueError, OSError) as exc:
+        print(f"replay: malformed artifact: {exc}", file=sys.stderr)
         return EXIT_USAGE
     try:
         plan, recorded, plant = load_artifact(path)
@@ -199,6 +210,38 @@ def replay_main(argv: List[str]) -> int:
         else "replay: WARNING - violation differs from the recorded one"
     )
     return EXIT_VIOLATION
+
+
+def _replay_soak(path: Path) -> int:
+    """Re-execute a soak artifact and compare against the recorded verdict."""
+    from repro.soak.runner import load_soak_artifact, run_soak
+
+    try:
+        plan, slo, recorded = load_soak_artifact(path)
+    except (ValueError, KeyError) as exc:
+        print(f"replay: malformed soak artifact: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    report = run_soak(plan, slo=slo)
+    matches = (
+        report.ok == recorded.get("ok")
+        and report.slo_violations == recorded.get("slo_violations")
+        and report.safety_violations == recorded.get("safety_violations")
+        and report.events == recorded.get("events")
+    )
+    status = "SLO held" if report.ok else (
+        f"{len(report.slo_violations)} SLO + "
+        f"{len(report.safety_violations)} safety violations"
+    )
+    print(
+        f"replay: soak {plan.topology or 'flat'} (seed {plan.seed}): {status}; "
+        f"{report.probe_ops} probe ops, {report.events} events"
+    )
+    print(
+        "replay: reproduces the recorded soak run exactly"
+        if matches
+        else "replay: WARNING - soak verdict differs from the recorded one"
+    )
+    return EXIT_OK if report.ok else EXIT_VIOLATION
 
 
 def plan_from_artifact(path) -> FaultPlan:

@@ -49,8 +49,42 @@ IMPLEMENTATION_KINDS: FrozenSet[str] = frozenset({"poison_request", "corrupt_obj
 # producible; the goodput-under-overload oracle judges the episode.
 OVERLOAD_KINDS: FrozenSet[str] = frozenset({"overload"})
 
+# Campaign steps are the geo-scale correlated scenarios; all but
+# ``flash_crowd`` / ``age_replicas`` require the plan to name a topology
+# preset (``FaultPlan.topology``) because they speak in regions:
+#
+# ``region_outage``    — every replica in ``region`` crashes at ``at`` and
+#                        restarts at ``at + duration``.  An outage of a
+#                        region holding more than f replicas is *allowed* but
+#                        its span is a beyond-assumption window
+#                        (:func:`beyond_assumption_windows`): liveness and
+#                        availability SLOs are suspended there while safety
+#                        oracles keep running throughout.
+# ``partition_storm``  — ``count`` short correlated cuts along seeded region
+#                        boundaries within [at, at + duration]; overlapping
+#                        cuts stack and heal independently
+#                        (``Network.cut_links``/``restore_links``).
+# ``latency_spike``    — inter-region latency (all boundaries, or only those
+#                        touching ``region``) inflated ``factor``× for
+#                        ``duration``.
+# ``flash_crowd``      — a diurnal burst: an open-loop swarm of ``clients``
+#                        ramps to a peak of ``rate`` requests/second at the
+#                        episode midpoint and back down over ``duration``.
+# ``age_replicas``     — arms the fragmentation aging model on ``target``
+#                        (or every replica when blank): per-op latency
+#                        degradation that reactive repair cannot observe and
+#                        only a proactive rotation clears (``fraction``
+#                        overrides the per-op stall when > 0).
+CAMPAIGN_KINDS: FrozenSet[str] = frozenset(
+    {"region_outage", "partition_storm", "latency_spike", "flash_crowd", "age_replicas"}
+)
+
 STEP_KINDS: FrozenSet[str] = (
-    BYZANTINE_KINDS | BENIGN_KINDS | IMPLEMENTATION_KINDS | OVERLOAD_KINDS
+    BYZANTINE_KINDS
+    | BENIGN_KINDS
+    | IMPLEMENTATION_KINDS
+    | OVERLOAD_KINDS
+    | CAMPAIGN_KINDS
 )
 
 
@@ -66,10 +100,16 @@ class FaultStep:
     duration: how long a ``drop`` interceptor stays installed, or how long an
               ``overload`` episode lasts.
     index:    abstract object index (``corrupt_object`` only).
-    rate:     offered load in requests/second (``overload`` only).
-    clients:  size of the open-loop client swarm (``overload`` only).
+    rate:     offered load in requests/second (``overload`` / ``flash_crowd``:
+              the flash-crowd *peak* rate).
+    clients:  size of the open-loop client swarm (``overload`` /
+              ``flash_crowd``).
     bandwidth: per-link capacity in bytes/vsec during the episode
               (``overload`` only; 0 leaves links infinite).
+    region:   region name (``region_outage`` / ``latency_spike``; blank on a
+              spike means every inter-region boundary).
+    count:    number of correlated cuts (``partition_storm`` only).
+    factor:   latency multiplier (``latency_spike`` only).
     """
 
     at: float
@@ -82,6 +122,9 @@ class FaultStep:
     rate: float = 0.0
     clients: int = 0
     bandwidth: float = 0.0
+    region: str = ""
+    count: int = 0
+    factor: float = 0.0
 
     def to_dict(self) -> Dict:
         entry: Dict = {"at": self.at, "kind": self.kind}
@@ -101,6 +144,12 @@ class FaultStep:
             entry["clients"] = self.clients
         if self.bandwidth:
             entry["bandwidth"] = self.bandwidth
+        if self.region:
+            entry["region"] = self.region
+        if self.count:
+            entry["count"] = self.count
+        if self.factor:
+            entry["factor"] = self.factor
         return entry
 
     @classmethod
@@ -118,6 +167,9 @@ class FaultStep:
             rate=float(entry.get("rate", 0.0)),
             clients=int(entry.get("clients", 0)),
             bandwidth=float(entry.get("bandwidth", 0.0)),
+            region=entry.get("region", ""),
+            count=int(entry.get("count", 0)),
+            factor=float(entry.get("factor", 0.0)),
         )
 
 
@@ -131,6 +183,7 @@ class FaultPlan:
     perturb_seed: Optional[int] = None  # tie-break shuffle seed (None = off)
     drop_rate: float = 0.0  # baseline network loss for the whole run
     recovery_period: float = 0.0  # proactive-recovery rotation (0 = off)
+    topology: str = ""  # topology preset name ("" = flat default network)
 
     def byzantine_targets(self) -> FrozenSet[str]:
         return frozenset(s.target for s in self.steps if s.kind in BYZANTINE_KINDS)
@@ -144,6 +197,11 @@ class FaultPlan:
     def has_overload(self) -> bool:
         return any(s.kind in OVERLOAD_KINDS for s in self.steps)
 
+    def has_campaign(self) -> bool:
+        return bool(self.topology) or any(
+            s.kind in CAMPAIGN_KINDS for s in self.steps
+        )
+
     def pure_overload(self) -> bool:
         """Fault-free saturation: every step is an overload episode.  Only
         then may the goodput oracle be strict (shed-but-commit, view number
@@ -151,7 +209,7 @@ class FaultPlan:
         return bool(self.steps) and all(s.kind in OVERLOAD_KINDS for s in self.steps)
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "version": PLAN_FORMAT_VERSION,
             "seed": self.seed,
             "requests": self.requests,
@@ -160,6 +218,9 @@ class FaultPlan:
             "recovery_period": self.recovery_period,
             "steps": [s.to_dict() for s in self.steps],
         }
+        if self.topology:  # emitted only when set: old artifacts stay byte-identical
+            data["topology"] = self.topology
+        return data
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
@@ -175,6 +236,7 @@ class FaultPlan:
             perturb_seed=data.get("perturb_seed"),
             drop_rate=float(data.get("drop_rate", 0.0)),
             recovery_period=float(data.get("recovery_period", 0.0)),
+            topology=data.get("topology", ""),
             steps=tuple(FaultStep.from_dict(s) for s in data.get("steps", [])),
         )
 
@@ -184,8 +246,25 @@ class FaultPlan:
 
 
 def validate_plan(plan: FaultPlan, f: int = 1) -> List[str]:
-    """Structural sanity checks; returns a list of problems (empty = valid)."""
+    """Structural sanity checks; returns a list of problems (empty = valid).
+
+    Campaign steps are judged against the plan's topology preset: region
+    names must exist, storms/spikes need positive parameters, and region
+    steps are rejected outright when the plan names no topology.  A
+    ``region_outage`` taking more than ``f`` replicas down is *not* a
+    problem — it is a declared beyond-assumption window
+    (:func:`beyond_assumption_windows`) during which liveness/availability
+    judgement is suspended while safety oracles keep running.
+    """
     problems: List[str] = []
+    topo = None
+    if plan.topology:
+        from repro.net.topology import PRESETS
+
+        if plan.topology not in PRESETS:
+            problems.append(f"unknown topology preset {plan.topology!r}")
+        else:
+            topo = PRESETS[plan.topology]
     last_at = -1.0
     crashed: set = set()
     partitioned = False
@@ -228,6 +307,47 @@ def validate_plan(plan: FaultPlan, f: int = 1) -> List[str]:
                 problems.append("overload duration must be > 0")
             if step.bandwidth < 0:
                 problems.append("overload bandwidth must be >= 0")
+        elif step.kind == "region_outage":
+            if not plan.topology:
+                problems.append("region_outage requires a plan topology")
+            elif topo is not None and step.region not in topo.region_names():
+                problems.append(f"region_outage of unknown region {step.region!r}")
+            elif topo is not None and not topo.region(step.region).replicas:
+                problems.append(f"region_outage of replica-less region {step.region!r}")
+            if step.duration <= 0:
+                problems.append("region_outage duration must be > 0")
+        elif step.kind == "partition_storm":
+            if not plan.topology:
+                problems.append("partition_storm requires a plan topology")
+            if step.count <= 0:
+                problems.append("partition_storm count must be > 0")
+            if step.duration <= 0:
+                problems.append("partition_storm duration must be > 0")
+        elif step.kind == "latency_spike":
+            if not plan.topology:
+                problems.append("latency_spike requires a plan topology")
+            elif (
+                topo is not None
+                and step.region
+                and step.region not in topo.region_names()
+            ):
+                problems.append(f"latency_spike on unknown region {step.region!r}")
+            if step.factor <= 1.0:
+                problems.append("latency_spike factor must be > 1")
+            if step.duration <= 0:
+                problems.append("latency_spike duration must be > 0")
+        elif step.kind == "flash_crowd":
+            if step.rate <= 0:
+                problems.append("flash_crowd peak rate must be > 0")
+            if step.clients <= 0:
+                problems.append("flash_crowd needs at least one swarm client")
+            if step.duration <= 0:
+                problems.append("flash_crowd duration must be > 0")
+        elif step.kind == "age_replicas":
+            if step.target and step.target not in REPLICA_IDS:
+                problems.append(f"age_replicas of unknown replica {step.target!r}")
+            if step.fraction < 0:
+                problems.append("age_replicas per-op stall override must be >= 0")
     if crashed:
         problems.append(f"plan ends with {sorted(crashed)} still crashed")
     if partitioned:
@@ -252,6 +372,43 @@ def validate_plan(plan: FaultPlan, f: int = 1) -> List[str]:
                 )
                 break
     return problems
+
+
+def beyond_assumption_windows(
+    plan: FaultPlan, f: int = 1, margin: float = 0.0
+) -> List[Tuple[float, float]]:
+    """Time windows where the plan itself exceeds the <= f crash assumption.
+
+    A ``region_outage`` of a region holding more than ``f`` replicas takes
+    the system outside the fault model: liveness cannot be promised, so the
+    availability SLO is suspended over ``[at, at + duration + margin]``
+    (``margin`` covers post-restart catch-up).  Safety oracles are *never*
+    suspended — correctness must hold even beyond the liveness assumptions.
+    Overlapping and adjacent windows are merged; the result is time-ordered.
+    """
+    if not plan.topology:
+        return []
+    from repro.net.topology import PRESETS
+
+    topo = PRESETS.get(plan.topology)
+    if topo is None:
+        return []
+    raw: List[Tuple[float, float]] = []
+    for step in plan.steps:
+        if step.kind != "region_outage":
+            continue
+        if step.region not in topo.region_names():
+            continue
+        if len(topo.region(step.region).replicas) > f:
+            raw.append((step.at, step.at + step.duration + margin))
+    raw.sort()
+    merged: List[Tuple[float, float]] = []
+    for start, end in raw:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
 
 
 # Overload-episode shape shared by generated plans and the acceptance tests:

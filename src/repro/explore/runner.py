@@ -27,7 +27,7 @@ from repro.bft.repair import RepairPolicy
 from repro.bft.testing import canonical_committed_history, encode_set, recording_cluster
 from repro.crypto.digest import digest
 from repro.explore.oracles import OracleSuite, OracleViolation, Violation
-from repro.explore.plan import FaultPlan, generate_plan
+from repro.explore.plan import CAMPAIGN_KINDS, FaultPlan, generate_plan
 from repro.explore.shrink import shrink_plan
 from repro.faults import (
     POISON,
@@ -76,6 +76,18 @@ _VERDICT_COUNTERS = (
     "tentative_replies_accepted",
     "lease_grants",
     "leased_reads_served",
+)
+
+#: Extra counters surfaced only on campaign plans (topology / geo-scale
+#: steps), keeping non-campaign verdict dicts byte-identical to before.
+_CAMPAIGN_COUNTERS = (
+    "storm_cuts",
+    "region_outages",
+    "latency_spikes",
+    "flash_crowds",
+    "messages_dropped_cut",
+    "aging_stalls",
+    "aging_stall_us",
 )
 
 
@@ -289,19 +301,35 @@ def run_plan(
             scrub_interval=0.08 if scrubbing else 0.0,
             scrub_batch=12,
         )
+    config_fields: Dict = {
+        "checkpoint_interval": 8,
+        "log_window": 16,
+        "recovery_period": plan.recovery_period,
+        "overload_damping": overload_damping,
+    }
+    if plan.topology:
+        # Geo-scale plans need WAN-tuned timers; the default (no-topology)
+        # configuration is byte-identical to what it always was.
+        from repro.soak.runner import WAN_CONFIG_OVERRIDES
+
+        config_fields.update(WAN_CONFIG_OVERRIDES)
+    config_fields.update(config_overrides or {})
     cluster, recorder = recording_cluster(
-        config=BFTConfig(
-            checkpoint_interval=8,
-            log_window=16,
-            recovery_period=plan.recovery_period,
-            overload_damping=overload_damping,
-            **(config_overrides or {}),
-        ),
+        config=BFTConfig(**config_fields),
         net_config=NetworkConfig(delay=0.0005, jitter=0.0005, drop_rate=plan.drop_rate),
         seed=plan.seed,
         repair=repair,
         poisoned=poisoned,
     )
+    campaign_ctx = None
+    if plan.has_campaign():
+        # Campaign plans (geo-scale steps and/or a topology preset) share
+        # the appliers with the soak harness; the import stays lazy so the
+        # default explore path's import graph is unchanged.
+        from repro.soak.campaign import CampaignContext
+
+        campaign_ctx = CampaignContext(cluster, plan)
+        campaign_ctx.place("C0")
     suite = OracleSuite(
         cluster,
         recorder,
@@ -344,6 +372,12 @@ def run_plan(
     for step in plan.steps:
         if step.kind == "overload":
             cluster.sim.schedule(max(0.0, step.at), lambda s=step: _begin_overload(s))
+        elif step.kind in CAMPAIGN_KINDS:
+            if campaign_ctx is None:
+                raise ValueError(f"{step.kind} step requires a campaign context")
+            cluster.sim.schedule(
+                max(0.0, step.at), lambda s=step: campaign_ctx.apply(s)
+            )
         else:
             cluster.sim.schedule(
                 max(0.0, step.at),
@@ -368,11 +402,16 @@ def run_plan(
                 client_replies.append(None)
                 client.cancel()
         # Let any fault steps scheduled past the workload's end still fire
-        # (an overload episode occupies [at, at + duration]).
+        # (overload and campaign episodes occupy [at, at + duration]).
         horizon = (
             max(
                 (
-                    s.at + (s.duration if s.kind == "overload" else 0.0)
+                    s.at
+                    + (
+                        s.duration
+                        if s.kind == "overload" or s.kind in CAMPAIGN_KINDS
+                        else 0.0
+                    )
                     for s in plan.steps
                 ),
                 default=0.0,
@@ -383,6 +422,8 @@ def run_plan(
             cluster.sim.run_until(horizon)
         # Heal the world, then demand liveness: a correct implementation
         # must answer once faults stop and <= f replicas are Byzantine.
+        if campaign_ctx is not None:
+            campaign_ctx.stop()
         cluster.heal()
         cluster.restart_all_down()
         for remove in list(drop_removers):
@@ -412,6 +453,11 @@ def run_plan(
     counters = {name: totals.get(name) for name in _VERDICT_COUNTERS}
     counters["offered"] = sum(s.offered for s in swarms)
     counters["swarm_completed"] = sum(s.completed for s in swarms)
+    if campaign_ctx is not None:
+        counters["offered"] += campaign_ctx.offered()
+        counters["swarm_completed"] += campaign_ctx.completed()
+        for name in _CAMPAIGN_COUNTERS:
+            counters[name] = totals.get(name)
     return RunOutcome(
         violation=violation,
         completed=completed,

@@ -24,12 +24,19 @@ from repro.faults.injector import (
     make_vote_corruptor,
     drop_fraction_from,
 )
+from repro.faults.aging import FragmentationAging
 from repro.faults.buggy import BuggyServer, POISON
 from repro.faults.plant import PLANTED_BUGS
-from repro.faults.scenarios import AvailabilityProbe, AvailabilitySummary
+from repro.faults.scenarios import (
+    AvailabilityProbe,
+    AvailabilitySummary,
+    WindowSummary,
+)
 
 __all__ = [
     "PLANTED_BUGS",
+    "FragmentationAging",
+    "WindowSummary",
     "make_equivocating_primary",
     "make_lying_checkpointer",
     "make_result_corruptor",

@@ -6,12 +6,21 @@ operation that gets no reply quorum in time counts as an outage sample.
 Benchmarks use the probe to measure availability across fault scenarios
 (crash, Byzantine, aging, common-mode bugs) and during proactive-recovery
 rotations.
+
+The probe is *resumable*: :meth:`AvailabilityProbe.run` may be called any
+number of times (the soak harness interleaves probe segments with campaign
+bookkeeping) and every summary is computed over the accumulated sample
+stream.  :meth:`AvailabilityProbe.summary` additionally buckets samples into
+fixed-width *windows* of virtual time — the unit the availability SLO is
+judged over — and coalesces adjacent outage samples into single spans (a
+span covers first failure start through last failure end, so one long
+outage probed five times is one span, not five).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field  # noqa: F401 (field used in dataclasses)
-from typing import Callable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
 
 from repro.bft.client import Client, InvocationTimeout
 from repro.net.simulator import Simulator
@@ -27,6 +36,28 @@ class ProbeResult:
 
 
 @dataclass
+class WindowSummary:
+    """Availability accounting over one fixed-width window of virtual time."""
+
+    start: float
+    end: float
+    total: int
+    succeeded: int
+    availability: float
+    p99_latency: float
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "total": self.total,
+            "succeeded": self.succeeded,
+            "availability": self.availability,
+            "p99_latency": self.p99_latency,
+        }
+
+
+@dataclass
 class AvailabilitySummary:
     total: int
     succeeded: int
@@ -34,10 +65,38 @@ class AvailabilitySummary:
     mean_latency: float
     max_latency: float
     outage_spans: List[Tuple[float, float]]
+    windows: List[WindowSummary] = field(default_factory=list)
+
+    def min_window_availability(self) -> float:
+        """The worst window's availability (1.0 when unwindowed/empty)."""
+        if not self.windows:
+            return 1.0
+        return min(window.availability for window in self.windows)
+
+    def max_outage_span(self) -> float:
+        """Duration of the longest coalesced outage span (0.0 when none)."""
+        if not self.outage_spans:
+            return 0.0
+        return max(end - start for start, end in self.outage_spans)
+
+
+def _p99(latencies: List[float]) -> float:
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = max(0, min(len(ordered) - 1, int(round(0.99 * (len(ordered) - 1)))))
+    return ordered[rank]
 
 
 class AvailabilityProbe:
-    """Sequential operation stream with per-operation timeouts."""
+    """Sequential operation stream with per-operation timeouts.
+
+    ``window`` (virtual seconds, 0 disables) buckets samples into
+    fixed-width windows anchored at ``window_origin`` for the summary's
+    per-window accounting.  The probe keeps a running operation counter, so
+    repeated :meth:`run` calls continue the same stream (unique ops per
+    call, one accumulated result list).
+    """
 
     def __init__(
         self,
@@ -46,46 +105,104 @@ class AvailabilityProbe:
         make_op: Callable[[int], bytes],
         op_timeout: float = 2.0,
         gap: float = 0.01,
+        window: float = 0.0,
+        window_origin: float = 0.0,
     ) -> None:
         self.sim = sim
         self.client = client
         self.make_op = make_op
         self.op_timeout = op_timeout
         self.gap = gap
+        self.window = window
+        self.window_origin = window_origin
         self.results: List[ProbeResult] = []
+        self._op_number = 0
 
     def run(self, ops: int) -> None:
-        for op_number in range(ops):
+        """Probe ``ops`` more operations; resumable across soak segments."""
+        for _ in range(ops):
             start = self.sim.now()
             try:
-                self.client.invoke(self.make_op(op_number), timeout=self.op_timeout)
+                self.client.invoke(self.make_op(self._op_number), timeout=self.op_timeout)
                 ok = True
             except InvocationTimeout:
                 self.client.cancel()
                 ok = False
+            self._op_number += 1
             self.results.append(ProbeResult(start, ok, self.sim.now() - start))
             if self.gap:
                 self.sim.run_for(self.gap)
+
+    def run_until(self, deadline: float, ops_per_segment: int = 32) -> None:
+        """Probe in segments until the virtual clock reaches ``deadline``."""
+        while self.sim.now() < deadline:
+            self.run(ops_per_segment)
+
+    # -- accounting ----------------------------------------------------------
+
+    def _coalesced_outages(self) -> List[Tuple[float, float]]:
+        """Adjacent failed samples merge into one span running from the first
+        failure's start to the last failure's end (start + latency)."""
+        outages: List[Tuple[float, float]] = []
+        span_start: Optional[float] = None
+        span_end = 0.0
+        for result in self.results:
+            if not result.ok:
+                if span_start is None:
+                    span_start = result.started_at
+                span_end = result.started_at + result.latency
+            elif span_start is not None:
+                outages.append((span_start, span_end))
+                span_start = None
+        if span_start is not None:
+            outages.append((span_start, span_end))
+        return outages
+
+    def _windows(self) -> List[WindowSummary]:
+        if self.window <= 0 or not self.results:
+            return []
+        windows: List[WindowSummary] = []
+        bucket: List[ProbeResult] = []
+        index = int((self.results[0].started_at - self.window_origin) // self.window)
+
+        def flush(bucket_index: int, samples: List[ProbeResult]) -> None:
+            if not samples:
+                return
+            start = self.window_origin + bucket_index * self.window
+            succeeded = sum(1 for sample in samples if sample.ok)
+            windows.append(
+                WindowSummary(
+                    start=start,
+                    end=start + self.window,
+                    total=len(samples),
+                    succeeded=succeeded,
+                    availability=succeeded / len(samples),
+                    p99_latency=_p99([s.latency for s in samples if s.ok]),
+                )
+            )
+
+        for result in self.results:
+            result_index = int(
+                (result.started_at - self.window_origin) // self.window
+            )
+            if result_index != index:
+                flush(index, bucket)
+                bucket = []
+                index = result_index
+            bucket.append(result)
+        flush(index, bucket)
+        return windows
 
     def summary(self) -> AvailabilitySummary:
         total = len(self.results)
         succeeded = sum(1 for r in self.results if r.ok)
         latencies = [r.latency for r in self.results if r.ok]
-        outages: List[Tuple[float, float]] = []
-        span_start = None
-        for result in self.results:
-            if not result.ok and span_start is None:
-                span_start = result.started_at
-            elif result.ok and span_start is not None:
-                outages.append((span_start, result.started_at))
-                span_start = None
-        if span_start is not None and self.results:
-            outages.append((span_start, self.results[-1].started_at))
         return AvailabilitySummary(
             total=total,
             succeeded=succeeded,
             availability=(succeeded / total) if total else 1.0,
             mean_latency=(sum(latencies) / len(latencies)) if latencies else 0.0,
             max_latency=max(latencies) if latencies else 0.0,
-            outage_spans=outages,
+            outage_spans=self._coalesced_outages(),
+            windows=self._windows(),
         )

@@ -63,6 +63,11 @@ class Network:
         self._handlers: Dict[str, Handler] = {}
         self._pair_overrides: Dict[Tuple[str, str], NetworkConfig] = {}
         self._partitions: List[FrozenSet[str]] = []
+        # Directed link -> number of overlapping cuts currently severing it.
+        # Cuts stack: two storms cutting the same link must both be restored
+        # before traffic flows again (unlike partition(), which replaces any
+        # existing partition wholesale).
+        self._cut_links: Dict[Tuple[str, str], int] = {}
         self._down: Set[str] = set()
         self._interceptors: List[Interceptor] = []
         # Per directed link: virtual time until which the link is busy
@@ -86,6 +91,10 @@ class Network:
 
     def node_ids(self) -> List[str]:
         return sorted(self._handlers)
+
+    def handler(self, node_id: str) -> Handler:
+        """The current delivery target for a node (fault models wrap it)."""
+        return self._handlers[node_id]
 
     # -- failure / topology control -----------------------------------------
 
@@ -121,9 +130,34 @@ class Network:
             return False
         return src_group is not dst_group
 
+    def cut_links(self, links: Sequence[Tuple[str, str]]) -> None:
+        """Sever a set of directed links.  Cuts compose: overlapping cut
+        sets stack on shared links, and each set heals independently via
+        :meth:`restore_links` — the storm primitives, orthogonal to the
+        wholesale :meth:`partition`/:meth:`heal_partition` pair."""
+        for link in links:
+            self._cut_links[link] = self._cut_links.get(link, 0) + 1
+
+    def restore_links(self, links: Sequence[Tuple[str, str]]) -> None:
+        """Undo one :meth:`cut_links` call's worth of cuts on each link; a
+        link stays severed while any other overlapping cut still holds it."""
+        for link in links:
+            count = self._cut_links.get(link, 0) - 1
+            if count <= 0:
+                self._cut_links.pop(link, None)
+            else:
+                self._cut_links[link] = count
+
+    def is_cut(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._cut_links
+
     def set_link(self, src: str, dst: str, config: NetworkConfig) -> None:
         """Override parameters for one directed pair."""
         self._pair_overrides[(src, dst)] = config
+
+    def link_config(self, src: str, dst: str) -> NetworkConfig:
+        """Effective parameters for one directed pair."""
+        return self._pair_overrides.get((src, dst), self.config)
 
     def add_interceptor(self, interceptor: Interceptor) -> Callable[[], None]:
         """Install a Byzantine/fault hook; returns a removal callback."""
@@ -148,6 +182,9 @@ class Network:
             return
         if self._partitioned(src, dst):
             self.counters.add("messages_dropped_partition")
+            return
+        if (src, dst) in self._cut_links:
+            self.counters.add("messages_dropped_cut")
             return
         for interceptor in list(self._interceptors):
             message = interceptor(src, dst, message)
@@ -188,6 +225,9 @@ class Network:
             return
         if self._partitioned(src, dst):
             self.counters.add("messages_dropped_partition")
+            return
+        if (src, dst) in self._cut_links:
+            self.counters.add("messages_dropped_cut")
             return
         self.counters.add("messages_delivered")
         self._handlers[dst](message, src)

@@ -1,0 +1,110 @@
+"""Windowed, resumable availability accounting on AvailabilityProbe."""
+
+from repro.bft.testing import encode_set
+from repro.faults import AvailabilityProbe
+
+from tests.conftest import kv_cluster
+
+
+def make_probe(cluster, window=0.0, gap=0.05, op_timeout=1.0):
+    return AvailabilityProbe(
+        cluster.sim,
+        cluster.client("P0"),
+        make_op=lambda i: encode_set(i % 8, b"probe:%d" % i),
+        op_timeout=op_timeout,
+        gap=gap,
+        window=window,
+    )
+
+
+def test_windows_partition_the_sample_stream():
+    cluster = kv_cluster()
+    probe = make_probe(cluster, window=1.0)
+    probe.run(30)
+    summary = probe.summary()
+    assert summary.total == 30
+    assert len(summary.windows) >= 2
+    # Every sample lands in exactly one window.
+    assert sum(w.total for w in summary.windows) == summary.total
+    for window in summary.windows:
+        assert window.end - window.start == 1.0
+        assert 0.0 <= window.availability <= 1.0
+    # Windows are aligned to the origin grid and strictly ordered.
+    starts = [w.start for w in summary.windows]
+    assert starts == sorted(starts)
+    assert all(start % 1.0 == 0.0 for start in starts)
+
+
+def test_probe_resumes_across_segments():
+    """Segmented soak driving: repeated run() calls continue one stream —
+    op numbers stay unique and the summary covers all segments."""
+    cluster = kv_cluster()
+    probe = make_probe(cluster, window=1.0)
+    probe.run(5)
+    cluster.sim.run_for(2.5)  # idle gap between soak segments
+    probe.run(5)
+    summary = probe.summary()
+    assert summary.total == 10
+    assert probe._op_number == 10
+    assert summary.availability == 1.0
+    # The idle gap yields a hole in the window grid, not a merged bucket.
+    starts = [w.start for w in summary.windows]
+    assert len(starts) == len(set(starts))
+
+
+def test_outage_coalescing_and_per_window_dip():
+    """Consecutive failed probes coalesce into one span per outage episode;
+    the failing windows are the ones whose availability dips."""
+    cluster = kv_cluster()
+    probe = make_probe(cluster, window=2.0, gap=0.05, op_timeout=0.5)
+    probe.run(4)
+    cluster.crash("R2")
+    cluster.crash("R3")  # f+1 down: no quorum, probes time out
+    probe.run(3)
+    cluster.restart("R2")
+    cluster.restart("R3")
+    cluster.sim.run_for(1.0)
+    probe.run(4)
+    cluster.crash("R1")
+    cluster.crash("R2")
+    probe.run(2)
+    cluster.restart("R1")
+    cluster.restart("R2")
+    cluster.sim.run_for(1.0)
+    probe.run(3)
+
+    summary = probe.summary()
+    # Two distinct outage episodes -> exactly two coalesced spans.
+    assert len(summary.outage_spans) == 2
+    for start, end in summary.outage_spans:
+        assert end > start
+    assert summary.max_outage_span() >= 0.5
+    assert summary.min_window_availability() < 1.0
+    assert summary.succeeded == summary.total - 5
+    # Failed time is inside the spans: each failed sample's interval is
+    # covered by some span.
+    for result in probe.results:
+        if not result.ok:
+            assert any(
+                start <= result.started_at
+                and result.started_at + result.latency <= end
+                for start, end in summary.outage_spans
+            )
+
+
+def test_unwindowed_probe_reports_no_windows():
+    cluster = kv_cluster()
+    probe = make_probe(cluster, window=0.0)
+    probe.run(5)
+    summary = probe.summary()
+    assert summary.windows == []
+    assert summary.min_window_availability() == 1.0
+    assert summary.max_outage_span() == 0.0
+
+
+def test_run_until_advances_to_deadline():
+    cluster = kv_cluster()
+    probe = make_probe(cluster, window=1.0)
+    probe.run_until(5.0, ops_per_segment=8)
+    assert cluster.sim.now() >= 5.0
+    assert probe.summary().total >= 8

@@ -1,0 +1,126 @@
+"""Composable directed link cuts: stacking, independent heal, orthogonality
+to the wholesale partition()/heal_partition() pair."""
+
+import pytest
+
+from repro.net.network import Network, NetworkConfig
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+
+
+class Recorder(Node):
+    def __init__(self, node_id, sim, network):
+        super().__init__(node_id, sim, network)
+        self.received = []
+
+    def on_message(self, message, src):
+        self.received.append((src, message))
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(delay=0.001, jitter=0.0))
+    nodes = {name: Recorder(name, sim, net) for name in ["A", "B", "C"]}
+    return sim, net, nodes
+
+
+def test_cut_is_directed(rig):
+    sim, net, nodes = rig
+    net.cut_links([("A", "B")])
+    nodes["A"].send("B", "blocked")
+    nodes["B"].send("A", "allowed")
+    sim.run_until_idle()
+    assert nodes["B"].received == []
+    assert nodes["A"].received == [("B", "allowed")]
+    assert net.counters.get("messages_dropped_cut") == 1
+
+
+def test_restore_heals_exactly(rig):
+    sim, net, nodes = rig
+    net.cut_links([("A", "B"), ("B", "A")])
+    assert net.is_cut("A", "B") and net.is_cut("B", "A")
+    net.restore_links([("A", "B"), ("B", "A")])
+    assert not net.is_cut("A", "B")
+    nodes["A"].send("B", "m")
+    sim.run_until_idle()
+    assert nodes["B"].received == [("A", "m")]
+
+
+def test_overlapping_cuts_stack(rig):
+    """Two cut sets sharing a link: the link stays severed until *both*
+    holders restore it, and each set heals independently."""
+    sim, net, nodes = rig
+    storm1 = [("A", "B"), ("A", "C")]
+    storm2 = [("A", "B")]
+    net.cut_links(storm1)
+    net.cut_links(storm2)
+
+    net.restore_links(storm1)
+    assert net.is_cut("A", "B")  # storm2 still holds it
+    assert not net.is_cut("A", "C")
+    nodes["A"].send("B", "still-blocked")
+    nodes["A"].send("C", "flows")
+    sim.run_until_idle()
+    assert nodes["B"].received == []
+    assert nodes["C"].received == [("A", "flows")]
+
+    net.restore_links(storm2)
+    assert not net.is_cut("A", "B")
+    nodes["A"].send("B", "healed")
+    sim.run_until_idle()
+    assert nodes["B"].received == [("A", "healed")]
+
+
+def test_restore_of_uncut_link_is_noop(rig):
+    _sim, net, _nodes = rig
+    net.restore_links([("A", "B")])
+    assert not net.is_cut("A", "B")
+    net.cut_links([("A", "B")])
+    net.restore_links([("A", "B")])
+    net.restore_links([("A", "B")])  # over-restore must not go negative
+    net.cut_links([("A", "B")])
+    assert net.is_cut("A", "B")
+
+
+def test_in_flight_message_dropped_when_cut_lands_first(rig):
+    """A message already serialized onto the wire is dropped if the link is
+    severed before delivery (the cut models a physical line going dark)."""
+    sim, net, nodes = rig
+    nodes["A"].send("B", "doomed")
+    net.cut_links([("A", "B")])
+    sim.run_until_idle()
+    assert nodes["B"].received == []
+    assert net.counters.get("messages_dropped_cut") == 1
+
+
+def test_cuts_orthogonal_to_partition(rig):
+    """heal_partition() must not release link cuts, and vice versa."""
+    sim, net, nodes = rig
+    net.cut_links([("A", "B")])
+    net.partition(["A"], ["B", "C"])
+    net.heal_partition()
+    nodes["A"].send("B", "blocked-by-cut")
+    nodes["A"].send("C", "flows")
+    sim.run_until_idle()
+    assert nodes["B"].received == []
+    assert nodes["C"].received == [("A", "flows")]
+
+    net.restore_links([("A", "B")])
+    net.partition(["A"], ["B"])
+    nodes["A"].send("B", "blocked-by-partition")
+    sim.run_until_idle()
+    assert nodes["B"].received == []
+
+
+def test_partition_semantics_unchanged(rig):
+    """The historical wholesale-replace behavior: a second partition() call
+    replaces the first, unlisted nodes keep connectivity."""
+    sim, net, nodes = rig
+    net.partition(["A"], ["B"])
+    net.partition(["A", "B"], ["C"])  # replaces: A<->B now connected
+    nodes["A"].send("B", "m")
+    nodes["A"].send("C", "x")
+    sim.run_until_idle()
+    assert nodes["B"].received == [("A", "m")]
+    assert nodes["C"].received == []

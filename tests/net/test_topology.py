@@ -1,0 +1,117 @@
+"""Declarative topologies: presets, compilation onto per-link configs,
+client placement, and the campaign queries (boundaries, spike pairs)."""
+
+import pytest
+
+from repro.net.network import Network, NetworkConfig
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+from repro.net.topology import (
+    PRESETS,
+    WAN3,
+    LinkSpec,
+    PlacedTopology,
+    Region,
+    Topology,
+    topology_preset,
+)
+
+
+def make_network(node_ids):
+    sim = Simulator(seed=1)
+    net = Network(sim, NetworkConfig(delay=0.0005, jitter=0.0005))
+    for node_id in node_ids:
+        Node(node_id, sim, net)
+    return net
+
+
+def placed_wan3(clients=()):
+    net = make_network(["R0", "R1", "R2", "R3", *clients])
+    placed = PlacedTopology(WAN3, net)
+    placed.compile()
+    return net, placed
+
+
+def test_presets_registered():
+    assert set(PRESETS) == {"lan", "wan3", "geo5"}
+    assert topology_preset("wan3") is WAN3
+    with pytest.raises(KeyError):
+        topology_preset("moon")
+
+
+def test_duplicate_replica_placement_rejected():
+    with pytest.raises(ValueError):
+        Topology(
+            name="bad",
+            regions=(Region("a", ("R0",)), Region("b", ("R0",))),
+            intra=LinkSpec(delay=0.001),
+            default_inter=LinkSpec(delay=0.05),
+        )
+
+
+def test_compile_sets_intra_and_asymmetric_inter_links():
+    net, _placed = placed_wan3()
+    # Same region: the intra profile.
+    assert net.link_config("R0", "R1").delay == pytest.approx(0.0005)
+    # Cross-region, asymmetric trans-pacific pair.
+    assert net.link_config("R0", "R3").delay == pytest.approx(0.085)
+    assert net.link_config("R3", "R0").delay == pytest.approx(0.095)
+    # Directions not listed use the directed override table symmetrically
+    # declared in the preset.
+    assert net.link_config("R0", "R2").delay == pytest.approx(0.038)
+    assert net.link_config("R2", "R0").delay == pytest.approx(0.040)
+
+
+def test_client_placement_round_robin_and_explicit():
+    net, placed = placed_wan3(clients=["C0", "C1", "C2"])
+    assert placed.place_client("C0") == "us-east"  # declaration order
+    assert placed.place_client("C1") == "eu-west"
+    assert placed.place_client("C2", "ap-south") == "ap-south"
+    # Placing again is idempotent and keeps the original region.
+    assert placed.place_client("C0") == "us-east"
+    # Client links were compiled both ways.
+    assert net.link_config("C1", "R0").delay == pytest.approx(0.040)
+    assert net.link_config("R0", "C1").delay == pytest.approx(0.038)
+    assert net.link_config("C0", "R0").delay == pytest.approx(0.0005)
+
+
+def test_explicit_placement_validates_region():
+    _net, placed = placed_wan3(clients=["C0"])
+    with pytest.raises(KeyError):
+        placed.place_client("C0", "nowhere")
+
+
+def test_boundary_links_cover_placed_clients_both_directions():
+    _net, placed = placed_wan3(clients=["C0"])
+    placed.place_client("C0", "eu-west")
+    links = placed.boundary_links("us-east", "eu-west")
+    assert ("R0", "R2") in links and ("R2", "R0") in links
+    assert ("R0", "C0") in links and ("C0", "R0") in links
+    assert ("R0", "R1") not in links  # intra-region pair never crosses
+
+
+def test_boundaries_skip_replica_free_regions():
+    net = make_network(["R0", "R1", "R2", "R3"])
+    placed = PlacedTopology(topology_preset("geo5"), net)
+    placed.compile()
+    names = {name for pair in placed.boundaries() for name in pair}
+    assert "edge" not in names  # client-only region: storms have nothing to cut
+    assert len(placed.boundaries()) == 6  # C(4, 2) populated region pairs
+
+
+def test_spike_pairs_cross_boundary_only():
+    _net, placed = placed_wan3()
+    pairs = placed.spike_pairs()
+    assert ("R0", "R1") not in pairs
+    assert ("R0", "R2") in pairs and ("R2", "R0") in pairs
+    scoped = placed.spike_pairs("ap-south")
+    assert all("R3" in pair for pair in scoped)
+
+
+def test_scaled_linkspec_inflates_latency_only():
+    spec = LinkSpec(delay=0.04, jitter=0.004, drop_rate=0.01, bandwidth=100.0)
+    spiked = spec.scaled(3.0)
+    assert spiked.delay == pytest.approx(0.12)
+    assert spiked.jitter == pytest.approx(0.012)
+    assert spiked.drop_rate == spec.drop_rate
+    assert spiked.bandwidth == spec.bandwidth
