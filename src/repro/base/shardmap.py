@@ -1,0 +1,65 @@
+"""Deterministic shard map: the abstract object space split across BASE groups.
+
+The sharded deployment (:mod:`repro.bft.sharding`) partitions the abstract
+object array into ``num_shards`` equal, contiguous ranges, each served by its
+own independently-ordering BASE group.  Range partitioning (rather than
+hashing) keeps the mapping trivially auditable — shard ``s`` owns global
+indices ``[s * objects_per_shard, (s + 1) * objects_per_shard)`` — and keeps
+each group's :class:`~repro.base.partition.PartitionTree` a dense array of
+exactly the objects it orders, so per-shard checkpoint roots and per-shard
+state transfer come straight from the existing abstraction machinery.
+
+The map is pure data derived from two integers, so every client, replica, and
+oracle computes the identical routing with no coordination.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class ShardMap:
+    """Range partition of ``num_objects`` global indices over ``num_shards``."""
+
+    def __init__(self, num_shards: int, num_objects: int) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if num_objects < num_shards:
+            raise ValueError("need at least one object per shard")
+        if num_objects % num_shards != 0:
+            raise ValueError(
+                f"num_objects ({num_objects}) must divide evenly across "
+                f"{num_shards} shards so every group orders an equal range"
+            )
+        self.num_shards = num_shards
+        self.num_objects = num_objects
+        self.objects_per_shard = num_objects // num_shards
+
+    def shard_of(self, index: int) -> int:
+        """The shard owning global object ``index``."""
+        if not 0 <= index < self.num_objects:
+            raise ValueError(f"global index {index} outside [0, {self.num_objects})")
+        return index // self.objects_per_shard
+
+    def local_index(self, index: int) -> int:
+        """``index`` translated into its owning shard's local object array."""
+        if not 0 <= index < self.num_objects:
+            raise ValueError(f"global index {index} outside [0, {self.num_objects})")
+        return index % self.objects_per_shard
+
+    def global_index(self, shard: int, local: int) -> int:
+        """Inverse of (:meth:`shard_of`, :meth:`local_index`)."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} outside [0, {self.num_shards})")
+        if not 0 <= local < self.objects_per_shard:
+            raise ValueError(
+                f"local index {local} outside [0, {self.objects_per_shard})"
+            )
+        return shard * self.objects_per_shard + local
+
+    def shard_range(self, shard: int) -> Tuple[int, int]:
+        """Half-open global index range ``[lo, hi)`` owned by ``shard``."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} outside [0, {self.num_shards})")
+        lo = shard * self.objects_per_shard
+        return lo, lo + self.objects_per_shard

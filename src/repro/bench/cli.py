@@ -59,6 +59,8 @@ HIGHER_IS_BETTER = {
     "transfers_completed",
     "goodput_per_vsec",
     "completed",
+    "executed",
+    "txns_committed",
     "within_budget",
     "availability",
     "min_window_availability",
@@ -76,6 +78,11 @@ def _parser() -> argparse.ArgumentParser:
         choices=sorted(SUITES),
         default="smoke",
         help="suite to run (default smoke)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list every suite's scenarios (one per line) and exit",
     )
     parser.add_argument(
         "--out",
@@ -161,6 +168,11 @@ def bench_main(argv: List[str]) -> int:
         args = _parser().parse_args(argv)
     except SystemExit as exc:
         return EXIT_USAGE if exc.code not in (0, None) else EXIT_OK
+    if args.list:
+        for suite in sorted(SUITES):
+            for name in SUITES[suite]:
+                print(f"{suite}: {name}")
+        return EXIT_OK
     if args.threshold < 0:
         print("bench: --threshold must be >= 0", file=sys.stderr)
         return EXIT_USAGE

@@ -454,6 +454,131 @@ def wan_storm_rotation() -> Metrics:
     return _wan_run(_wan_storm_steps(), recovery_period=120.0)
 
 
+#: Per-shard slot layout for the ``shard`` suite (objects_per_shard = 34,
+#: the 35th cell being the reserved 2PC participant table): singles write
+#: slots 0..15; a cross-shard transaction locks its client's home lane
+#: (16..23) on the home shard and the matching partner lane (24..31) on the
+#: next shard, so no two clients' transactions ever contend for a lock;
+#: warm-up writes slot 32.  Keeping all the sets disjoint keeps the scaling
+#: figure about ordering capacity, not lock contention.
+_SHARD_SINGLE_SLOTS = 16
+_SHARD_TXN_LANE_BASE = 16
+_SHARD_TXN_PARTNER_BASE = 24
+_SHARD_WARM_SLOT = 32
+
+
+def _shard_rung(num_shards: int, txn_fraction: float = 0.0) -> Metrics:
+    """One rung of the shard-scaling ladder: an open-loop swarm with the
+    identical per-shard shape (:data:`OVERLOAD_CLIENTS` clients per shard,
+    offering 2x the sustainable rate per shard) runs against ``num_shards``
+    independent BASE groups, each squeezed to :data:`OVERLOAD_BANDWIDTH`.
+
+    Clients and offered load both scale with the shard count — that is the
+    controlled experiment a scaling claim needs: every group sees the same
+    saturation the single-group rung does, and the only variable is how many
+    groups are ordering.  Aggregate ``goodput_per_vsec`` (requests executed
+    across all shard primaries) must track the shard count near-linearly at
+    ``txn_fraction`` 0; with a 10% cross-shard transaction mix the 2PC
+    prepares/decides consume ordering slots on two groups each, so the curve
+    flattens but must stay well above the single-group figure.
+    """
+    from repro.bft.overload import ShardedOpenLoopLoadGenerator
+    from repro.bft.sharding import sharded_kv_cluster
+
+    sharded = sharded_kv_cluster(
+        num_shards,
+        config=BFTConfig(checkpoint_interval=16, log_window=64, batch_max=16),
+        objects_per_shard=34,
+        net_config=NetworkConfig(delay=0.0005, jitter=0.0005),
+    )
+    shardmap = sharded.shardmap
+
+    def home_of(client_id: str) -> int:
+        return int(client_id[1:]) % num_shards
+
+    def swarm_op(client_id: str, seq: int) -> bytes:
+        index = shardmap.global_index(home_of(client_id), seq % _SHARD_SINGLE_SLOTS)
+        return encode_set(index, f"{client_id}:{seq}".encode())
+
+    def swarm_txn(client_id: str, seq: int):
+        home = home_of(client_id)
+        lane = (int(client_id[1:]) // num_shards) % OVERLOAD_CLIENTS
+        value = f"{client_id}:{seq}".encode()
+        first = shardmap.global_index(home, _SHARD_TXN_LANE_BASE + lane)
+        if num_shards == 1:
+            return [(first, value)]
+        other = shardmap.global_index(
+            (home + 1) % num_shards, _SHARD_TXN_PARTNER_BASE + lane
+        )
+        return [(first, value), (other, value + b"'")]
+
+    # Warm every group's pipeline: overload damping demands evidence of a
+    # live primary (a recent commit), which a cold group cannot have.
+    warm = sharded.client("W0")
+    for shard in range(num_shards):
+        warm.invoke(
+            encode_set(shardmap.global_index(shard, _SHARD_WARM_SLOT), b"warm"),
+            timeout=60.0,
+        )
+    clients = [
+        sharded.client(f"L{i}") for i in range(OVERLOAD_CLIENTS * num_shards)
+    ]
+    swarm = ShardedOpenLoopLoadGenerator(
+        sharded.sim,
+        clients,
+        2.0 * OVERLOAD_SUSTAINABLE * num_shards,
+        swarm_op,
+        txn_fraction=txn_fraction,
+        txn_factory=swarm_txn,
+    )
+    executed_before = [
+        sharded.shard(s).replica("R0").counters.get("requests_executed")
+        for s in range(num_shards)
+    ]
+    for cluster in sharded.clusters:
+        cluster.network.config.bandwidth = OVERLOAD_BANDWIDTH
+    swarm.start()
+    sharded.sim.run_for(OVERLOAD_DURATION)
+    swarm.stop()
+    for cluster in sharded.clusters:
+        cluster.network.config.bandwidth = 0.0
+    sharded.sim.run_for(0.5)  # drain in-flight work before reading counters
+
+    executed = sum(
+        sharded.shard(s).replica("R0").counters.get("requests_executed")
+        - executed_before[s]
+        for s in range(num_shards)
+    )
+    totals = sharded.total_counters()
+    return {
+        "shards": num_shards,
+        "offered": swarm.offered,
+        "completed": swarm.completed,
+        "executed": executed,
+        "goodput_per_vsec": _round(executed / OVERLOAD_DURATION),
+        "txns_started": swarm.txns_started,
+        "txns_committed": swarm.txns_committed,
+        "txns_aborted": swarm.txns_aborted,
+        "txns_skipped": swarm.txns_skipped,
+        "txn_lock_conflicts": totals.get("txn_lock_conflicts"),
+        "requests_shed": totals.get("requests_shed"),
+        "busy_replies": totals.get("busy_replies"),
+        "view_changes_started": totals.get("view_changes_started"),
+        "messages_sent": totals.get("messages_sent"),
+        "bytes_sent": totals.get("bytes_sent"),
+    }
+
+
+#: The shard-scaling ladder: 1 -> 2 -> 4 -> 8 groups at pure single-shard
+#: load, plus the 8-group rung again with a 10% cross-shard transaction mix.
+SHARD_LADDER = (1, 2, 4, 8)
+
+for _shards in SHARD_LADDER:
+    scenario(f"shard_scale_{_shards}")(lambda n=_shards: _shard_rung(n))
+
+scenario("shard_scale_8_mix10")(lambda: _shard_rung(8, txn_fraction=0.10))
+
+
 SUITES: Dict[str, List[str]] = {
     "smoke": [
         "kv_throughput",
@@ -476,6 +601,7 @@ SUITES: Dict[str, List[str]] = {
         "wan_storm",
         "wan_storm_rotation",
     ],
+    "shard": [f"shard_scale_{n}" for n in SHARD_LADDER] + ["shard_scale_8_mix10"],
 }
 
 

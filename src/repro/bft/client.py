@@ -224,6 +224,7 @@ class Client(Node):
             self.counters.add("reply_bad_auth")
             return
         invocation.replies[src] = message.result
+        self._note_reply(message, src)
         needed = self.config.quorum if invocation.read_only else self.config.weak_quorum
         matching = [
             r for r in invocation.replies.values() if r == message.result
@@ -233,6 +234,10 @@ class Client(Node):
             self._current = None
             self._disarm_retry()
             invocation.callback(message.result)
+
+    def _note_reply(self, message: Reply, src: str) -> None:
+        """Hook for subclasses that need per-replica reply provenance (the
+        transactional vote client snapshots it into commit certificates)."""
 
     def _on_spec_reply(self, message: SpecReply, src: str) -> None:
         """Tentative replies from speculating replicas.  Acceptance rule (the

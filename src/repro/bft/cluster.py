@@ -80,9 +80,12 @@ class Cluster:
     def service(self, replica_id: str) -> StateMachine:
         return self.hosts[replica_id].service
 
-    def client(self, client_id: str) -> Client:
+    def client(self, client_id: str, cls: Optional[type] = None) -> Client:
+        """Get-or-create a client.  ``cls`` picks the client class on first
+        creation (e.g. the transactional vote client); a cached client is
+        returned as-is, whatever class it was created with."""
         if client_id not in self._clients:
-            self._clients[client_id] = Client(
+            self._clients[client_id] = (cls or Client)(
                 client_id, self.sim, self.network, self.config, self.keys
             )
         return self._clients[client_id]

@@ -630,3 +630,51 @@ class Recovered(Message):
         enc = XdrEncoder()
         enc.pack_string("RECOVERED").pack_string(self.replica_id).pack_u64(self.epoch)
         return enc.getvalue()
+
+
+# --- cross-shard transactions (client-coordinated 2PC) -------------------------
+
+
+@dataclass
+class TxnPrepare(Message):
+    """Phase-1 PREPARE for cross-shard transaction ``txid``.
+
+    Carries the write set this shard is responsible for, as (local object
+    index, value) pairs.  The canonical encoding rides as the ``op`` bytes of
+    a normal :class:`Request`, so each shard orders the prepare through its
+    ordinary BFT pipeline and the replicated client table makes it at-most-once
+    by reqid (docs/sharding.md).
+    """
+
+    txid: str
+    writes: List[Tuple[int, bytes]]
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("TXN-PREPARE").pack_string(self.txid)
+        enc.pack_u32(len(self.writes))
+        for index, value in self.writes:
+            enc.pack_u32(index)
+            enc.pack_opaque(value)
+        return enc.getvalue()
+
+
+@dataclass
+class TxnDecide(Message):
+    """Phase-2 decision for cross-shard transaction ``txid``.
+
+    ``commit`` is True only when the coordinator holds an f+1 commit-vote
+    certificate from every participant shard.  Ordered through each shard's
+    normal BFT pipeline exactly like :class:`TxnPrepare`; first decision for
+    a txid wins and retransmissions are answered from the recorded outcome.
+    """
+
+    txid: str
+    commit: bool
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("TXN-DECIDE").pack_string(self.txid).pack_bool(self.commit)
+        return enc.getvalue()

@@ -287,7 +287,13 @@ class OpenLoopLoadGenerator:
 
     def start(self) -> None:
         self._running = True
-        for index, client in enumerate(self.clients):
+        # Phase offsets are assigned by sorted client id, not list position:
+        # a swarm built in a different order (or with clients placed across
+        # shards differently) must offer the identical per-client request
+        # streams, or cross-placement experiments stop being comparable.
+        for index, client in enumerate(
+            sorted(self.clients, key=lambda c: c.node_id)
+        ):
             self._arm(client, index / self.rate)
 
     def stop(self) -> None:
@@ -326,6 +332,76 @@ class OpenLoopLoadGenerator:
             self.cancelled += 1
         seq = self._seq.get(client.node_id, 0)
         self._seq[client.node_id] = seq + 1
+        op = self.op_factory(client.node_id, seq)
+        self.offered += 1
+
+        def done(_result: bytes) -> None:
+            self.completed += 1
+
+        client.invoke_async(op, done)
+
+
+class ShardedOpenLoopLoadGenerator(OpenLoopLoadGenerator):
+    """Open-loop swarm over sharded clients with a cross-shard transaction mix.
+
+    Each client's tick stream interleaves single-shard operations with
+    cross-shard transactions at ``txn_fraction``, spread evenly through the
+    per-client sequence (Bresenham on the sequence number — deterministic,
+    no RNG).  ``txn_factory(client_id, seq)`` returns the transaction's
+    (global index, value) write list.
+
+    Transactions are never cancelled by the cadence: dropping a 2PC
+    coordinator mid-flight strands prepared locks until a retransmitted
+    decide cleans them up, which would turn an offered-load knob into a
+    lock-availability experiment.  A tick that finds the client's previous
+    transaction still in flight is skipped and counted (``txns_skipped``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clients: List,
+        rate: float,
+        op_factory: Callable[[str, int], bytes],
+        txn_fraction: float = 0.0,
+        txn_factory: Optional[Callable[[str, int], List[Tuple[int, bytes]]]] = None,
+    ) -> None:
+        super().__init__(sim, clients, rate, op_factory)
+        if not 0.0 <= txn_fraction <= 1.0:
+            raise ValueError("txn_fraction must be in [0, 1]")
+        if txn_fraction > 0.0 and txn_factory is None:
+            raise ValueError("txn_fraction > 0 needs a txn_factory")
+        self.txn_fraction = txn_fraction
+        self.txn_factory = txn_factory
+        self.txns_started = 0
+        self.txns_committed = 0
+        self.txns_aborted = 0
+        self.txns_skipped = 0
+
+    def _issue(self, client) -> None:
+        seq = self._seq.get(client.node_id, 0)
+        self._seq[client.node_id] = seq + 1
+        fraction = self.txn_fraction
+        if fraction > 0.0 and int((seq + 1) * fraction) > int(seq * fraction):
+            if client.txn_in_flight():
+                self.txns_skipped += 1
+                return
+            writes = self.txn_factory(client.node_id, seq)
+            self.offered += 1
+            self.txns_started += 1
+
+            def done_txn(committed: bool) -> None:
+                if committed:
+                    self.txns_committed += 1
+                else:
+                    self.txns_aborted += 1
+                self.completed += 1
+
+            client.invoke_txn_async(writes, done_txn)
+            return
+        if client._current is not None:
+            client.cancel()
+            self.cancelled += 1
         op = self.op_factory(client.node_id, seq)
         self.offered += 1
 

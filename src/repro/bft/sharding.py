@@ -1,0 +1,350 @@
+"""Sharded deployments: S independently-ordering BASE groups behind one map.
+
+A :class:`ShardedCluster` is S ordinary :class:`~repro.bft.cluster.Cluster`
+instances sharing one simulator, each with its *own* network and key table —
+shards are fully independent failure and ordering domains, exactly as if they
+were S separate services.  A deterministic :class:`~repro.base.shardmap.ShardMap`
+partitions the global abstract object space across them, so every party
+computes identical routing with no coordination.
+
+:class:`ShardedClient` is the routing front end: single-shard operations are
+rewritten to shard-local indices and sent straight through a per-shard
+sub-client (no extra hops, no cross-shard coordination — the common case the
+near-linear scaling claim rests on); multi-shard writes run through the
+client-coordinated 2PC layer in :mod:`repro.bft.txn`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.base.shardmap import ShardMap
+from repro.bft.client import Client
+from repro.bft.cluster import Cluster
+from repro.bft.config import BFTConfig
+from repro.bft.testing import HistoryRecorder, KVStateMachine, RecordingKV
+from repro.bft.txn import (
+    TxnCoordinator,
+    VoteClient,
+    encode_txn_decide,
+)
+from repro.net.network import NetworkConfig
+from repro.net.simulator import Simulator
+from repro.util.stats import Counters
+from repro.util.xdr import XdrDecoder, XdrEncoder
+
+
+class ShardedCluster:
+    """S BASE groups on one simulator, addressed through a shard map."""
+
+    def __init__(self, clusters: List[Cluster], shardmap: ShardMap) -> None:
+        if len(clusters) != shardmap.num_shards:
+            raise ValueError("one cluster per shard")
+        self.clusters = clusters
+        self.shardmap = shardmap
+        self.sim = clusters[0].sim
+        self._clients: Dict[str, "ShardedClient"] = {}
+
+    def shard(self, shard: int) -> Cluster:
+        return self.clusters[shard]
+
+    def client(self, client_id: str) -> "ShardedClient":
+        if client_id not in self._clients:
+            self._clients[client_id] = ShardedClient(client_id, self)
+        return self._clients[client_id]
+
+    # -- control (fan out to every group) ---------------------------------------------
+
+    def heal(self) -> None:
+        for cluster in self.clusters:
+            cluster.heal()
+
+    def restart_all_down(self) -> None:
+        for cluster in self.clusters:
+            cluster.restart_all_down()
+
+    def settle(self, duration: float = 0.5) -> None:
+        self.sim.run_for(duration)
+
+    # -- metrics ----------------------------------------------------------------------
+
+    def total_counters(self) -> Counters:
+        total = Counters()
+        for cluster in self.clusters:
+            total.merge(cluster.total_counters())
+            for host in cluster.hosts.values():
+                participant = getattr(host.service, "participant", None)
+                if participant is not None:
+                    total.merge(participant.counters)
+        for client in self._clients.values():
+            total.merge(client.counters)
+        return total
+
+
+class ShardedClient:
+    """Routes global-index operations to their shard; drives 2PC across shards.
+
+    Holds one plain sub-client per shard (single-shard traffic) and one
+    :class:`~repro.bft.txn.VoteClient` per shard (transaction traffic), all
+    sharing this client's id prefix — distinct ids per network role keep the
+    one-outstanding-invocation discipline of the underlying BFT client while
+    a transaction and a routed read never block each other.
+    """
+
+    def __init__(self, client_id: str, cluster: ShardedCluster) -> None:
+        self.node_id = client_id
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.shardmap = cluster.shardmap
+        self.counters = Counters()
+        self._active: Optional[Client] = None
+        self._coordinator: Optional[TxnCoordinator] = None
+        self._txn_seq = 0
+        self._abandon_seq = 0
+
+    # -- sub-clients ------------------------------------------------------------------
+
+    def _single_sub(self, shard: int) -> Client:
+        return self.cluster.shard(shard).client(self.node_id)
+
+    def _txn_sub(self, shard: int) -> VoteClient:
+        client = self.cluster.shard(shard).client(f"{self.node_id}.t", cls=VoteClient)
+        assert isinstance(client, VoteClient)
+        return client
+
+    # -- single-shard operations --------------------------------------------------------
+
+    def _route(self, op: bytes) -> Tuple[int, bytes]:
+        """Rewrite a global-index SET/GET/APPEND to its shard-local form."""
+        dec = XdrDecoder(op)
+        command = dec.unpack_string()
+        index = dec.unpack_u32()
+        shard = self.shardmap.shard_of(index)
+        enc = XdrEncoder()
+        enc.pack_string(command).pack_u32(self.shardmap.local_index(index))
+        if command != "GET":
+            enc.pack_opaque(dec.unpack_opaque())
+        return shard, enc.getvalue()
+
+    def invoke_async(
+        self,
+        op: bytes,
+        callback: Callable[[bytes], None],
+        read_only: bool = False,
+    ) -> int:
+        shard, local_op = self._route(op)
+        sub = self._single_sub(shard)
+        self._active = sub
+        self.counters.add("sharded_invokes")
+
+        def finish(result: bytes) -> None:
+            if self._active is sub:
+                self._active = None
+            callback(result)
+
+        return sub.invoke_async(local_op, finish, read_only=read_only)
+
+    def invoke(self, op: bytes, read_only: bool = False, timeout: float = 60.0) -> bytes:
+        box: list = []
+        self.invoke_async(op, box.append, read_only=read_only)
+        ok = self.sim.run_until_condition(lambda: bool(box), timeout=timeout)
+        if not ok:
+            from repro.bft.client import InvocationTimeout
+
+            raise InvocationTimeout(
+                f"sharded request from {self.node_id} got no quorum "
+                f"within {timeout}s of virtual time"
+            )
+        return box[0]
+
+    @property
+    def _current(self):
+        """Duck-type the plain client's in-flight marker (the open-loop
+        generator checks it before cancelling); transactions are tracked
+        separately and never show up here."""
+        return self._active._current if self._active is not None else None
+
+    def cancel(self) -> None:
+        """Abandon the in-flight single-shard invocation (transactions are
+        abandoned via :meth:`abandon_txn`, which must retransmit)."""
+        if self._active is not None:
+            self._active.cancel()
+            self._active = None
+
+    # -- cross-shard transactions --------------------------------------------------------
+
+    def txn_in_flight(self) -> bool:
+        return self._coordinator is not None
+
+    def invoke_txn_async(
+        self,
+        writes: List[Tuple[int, bytes]],
+        callback: Callable[[bool], None],
+    ) -> str:
+        """Atomically apply ``writes`` (global index, value) across shards.
+
+        ``callback(committed)`` fires once every participant shard has
+        acknowledged the decision."""
+        if self._coordinator is not None:
+            raise RuntimeError(
+                f"client {self.node_id} already has a transaction in flight"
+            )
+        self._txn_seq += 1
+        txid = f"{self.node_id}:{self._txn_seq}"
+        writes_by_shard: Dict[int, List[Tuple[int, bytes]]] = {}
+        for index, value in writes:
+            shard = self.shardmap.shard_of(index)
+            writes_by_shard.setdefault(shard, []).append(
+                (self.shardmap.local_index(index), value)
+            )
+        clients = {shard: self._txn_sub(shard) for shard in writes_by_shard}
+        for sub in clients.values():
+            if sub._current is not None:
+                # Leftover invocation from an abandoned transaction.
+                sub.cancel()
+        config = self.cluster.shard(0).config
+        self.counters.add("txns_started")
+
+        def finish(committed: bool) -> None:
+            self._coordinator = None
+            self.counters.add("txns_committed" if committed else "txns_aborted")
+            callback(committed)
+
+        coordinator = TxnCoordinator(txid, writes_by_shard, clients, config, finish)
+        self._coordinator = coordinator
+        coordinator.start()
+        return txid
+
+    def invoke_txn(
+        self, writes: List[Tuple[int, bytes]], timeout: float = 8.0
+    ) -> Optional[bool]:
+        """Blocking transaction: True committed, False aborted, None abandoned
+        (outcome delegated to retransmission after a timeout)."""
+        box: list = []
+        self.invoke_txn_async(writes, box.append)
+        ok = self.sim.run_until_condition(lambda: bool(box), timeout=timeout)
+        if not ok:
+            self.abandon_txn()
+            return None
+        return box[0]
+
+    def abandon_txn(self) -> None:
+        """Stop waiting for the in-flight transaction without split-braining
+        it: retransmit the decision the coordinator *reached* if it reached
+        one (its commit decide may already be ordered on some shard — an
+        invented abort would violate atomicity), abort otherwise.  Throwaway
+        one-shot clients keep retransmitting until each shard's quorum
+        acknowledges, which is exactly the coordinator-recovery story:
+        anyone can finish a decided transaction."""
+        coordinator = self._coordinator
+        if coordinator is None:
+            return
+        coordinator.cancel()
+        self._coordinator = None
+        decision = coordinator.decision if coordinator.decision is not None else False
+        op = encode_txn_decide(coordinator.txid, decision)
+        self.counters.add("txns_abandoned")
+        for shard in coordinator.contacted:
+            sub = coordinator.clients[shard]
+            if sub._current is not None:
+                sub.cancel()
+            self._abandon_seq += 1
+            finisher = self.cluster.shard(shard).client(
+                f"{self.node_id}.x{self._abandon_seq}"
+            )
+            finisher.invoke_async(op, lambda result: None)
+
+
+# -- builders ------------------------------------------------------------------------
+
+
+def _per_shard_net_config(net_config: Optional[NetworkConfig]) -> Optional[NetworkConfig]:
+    # Each shard gets its own copy so per-shard bandwidth squeezes and drops
+    # stay independent.
+    return dataclasses.replace(net_config) if net_config is not None else None
+
+
+def sharded_kv_cluster(
+    num_shards: int,
+    config: Optional[BFTConfig] = None,
+    seed: int = 0,
+    objects_per_shard: int = 16,
+    net_config: Optional[NetworkConfig] = None,
+) -> ShardedCluster:
+    """S KV groups on one simulator; each shard's service runs transactional
+    (one cell per shard reserved for the 2PC participant table)."""
+    sim = Simulator(seed=seed)
+    shardmap = ShardMap(num_shards, num_shards * objects_per_shard)
+    clusters = []
+    for shard in range(num_shards):
+        disks: Dict[str, dict] = {}
+
+        def factory_for(replica_id: str, disks=disks):
+            disks.setdefault(replica_id, {})
+
+            def make() -> KVStateMachine:
+                return KVStateMachine(
+                    num_slots=objects_per_shard + 1,
+                    disk=disks[replica_id],
+                    transactional=True,
+                )
+
+            return make
+
+        clusters.append(
+            Cluster(
+                factory_for,
+                config=config,
+                sim=sim,
+                net_config=_per_shard_net_config(net_config),
+            )
+        )
+    return ShardedCluster(clusters, shardmap)
+
+
+def sharded_recording_cluster(
+    num_shards: int,
+    config: Optional[BFTConfig] = None,
+    seed: int = 0,
+    objects_per_shard: int = 8,
+    net_config: Optional[NetworkConfig] = None,
+    repair=None,
+) -> Tuple[ShardedCluster, List[HistoryRecorder]]:
+    """Recording variant for the safety oracles: one
+    :class:`~repro.bft.testing.HistoryRecorder` per shard, returned in shard
+    order.  Per-replica disks are kept internally so state (and recorded
+    histories) survives proactive-recovery reboots."""
+    sim = Simulator(seed=seed)
+    shardmap = ShardMap(num_shards, num_shards * objects_per_shard)
+    clusters = []
+    recorders: List[HistoryRecorder] = []
+    for shard in range(num_shards):
+        recorder = HistoryRecorder()
+        recorders.append(recorder)
+        disks: Dict[str, dict] = {}
+
+        def factory_for(replica_id: str, recorder=recorder, disks=disks):
+            disks.setdefault(replica_id, {})
+
+            def make() -> RecordingKV:
+                return RecordingKV(
+                    recorder,
+                    replica_id,
+                    num_slots=objects_per_shard + 1,
+                    disk=disks[replica_id],
+                    transactional=True,
+                )
+
+            return make
+
+        clusters.append(
+            Cluster(
+                factory_for,
+                config=config,
+                sim=sim,
+                net_config=_per_shard_net_config(net_config),
+                repair=repair,
+            )
+        )
+    return ShardedCluster(clusters, shardmap), recorders

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.base.statemgr import AbstractStateManager, genesis_root_digest
 from repro.bft.service import StateMachine
+from repro.bft.txn import TxnParticipant, decode_txn_op
 from repro.faults.buggy import POISON
 from repro.util.errors import FaultInjected
 from repro.util.xdr import XdrDecoder, XdrEncoder
@@ -42,13 +43,29 @@ def encode_append(index: int, value: bytes) -> bytes:
 class KVStateMachine(StateMachine):
     """Array-of-cells service with write-through persistence."""
 
-    def __init__(self, num_slots: int = 64, disk: Optional[Dict[int, bytes]] = None, arity: int = 4) -> None:
+    def __init__(
+        self,
+        num_slots: int = 64,
+        disk: Optional[Dict[int, bytes]] = None,
+        arity: int = 4,
+        transactional: bool = False,
+    ) -> None:
         self.num_slots = num_slots
         self.disk = disk if disk is not None else {}
         self.cells: List[bytes] = [self.disk.get(i, b"") for i in range(num_slots)]
         self.arity = arity
         self.manager = AbstractStateManager(num_slots, self._get_obj, arity=arity)
         self.executed_ops = 0
+        # Transactional mode reserves the last cell for the 2PC participant
+        # table; data ops then address only [0, num_slots - 1).  Built last:
+        # the participant reloads its mirrors from the cells above.
+        self.participant: Optional[TxnParticipant] = (
+            TxnParticipant(self, num_slots - 1) if transactional else None
+        )
+
+    def data_slots(self) -> int:
+        """Cells addressable by plain SET/GET/APPEND ops."""
+        return self.num_slots - 1 if self.participant is not None else self.num_slots
 
     def _get_obj(self, index: int) -> bytes:
         return self.cells[index]
@@ -56,15 +73,25 @@ class KVStateMachine(StateMachine):
     # -- execution ---------------------------------------------------------------
 
     def execute(self, op: bytes, client_id: str, nondet: bytes, read_only: bool = False) -> bytes:
+        if self.participant is not None:
+            txn_message = decode_txn_op(op)
+            if txn_message is not None:
+                if read_only:
+                    return b"ERR mutation in read-only request"
+                result = self.participant.execute(txn_message, client_id)
+                self.executed_ops += 1
+                return result
         dec = XdrDecoder(op)
         command = dec.unpack_string()
         index = dec.unpack_u32()
-        if index >= self.num_slots:
+        if index >= self.data_slots():
             return b"ERR index"
         if command == "GET":
             return self.cells[index]
         if read_only:
             return b"ERR mutation in read-only request"
+        if self.participant is not None and self.participant.locked(index):
+            return b"ERR locked"
         value = dec.unpack_opaque()
         self.manager.modify(index)
         if command == "SET":
@@ -91,7 +118,10 @@ class KVStateMachine(StateMachine):
                 self.cells[index] = value
                 self.disk[index] = value
 
-        return self.manager.rollback_speculation(apply)
+        rolled = self.manager.rollback_speculation(apply)
+        if self.participant is not None:
+            self.participant.reload()
+        return rolled
 
     # -- checkpointing / state transfer: delegate to the manager ----------------------
 
@@ -145,7 +175,10 @@ class KVStateMachine(StateMachine):
                 self.cells[index] = value
                 self.disk[index] = value
 
-        return self.manager.install_fetched(objects, seqno, apply)
+        root = self.manager.install_fetched(objects, seqno, apply)
+        if self.participant is not None:
+            self.participant.reload()
+        return root
 
     def scan_corruption(self, start: int, budget: int) -> Tuple[List[int], int]:
         return self.manager.scan_for_corruption(start, budget)
@@ -157,6 +190,8 @@ class KVStateMachine(StateMachine):
                 self.disk[index] = value
 
         self.manager.repair_objects(objects, apply)
+        if self.participant is not None:
+            self.participant.reload()
 
 
 class HistoryRecorder:

@@ -1,0 +1,338 @@
+"""Cross-shard transactions: client-coordinated 2PC over per-shard BFT groups.
+
+The Basil-style layering (PAPERS.md): each shard is an ordinary BASE group
+that orders *everything* — including transaction traffic — through its normal
+pre-prepare/prepare/commit pipeline.  The transactional layer adds no new
+replica-to-replica protocol; it rides entirely on the existing client API:
+
+* A :class:`~repro.bft.messages.TxnPrepare` / :class:`~repro.bft.messages.TxnDecide`
+  message's canonical encoding travels as the ``op`` bytes of a normal
+  :class:`~repro.bft.messages.Request`, so at-most-once execution comes from
+  the replicated client table (reqid-monotone per client, part of the Merkle
+  abstract state) and durability from ordinary checkpoints.
+* The coordinator is the *client* (:class:`TxnCoordinator`): phase 1 fans a
+  prepare out to every participant shard and collects an f+1 commit-vote
+  certificate per shard; the decision is commit iff every shard certifies a
+  commit vote.  Phase 2 fans the decision out; first decision ordered at a
+  shard wins and later decides are answered from the recorded outcome, so a
+  crashed coordinator is recovered by *anyone* retransmitting either decide.
+* The participant (:class:`TxnParticipant`) is deterministic replica-resident
+  state: prepared write sets, per-object locks, and decided-transaction
+  tombstones, all serialized into one reserved cell of the abstract object
+  array — so they are covered by checkpoints, state transfer, and the
+  speculation undo machinery for free (the whole point of the paper's
+  abstraction layer).
+
+Abort paths never leak locks: an abandoning coordinator retransmits the
+decision it reached if any (never inventing an abort for a transaction whose
+commit decide may already be ordered somewhere), and a decide ordered before
+its own prepare leaves a tombstone that makes the late prepare vote the
+decided way without acquiring locks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bft.client import Client
+from repro.bft.messages import Message, Reply, TxnDecide, TxnPrepare
+from repro.util.stats import Counters
+from repro.util.xdr import XdrDecoder, XdrEncoder, XdrError
+
+#: Participant replies, matched by the coordinator across f+1 replicas.
+VOTE_COMMIT = b"TXN VOTE-COMMIT"
+VOTE_ABORT = b"TXN VOTE-ABORT"
+TXN_COMMITTED = b"TXN COMMITTED"
+TXN_ABORTED = b"TXN ABORTED"
+
+_PREPARE_TAG = XdrEncoder().pack_string("TXN-PREPARE").getvalue()
+_DECIDE_TAG = XdrEncoder().pack_string("TXN-DECIDE").getvalue()
+
+
+def encode_txn_prepare(txid: str, writes: List[Tuple[int, bytes]]) -> bytes:
+    """The prepare's canonical encoding, used directly as request op bytes."""
+    return TxnPrepare(txid=txid, writes=list(writes)).signable_bytes()
+
+
+def encode_txn_decide(txid: str, commit: bool) -> bytes:
+    """The decision's canonical encoding, used directly as request op bytes."""
+    return TxnDecide(txid=txid, commit=commit).signable_bytes()
+
+
+def is_txn_op(op: bytes) -> bool:
+    return op.startswith(_PREPARE_TAG) or op.startswith(_DECIDE_TAG)
+
+
+def decode_txn_op(op: bytes) -> Optional[Message]:
+    """Parse op bytes back into a transaction message, or None for plain ops
+    (including ops that merely share the tag prefix but fail to parse)."""
+    if not is_txn_op(op):
+        return None
+    try:
+        dec = XdrDecoder(op)
+        tag = dec.unpack_string()
+        if tag == "TXN-PREPARE":
+            txid = dec.unpack_string()
+            count = dec.unpack_u32()
+            writes = [(dec.unpack_u32(), dec.unpack_opaque()) for _ in range(count)]
+            message: Message = TxnPrepare(txid=txid, writes=writes)
+        else:
+            message = TxnDecide(txid=dec.unpack_string(), commit=dec.unpack_bool())
+        dec.done()
+    except XdrError:
+        return None
+    return message
+
+
+class TxnParticipant:
+    """Per-replica transactional state, persisted in one abstract object.
+
+    The reserved ``table_index`` cell of the service's object array holds the
+    canonical serialization of everything ``execute`` reads: pending prepares
+    (vote + buffered write set) and decided-transaction tombstones.  Because
+    the cell is an ordinary abstract object, checkpoint digests cover it,
+    state transfer ships it, and speculation rollback restores it — the
+    in-memory mirrors here are rebuilt from the cell by :meth:`reload`
+    whenever the abstraction layer rewrites objects underneath us.
+
+    Tombstones are kept for decided transactions so that (a) a retransmitted
+    decide is answered with the recorded outcome and (b) a prepare ordered
+    *after* its transaction's decide (the abandon race) votes the decided way
+    without taking locks.  Production would garbage-collect tombstones below
+    a coordinator low-water mark; at simulation scale they stay.
+    """
+
+    def __init__(self, service, table_index: int) -> None:
+        if table_index < 1:
+            raise ValueError("transactional services need at least one data slot")
+        self.service = service
+        self.table_index = table_index
+        self.counters = Counters()
+        self._pending: Dict[str, Tuple[bool, List[Tuple[int, bytes]]]] = {}
+        self._decided: Dict[str, bool] = {}
+        self._locks: Dict[int, str] = {}
+        self.reload()
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def execute(self, message: Message, client_id: str) -> bytes:
+        if isinstance(message, TxnPrepare):
+            return self.apply_prepare(message)
+        if isinstance(message, TxnDecide):
+            return self.apply_decide(message)
+        return b"ERR unknown txn op"
+
+    # -- phase 1: prepare ------------------------------------------------------------
+
+    def apply_prepare(self, message: TxnPrepare) -> bytes:
+        self.counters.add("txn_prepares")
+        txid = message.txid
+        if txid in self._decided:
+            # Late prepare after an abandon decide: vote the decided way and
+            # take no locks — there is nothing left to decide.
+            return VOTE_COMMIT if self._decided[txid] else VOTE_ABORT
+        if txid in self._pending:
+            vote, _ = self._pending[txid]
+            return VOTE_COMMIT if vote else VOTE_ABORT
+        vote = True
+        for index, _value in message.writes:
+            if not 0 <= index < self.table_index:
+                vote = False
+            elif self._locks.get(index, txid) != txid:
+                self.counters.add("txn_lock_conflicts")
+                vote = False
+        self._pending[txid] = (vote, list(message.writes))
+        if vote:
+            for index, _value in message.writes:
+                self._locks[index] = txid
+            self.counters.add("txn_votes_commit")
+        else:
+            self.counters.add("txn_votes_abort")
+        self._persist()
+        return VOTE_COMMIT if vote else VOTE_ABORT
+
+    # -- phase 2: decide -------------------------------------------------------------
+
+    def apply_decide(self, message: TxnDecide) -> bytes:
+        self.counters.add("txn_decides")
+        txid = message.txid
+        if txid in self._decided:
+            # Retransmitted decide: answer from the recorded outcome.
+            self.counters.add("txn_decides_stale")
+            return TXN_COMMITTED if self._decided[txid] else TXN_ABORTED
+        if txid in self._pending:
+            vote, writes = self._pending.pop(txid)
+            committed = message.commit and vote
+            if committed:
+                for index, value in writes:
+                    self.service.manager.modify(index)
+                    self.service.cells[index] = value
+                    self.service.disk[index] = value
+            self._locks = {
+                index: owner for index, owner in self._locks.items() if owner != txid
+            }
+        else:
+            # Decide ordered before its prepare (abandon race).  A commit
+            # decision needs this shard's certified vote, which needs the
+            # prepare ordered first — so this path only ever records aborts.
+            committed = False
+        self._decided[txid] = committed
+        self.counters.add("txn_commits_applied" if committed else "txn_aborts_applied")
+        self._persist()
+        return TXN_COMMITTED if committed else TXN_ABORTED
+
+    # -- queries ----------------------------------------------------------------------
+
+    def locked(self, index: int) -> bool:
+        """Is ``index`` held by a prepared-but-undecided transaction?"""
+        return index in self._locks
+
+    @property
+    def decisions(self) -> Dict[str, bool]:
+        """txid -> committed, as recorded by this replica (oracle evidence)."""
+        return self._decided
+
+    # -- persistence -------------------------------------------------------------------
+
+    def reload(self) -> None:
+        """Rebuild the in-memory mirrors from the table cell (called after
+        reboot, state transfer, object repair, and speculation rollback)."""
+        self._pending = {}
+        self._decided = {}
+        self._locks = {}
+        blob = self.service.cells[self.table_index]
+        if not blob:
+            return
+        dec = XdrDecoder(blob)
+        for _ in range(dec.unpack_u32()):
+            txid = dec.unpack_string()
+            vote = dec.unpack_bool()
+            writes = [
+                (dec.unpack_u32(), dec.unpack_opaque())
+                for _ in range(dec.unpack_u32())
+            ]
+            self._pending[txid] = (vote, writes)
+            if vote:
+                for index, _value in writes:
+                    self._locks[index] = txid
+        for _ in range(dec.unpack_u32()):
+            txid = dec.unpack_string()
+            self._decided[txid] = dec.unpack_bool()
+
+    def _persist(self) -> None:
+        enc = XdrEncoder()
+        enc.pack_u32(len(self._pending))
+        for txid in sorted(self._pending):
+            vote, writes = self._pending[txid]
+            enc.pack_string(txid).pack_bool(vote).pack_u32(len(writes))
+            for index, value in writes:
+                enc.pack_u32(index)
+                enc.pack_opaque(value)
+        enc.pack_u32(len(self._decided))
+        for txid in sorted(self._decided):
+            enc.pack_string(txid).pack_bool(self._decided[txid])
+        blob = enc.getvalue()
+        self.service.manager.modify(self.table_index)
+        self.service.cells[self.table_index] = blob
+        self.service.disk[self.table_index] = blob
+
+
+class VoteClient(Client):
+    """Client whose reply provenance is inspectable.
+
+    The base client merges matching results and reports only the agreed
+    bytes; a 2PC coordinator additionally needs to know *which replicas*
+    produced the matching vote, so it can certify the vote against f+1
+    itself instead of trusting the merge."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.last_replies: Dict[str, bytes] = {}
+
+    def invoke_async(self, op, callback, read_only: bool = False) -> int:
+        self.last_replies = {}
+        return super().invoke_async(op, callback, read_only=read_only)
+
+    def _note_reply(self, message: Reply, src: str) -> None:
+        self.last_replies[src] = message.result
+
+
+class TxnCoordinator:
+    """Client-side 2PC driver for one transaction across several shards.
+
+    Phase 1 fans :class:`TxnPrepare` out through each participant shard's
+    vote client.  A shard's vote counts as commit only when f+1 of its
+    replicas said ``VOTE_COMMIT`` (one honest replica inside any f+1 set);
+    the first certified abort vote decides abort immediately.  Phase 2 fans
+    the :class:`TxnDecide` out and reports completion once every shard
+    acknowledged its decide.  ``decision`` stays readable after ``cancel``
+    so an abandoning caller can retransmit the reached outcome instead of
+    inventing one.
+    """
+
+    def __init__(
+        self,
+        txid: str,
+        writes_by_shard: Dict[int, List[Tuple[int, bytes]]],
+        clients: Dict[int, VoteClient],
+        config,
+        callback: Callable[[bool], None],
+    ) -> None:
+        self.txid = txid
+        self.writes_by_shard = writes_by_shard
+        self.clients = clients
+        self.config = config
+        self.callback = callback
+        self.contacted: List[int] = sorted(writes_by_shard)
+        self.votes: Dict[int, bool] = {}
+        self.acks: Dict[int, bool] = {}
+        self.decision: Optional[bool] = None
+        self.done = False
+        self.cancelled = False
+
+    def start(self) -> None:
+        for shard in self.contacted:
+            op = encode_txn_prepare(self.txid, self.writes_by_shard[shard])
+            self.clients[shard].invoke_async(
+                op, lambda result, shard=shard: self._on_vote(shard, result)
+            )
+
+    def _on_vote(self, shard: int, result: bytes) -> None:
+        if self.cancelled or self.decision is not None:
+            return
+        vote_replies = [
+            src
+            for src, reply in self.clients[shard].last_replies.items()
+            if reply == result
+        ]
+        certified = len(vote_replies) >= self.config.weak_quorum
+        self.votes[shard] = certified and result == VOTE_COMMIT
+        if not self.votes[shard]:
+            self._decide(False)
+        elif len(self.votes) == len(self.contacted):
+            self._decide(True)
+
+    def _decide(self, commit: bool) -> None:
+        self.decision = commit
+        op = encode_txn_decide(self.txid, commit)
+        for shard in self.contacted:
+            client = self.clients[shard]
+            if client._current is not None:
+                # Abort before every vote arrived: drop the outstanding
+                # prepare; the decide tombstone neutralizes it server-side.
+                client.cancel()
+            client.invoke_async(
+                op, lambda result, shard=shard: self._on_ack(shard, result)
+            )
+
+    def _on_ack(self, shard: int, result: bytes) -> None:
+        if self.cancelled:
+            return
+        self.acks[shard] = True
+        if len(self.acks) == len(self.contacted) and not self.done:
+            self.done = True
+            self.callback(bool(self.decision))
+
+    def cancel(self) -> None:
+        """Stop driving the protocol (the caller handles retransmission)."""
+        self.cancelled = True

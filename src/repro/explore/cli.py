@@ -14,7 +14,7 @@ from typing import List, Optional
 from repro.explore.plan import FaultPlan
 from repro.explore.runner import explore, replay
 from repro.explore.shrink import load_artifact, write_artifact
-from repro.faults.plant import PLANTED_BUGS
+from repro.faults.plant import PLANTED_BUGS, SHARDED_PLANTED_BUGS
 
 EXIT_OK = 0
 EXIT_VIOLATION = 1
@@ -38,9 +38,17 @@ def _explore_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--plant",
-        choices=sorted(PLANTED_BUGS),
+        choices=sorted(set(PLANTED_BUGS) | set(SHARDED_PLANTED_BUGS)),
         default=None,
         help="plant a known protocol regression (exploration should find it)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="explore against a sharded deployment of N independent BASE "
+        "groups with a cross-shard transactional workload (default 1: the "
+        "classic single-group exploration)",
     )
     parser.add_argument(
         "--check-interval",
@@ -96,20 +104,59 @@ def explore_main(argv: List[str]) -> int:
     if args.budget < 1 or args.requests < 1:
         print("explore: --budget and --requests must be >= 1", file=sys.stderr)
         return EXIT_USAGE
+    if args.shards < 1:
+        print("explore: --shards must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
     log = None if args.quiet else print
-    result = explore(
-        budget=args.budget,
-        seed=args.seed,
-        requests=args.requests,
-        max_steps=args.max_steps,
-        plant=args.plant,
-        check_interval=args.check_interval,
-        shrink=not args.no_shrink,
-        implementation_faults=args.impl_faults,
-        overload=args.overload,
-        log=log,
-        config_overrides=FAST_PATH_OVERRIDES if args.fast_path else None,
-    )
+    if args.shards > 1:
+        if args.impl_faults or args.overload or args.fast_path:
+            print(
+                "explore: --impl-faults/--overload/--fast-path are "
+                "single-group features; not supported with --shards",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        if args.plant is not None and args.plant not in SHARDED_PLANTED_BUGS:
+            print(
+                f"explore: plant {args.plant!r} targets a single group; "
+                f"sharded plants: {sorted(SHARDED_PLANTED_BUGS)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        from repro.explore.sharded import explore_sharded
+
+        result = explore_sharded(
+            budget=args.budget,
+            seed=args.seed,
+            requests=args.requests,
+            max_steps=args.max_steps,
+            num_shards=args.shards,
+            plant=args.plant,
+            check_interval=args.check_interval,
+            shrink=not args.no_shrink,
+            log=log,
+        )
+    else:
+        if args.plant is not None and args.plant not in PLANTED_BUGS:
+            print(
+                f"explore: plant {args.plant!r} needs a sharded deployment; "
+                f"pass --shards 2 (or more)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        result = explore(
+            budget=args.budget,
+            seed=args.seed,
+            requests=args.requests,
+            max_steps=args.max_steps,
+            plant=args.plant,
+            check_interval=args.check_interval,
+            shrink=not args.no_shrink,
+            implementation_faults=args.impl_faults,
+            overload=args.overload,
+            log=log,
+            config_overrides=FAST_PATH_OVERRIDES if args.fast_path else None,
+        )
     if not result.found:
         print(
             f"explore: {result.plans_run} plans (seed {result.seed}) "
@@ -125,6 +172,7 @@ def explore_main(argv: List[str]) -> int:
         final_violation,
         plant=args.plant,
         original_plan=result.plan if result.shrunk_plan else None,
+        shards=args.shards,
     )
     print(
         f"explore: VIOLATION [{final_violation.oracle}] after "
@@ -173,8 +221,10 @@ def replay_main(argv: List[str]) -> int:
     try:
         import json
 
-        if json.loads(path.read_text()).get("format") == "soak":
+        raw = json.loads(path.read_text())
+        if raw.get("format") == "soak":
             return _replay_soak(path)
+        shards = int(raw.get("shards", 1))
     except (ValueError, OSError) as exc:
         print(f"replay: malformed artifact: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -183,12 +233,26 @@ def replay_main(argv: List[str]) -> int:
     except (ValueError, KeyError) as exc:
         print(f"replay: malformed artifact: {exc}", file=sys.stderr)
         return EXIT_USAGE
-    outcome = replay(
-        plan,
-        plant=plant,
-        check_interval=args.check_interval,
-        config_overrides=FAST_PATH_OVERRIDES if args.fast_path else None,
-    )
+    if shards > 1:
+        if args.fast_path:
+            print(
+                "replay: --fast-path is a single-group feature; this artifact "
+                "was recorded against a sharded deployment",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        from repro.explore.sharded import replay_sharded
+
+        outcome = replay_sharded(
+            plan, num_shards=shards, plant=plant, check_interval=args.check_interval
+        )
+    else:
+        outcome = replay(
+            plan,
+            plant=plant,
+            check_interval=args.check_interval,
+            config_overrides=FAST_PATH_OVERRIDES if args.fast_path else None,
+        )
     if outcome.violation is None:
         print(
             f"replay: no violation (recorded run saw [{recorded.get('oracle')}]); "

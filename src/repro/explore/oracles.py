@@ -96,11 +96,13 @@ class OracleSuite:
         recorder: HistoryRecorder,
         byzantine: Iterable[str] = (),
         check_interval: int = 10,
+        label: str = "",
     ) -> None:
         self.cluster = cluster
         self.recorder = recorder
         self.byzantine: FrozenSet[str] = frozenset(byzantine)
         self.check_interval = max(1, check_interval)
+        self.label = label
         self.violations: List[Violation] = []
         # First-seen-wins evidence maps; conflicts are violations.  Keeping
         # them across checks is what defeats garbage collection: a committed
@@ -150,7 +152,7 @@ class OracleSuite:
     def record_violation(self, oracle: str, detail: str) -> None:
         violation = Violation(
             oracle=oracle,
-            detail=detail,
+            detail=self.label + detail,
             time=self.cluster.sim.now(),
             event_index=self.cluster.sim.events_processed,
         )
@@ -293,3 +295,105 @@ class OracleSuite:
                         f"{digest.hex()[:12]} but {seen[1]} has "
                         f"{seen[0].hex()[:12]}",
                     )
+
+
+class ShardedOracleSuite:
+    """Safety oracles over a sharded deployment.
+
+    The single-group properties (prefix, commit-agreement, at-most-once,
+    view-monotonicity, checkpoint-stability) generalize to per-shard
+    histories by construction: each shard is an independent ordering domain,
+    so one labelled :class:`OracleSuite` runs against each group's recorder
+    and its violations name the shard.  On top of those, one property no
+    single group can state:
+
+    * **cross-shard-atomicity** — every correct replica (of any shard) that
+      records an outcome for a transaction records the *same* outcome: a
+      txid committed on one shard and aborted on another is the canonical
+      2PC atomicity violation.  Evidence is the participants' decided-txn
+      tombstones, which live in the Merkle abstract state and are
+      first-seen-wins here — a later flip (even one later garbage-collected
+      or rolled back) is still caught.
+    """
+
+    def __init__(
+        self,
+        sharded,
+        recorders: List[HistoryRecorder],
+        byzantine: Iterable[str] = (),
+        check_interval: int = 10,
+    ) -> None:
+        self.sharded = sharded
+        # Fault steps target shard 0 (see explore/sharded.py), so only its
+        # suite excludes the plan's byzantine replicas.
+        self.suites: List[OracleSuite] = [
+            OracleSuite(
+                cluster,
+                recorder,
+                byzantine=byzantine if shard == 0 else (),
+                check_interval=check_interval,
+                label=f"shard{shard}:",
+            )
+            for shard, (cluster, recorder) in enumerate(
+                zip(sharded.clusters, recorders)
+            )
+        ]
+        self.check_interval = max(1, check_interval)
+        self._decisions: Dict[str, Tuple[bool, str]] = {}
+        self._events_since_check = 0
+        self._uninstall: Optional[Callable[[], None]] = None
+
+    @property
+    def violations(self) -> List[Violation]:
+        merged: List[Violation] = []
+        for suite in self.suites:
+            merged.extend(suite.violations)
+        return merged
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def install(self) -> Callable[[], None]:
+        """One step hook drives the per-shard checks and the cross-shard one
+        (the shards share a simulator)."""
+        self._uninstall = self.sharded.sim.add_step_hook(self._on_event)
+        return self._uninstall
+
+    def uninstall(self) -> None:
+        if self._uninstall is not None:
+            self._uninstall()
+            self._uninstall = None
+
+    def _on_event(self) -> None:
+        self._events_since_check += 1
+        if self._events_since_check >= self.check_interval:
+            self._events_since_check = 0
+            self.check_now()
+
+    # -- the oracles ---------------------------------------------------------------
+
+    def check_now(self) -> None:
+        for suite in self.suites:
+            suite.check_now()
+        self._check_cross_shard_atomicity()
+
+    def _check_cross_shard_atomicity(self) -> None:
+        for shard, suite in enumerate(self.suites):
+            for rid, host in suite.correct_hosts():
+                participant = getattr(host.service, "participant", None)
+                if participant is None:
+                    continue
+                decisions = participant.decisions
+                for txid in sorted(decisions):
+                    committed = decisions[txid]
+                    source = f"shard{shard}/{rid}"
+                    seen = self._decisions.get(txid)
+                    if seen is None:
+                        self._decisions[txid] = (committed, source)
+                    elif seen[0] != committed:
+                        suite.record_violation(
+                            "cross-shard-atomicity",
+                            f"txn {txid} {'committed' if committed else 'aborted'}"
+                            f" at {source} but "
+                            f"{'committed' if seen[0] else 'aborted'} at "
+                            f"{seen[1]}",
+                        )

@@ -1,0 +1,298 @@
+"""Exploration against sharded deployments: fault plans on one shard, a
+cross-shard transactional workload over all of them, and the generalized
+oracle suite watching every group plus the 2PC layer.
+
+``run_sharded_plan`` mirrors :func:`repro.explore.runner.run_plan` for a
+:class:`~repro.bft.sharding.ShardedCluster`: the plan's benign and Byzantine
+steps are applied to shard 0 (the other shards stay fault-free, which is
+exactly what makes cross-shard violations attributable), while the workload
+interleaves single-shard writes across all shards with cross-shard
+transactions, so crash/partition windows on shard 0 overlap in-flight 2PC.
+The per-shard prefix/commit-agreement/at-most-once/checkpoint oracles and the
+cross-shard atomicity oracle run continuously throughout.
+
+Overload, implementation-fault, and campaign steps are single-group features
+and are rejected here; plans generated with the defaults never contain them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.bft.client import InvocationTimeout
+from repro.bft.config import BFTConfig
+from repro.bft.testing import encode_set
+from repro.explore.oracles import OracleViolation, ShardedOracleSuite, Violation
+from repro.explore.plan import (
+    CAMPAIGN_KINDS,
+    IMPLEMENTATION_KINDS,
+    OVERLOAD_KINDS,
+    FaultPlan,
+    generate_plan,
+)
+from repro.explore.runner import (
+    _VERDICT_COUNTERS,
+    ExploreResult,
+    RunOutcome,
+    _apply_step,
+)
+from repro.explore.shrink import shrink_plan
+from repro.faults.plant import SHARDED_PLANTED_BUGS
+from repro.net.network import NetworkConfig
+
+#: Per-shard slot layout for the sharded workload (objects_per_shard = 8,
+#: slot 8 of each shard being the reserved participant table): singles write
+#: slots 0..5, cross-shard transactions write slot 6, liveness probes slot 7.
+_OBJECTS_PER_SHARD = 8
+_TXN_SLOT = 6
+_PROBE_SLOT = 7
+
+#: Transaction-layer counters surfaced in every sharded verdict.
+_TXN_COUNTERS = (
+    "txns_started",
+    "txns_committed",
+    "txns_aborted",
+    "txns_abandoned",
+    "txn_commits_applied",
+    "txn_aborts_applied",
+    "txn_lock_conflicts",
+)
+
+_UNSUPPORTED_KINDS = IMPLEMENTATION_KINDS | OVERLOAD_KINDS | CAMPAIGN_KINDS
+
+
+def _reject_unsupported(plan: FaultPlan) -> None:
+    unsupported = sorted({s.kind for s in plan.steps if s.kind in _UNSUPPORTED_KINDS})
+    if unsupported:
+        raise ValueError(
+            f"sharded exploration does not support step kinds {unsupported} "
+            f"(single-group features)"
+        )
+    if plan.topology:
+        raise ValueError("sharded exploration does not support topology presets")
+
+
+def run_sharded_plan(
+    plan: FaultPlan,
+    num_shards: int = 2,
+    plant: Optional[str] = None,
+    check_interval: int = 10,
+    liveness_timeout: float = 30.0,
+) -> RunOutcome:
+    """Execute one fault plan against a fresh sharded cluster.
+
+    Deterministic: (plan, num_shards, plant) fully determine the verdict."""
+    _reject_unsupported(plan)
+    if plant is not None and plant not in SHARDED_PLANTED_BUGS:
+        raise ValueError(f"unknown sharded planted bug {plant!r}")
+    from repro.bft.sharding import sharded_recording_cluster
+
+    sharded, recorders = sharded_recording_cluster(
+        num_shards,
+        config=BFTConfig(
+            checkpoint_interval=8,
+            log_window=16,
+            recovery_period=plan.recovery_period,
+            overload_damping=True,
+        ),
+        seed=plan.seed,
+        objects_per_shard=_OBJECTS_PER_SHARD,
+        net_config=NetworkConfig(
+            delay=0.0005, jitter=0.0005, drop_rate=plan.drop_rate
+        ),
+    )
+    suite = ShardedOracleSuite(
+        sharded,
+        recorders,
+        byzantine=plan.byzantine_targets(),
+        check_interval=check_interval,
+    )
+    suite.install()
+    if plant is not None:
+        # Re-apply each event so the bug survives reboots (recovery swaps
+        # the service objects the sabotage was patched onto).
+        sharded.sim.add_step_hook(SHARDED_PLANTED_BUGS[plant](sharded))
+    if plan.perturb_seed is not None:
+        sharded.sim.set_tiebreak(random.Random(plan.perturb_seed), window=4)
+
+    drop_removers: List[Callable[[], None]] = []
+    faulted = sharded.shard(0)
+    for step in plan.steps:
+        sharded.sim.schedule(
+            max(0.0, step.at),
+            lambda s=step: _apply_step(faulted, s, drop_removers, None),
+        )
+    if plan.recovery_period > 0:
+        for cluster in sharded.clusters:
+            cluster.start_proactive_recovery()
+
+    client = sharded.client("C0")
+    completed = 0
+    violation: Optional[Violation] = None
+
+    def txn_writes(i: int) -> List:
+        home = i % num_shards
+        value = bytes([i % 251, plan.seed % 251, 0x54])
+        first = sharded.shardmap.global_index(home, _TXN_SLOT)
+        if num_shards == 1:
+            return [(first, value)]
+        other = sharded.shardmap.global_index((home + 1) % num_shards, _TXN_SLOT)
+        return [(first, value), (other, value + b"'")]
+
+    def record_liveness_timeout(detail: str) -> Violation:
+        failure = Violation(
+            oracle="liveness",
+            detail=detail,
+            time=sharded.sim.now(),
+            event_index=sharded.sim.events_processed,
+        )
+        suite.suites[0].violations.append(failure)
+        return failure
+
+    try:
+        for i in range(plan.requests):
+            if i % 4 == 3:
+                # Every fourth request is a cross-shard transaction, so 2PC
+                # is always in flight across the plan's fault windows.
+                decision = client.invoke_txn(txn_writes(i), timeout=8.0)
+                if decision is not None:
+                    completed += 1
+            else:
+                shard = i % num_shards
+                index = sharded.shardmap.global_index(shard, i % _TXN_SLOT)
+                op = encode_set(index, bytes([i % 251, plan.seed % 251]))
+                try:
+                    reply = client.invoke(op, timeout=8.0)
+                    if reply == b"OK":
+                        completed += 1
+                except InvocationTimeout:
+                    client.cancel()
+        horizon = max((s.at for s in plan.steps), default=0.0) + 0.5
+        if sharded.sim.now() < horizon:
+            sharded.sim.run_until(horizon)
+        # Heal the world, then demand liveness from every shard *and* from
+        # the cross-shard layer.
+        sharded.heal()
+        sharded.restart_all_down()
+        for remove in list(drop_removers):
+            remove()
+        for cluster in sharded.clusters:
+            cluster.network.config.drop_rate = 0.0
+        sharded.settle(2.0)
+        suite.check_now()
+        for shard in range(num_shards):
+            probe = sharded.shardmap.global_index(shard, _PROBE_SLOT)
+            try:
+                client.invoke(
+                    encode_set(probe, b"liveness-probe"), timeout=liveness_timeout
+                )
+            except InvocationTimeout:
+                client.cancel()
+                violation = record_liveness_timeout(
+                    f"shard{shard}: no reply quorum within {liveness_timeout}s "
+                    f"of virtual time after all faults were healed"
+                )
+                break
+        if violation is None:
+            # A cross-shard decision (commit or abort, either is live) must
+            # also be reachable once the world is healed.
+            decision = client.invoke_txn(
+                txn_writes(plan.requests), timeout=liveness_timeout
+            )
+            if decision is None:
+                violation = record_liveness_timeout(
+                    f"cross-shard transaction reached no decision within "
+                    f"{liveness_timeout}s of virtual time after all faults "
+                    f"were healed"
+                )
+        if violation is None:
+            suite.check_now()
+    except OracleViolation as caught:
+        violation = caught.violation
+    totals = sharded.total_counters()
+    counters = {name: totals.get(name) for name in _VERDICT_COUNTERS}
+    for name in _TXN_COUNTERS:
+        counters[name] = totals.get(name)
+    return RunOutcome(
+        violation=violation,
+        completed=completed,
+        events=sharded.sim.events_processed,
+        counters=counters,
+    )
+
+
+def explore_sharded(
+    budget: int = 25,
+    seed: int = 0,
+    requests: int = 24,
+    max_steps: int = 6,
+    num_shards: int = 2,
+    plant: Optional[str] = None,
+    check_interval: int = 10,
+    shrink: bool = True,
+    max_shrink_runs: int = 64,
+    log: Optional[Callable[[str], None]] = None,
+) -> ExploreResult:
+    """Sharded exploration session: same plan stream and shrink discipline as
+    :func:`repro.explore.runner.explore`, executed against ``num_shards``
+    groups with the cross-shard workload and oracles."""
+    master = random.Random(seed)
+    result = ExploreResult(seed=seed, budget=budget, plans_run=0)
+    for index in range(budget):
+        plan = generate_plan(
+            master.randrange(2**31), requests=requests, max_steps=max_steps
+        )
+        outcome = run_sharded_plan(
+            plan, num_shards=num_shards, plant=plant, check_interval=check_interval
+        )
+        result.plans_run += 1
+        result.verdicts.append(
+            {"index": index, "plan": plan.to_dict(), "outcome": outcome.to_dict()}
+        )
+        if log is not None:
+            status = outcome.violation.oracle if outcome.violation else "ok"
+            log(
+                f"plan {index + 1}/{budget}: {len(plan.steps)} steps, "
+                f"{outcome.completed}/{plan.requests} acked, "
+                f"{outcome.events} events -> {status}"
+            )
+        if outcome.violation is not None:
+            result.plan = plan
+            result.violation = outcome.violation
+            if shrink:
+                if log is not None:
+                    log(f"shrinking {len(plan.steps)}-step violating plan ...")
+                shrunk = shrink_plan(
+                    plan,
+                    outcome.violation,
+                    lambda p: run_sharded_plan(
+                        p,
+                        num_shards=num_shards,
+                        plant=plant,
+                        check_interval=check_interval,
+                    ).violation,
+                    max_runs=max_shrink_runs,
+                )
+                result.shrunk_plan = shrunk.plan
+                result.shrunk_violation = shrunk.violation
+                result.shrink_runs = shrunk.runs
+                if log is not None:
+                    log(
+                        f"shrunk to {len(shrunk.plan.steps)} fault steps in "
+                        f"{shrunk.runs} runs"
+                    )
+            break
+    return result
+
+
+def replay_sharded(
+    plan: FaultPlan,
+    num_shards: int = 2,
+    plant: Optional[str] = None,
+    check_interval: int = 10,
+) -> RunOutcome:
+    """Re-execute a saved sharded plan exactly (same seeds, same verdict)."""
+    return run_sharded_plan(
+        plan, num_shards=num_shards, plant=plant, check_interval=check_interval
+    )

@@ -122,6 +122,7 @@ def artifact_dict(
     violation: Violation,
     plant: Optional[str] = None,
     original_plan: Optional[FaultPlan] = None,
+    shards: int = 1,
 ) -> Dict:
     data: Dict = {
         "version": ARTIFACT_VERSION,
@@ -131,6 +132,10 @@ def artifact_dict(
     }
     if original_plan is not None:
         data["original_plan"] = original_plan.to_dict()
+    if shards != 1:
+        # Emitted only for sharded runs: single-group artifacts stay
+        # byte-identical to version-1 files written before sharding existed.
+        data["shards"] = shards
     return data
 
 
@@ -140,8 +145,11 @@ def write_artifact(
     violation: Violation,
     plant: Optional[str] = None,
     original_plan: Optional[FaultPlan] = None,
+    shards: int = 1,
 ) -> None:
-    data = artifact_dict(plan, violation, plant=plant, original_plan=original_plan)
+    data = artifact_dict(
+        plan, violation, plant=plant, original_plan=original_plan, shards=shards
+    )
     Path(path).write_text(json.dumps(data, sort_keys=True, indent=2) + "\n")
 
 

@@ -91,6 +91,48 @@ PLANTED_BUGS: Dict[str, Callable] = {
 }
 
 
+def plant_split_brain_decide(sharded) -> Callable[[], None]:
+    """Regression in the 2PC participant: every shard except shard 0 records
+    a commit decision as an abort (and skips applying the writes) — the way
+    a botched refactor of the decide path would, if it inverted the vote
+    check on just one code path.
+
+    Harmless while transactions stay single-shard, and invisible to every
+    per-shard oracle (each group is internally consistent).  The first
+    *cross-shard* transaction that commits is recorded committed on shard 0
+    and aborted elsewhere — exactly what the cross-shard atomicity oracle
+    exists to catch.
+    """
+
+    def ensure() -> None:
+        from repro.bft.messages import TxnDecide
+
+        for cluster in sharded.clusters[1:]:
+            for host in cluster.hosts.values():
+                participant = getattr(host.service, "participant", None)
+                if participant is None or getattr(participant, _PLANT_MARK, False):
+                    continue
+                original = participant.apply_decide
+
+                def lying_decide(message, original=original):
+                    if message.commit:
+                        message = TxnDecide(txid=message.txid, commit=False)
+                    return original(message)
+
+                participant.apply_decide = lying_decide  # type: ignore[method-assign]
+                setattr(participant, _PLANT_MARK, True)
+
+    ensure()
+    return ensure
+
+
+#: Plants that sabotage a sharded deployment (``repro explore --shards N
+#: --plant NAME``); they take a :class:`~repro.bft.sharding.ShardedCluster`.
+SHARDED_PLANTED_BUGS: Dict[str, Callable] = {
+    "split-brain-decide": plant_split_brain_decide,
+}
+
+
 #: Source-level mirrors of the runtime plants, for the *static* analyzer.
 #:
 #: The runtime plants above monkey-patch live replica objects, which an AST
@@ -126,5 +168,19 @@ SOURCE_MUTATIONS: Dict[str, Dict] = {
             ),
         ],
         "expect_rules": ["QUORUM504"],
+    },
+    # Static-only entry (no runtime plant): the 2PC coordinator's per-shard
+    # vote certificate weakened to f matching replies, which a single
+    # Byzantine replica could forge.  Pins that the QUORUM pass actually
+    # classifies the transaction layer's vote-counting site.
+    "weak-vote-certificate": {
+        "edits": [
+            (
+                "src/repro/bft/txn.py",
+                "len(vote_replies) >= self.config.weak_quorum",
+                "len(vote_replies) >= self.config.f  # BUG: should be f+1",
+            ),
+        ],
+        "expect_rules": ["QUORUM501"],
     },
 }

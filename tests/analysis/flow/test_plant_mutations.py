@@ -22,7 +22,9 @@ REPO_ROOT = Path(__file__).resolve().parents[3]
 
 
 def test_every_runtime_plant_has_a_source_mirror():
-    assert set(SOURCE_MUTATIONS) == set(PLANTED_BUGS)
+    # Static-only entries (quorum sites with no runtime plant, like the 2PC
+    # vote certificate) are allowed; every runtime plant must be mirrored.
+    assert set(PLANTED_BUGS) <= set(SOURCE_MUTATIONS)
 
 
 def _mutated_tree(tmp_path: Path, name: str) -> Path:

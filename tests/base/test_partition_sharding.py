@@ -1,0 +1,114 @@
+"""Partition-tree behaviour the sharded deployment leans on: per-range
+subtree digests, batched updates that straddle shard boundaries, and
+reads-at-checkpoint probed at shard-edge indices."""
+
+from repro.base.partition import PartitionTree, verify_children
+from repro.base.shardmap import ShardMap
+from repro.base.statemgr import AbstractStateManager
+from repro.crypto.digest import digest
+
+#: Four shards of four objects each, aligned with an arity-4 tree: every
+#: level-1 interior node covers exactly one shard's range.
+_SHARDS = ShardMap(4, 16)
+
+
+def _tree():
+    return PartitionTree(16, arity=4)
+
+
+def _fill(tree, shard, tag, seqno=1):
+    lo, hi = _SHARDS.shard_range(shard)
+    for index in range(lo, hi):
+        tree.update_leaf(index, digest(tag + bytes([index])), seqno=seqno)
+
+
+def test_aligned_subtree_digest_is_a_per_range_root():
+    """When shard ranges align with interior-node spans, the interior digest
+    is a commitment to exactly that shard's objects: equal content -> equal
+    per-range root, independent of what the other shards hold."""
+    a, b = _tree(), _tree()
+    _fill(a, 0, b"same")
+    _fill(b, 0, b"same")
+    _fill(a, 1, b"only-a")
+    _fill(b, 1, b"only-b")
+    assert a.node(1, 0) == b.node(1, 0)
+    assert a.node(1, 1) != b.node(1, 1)
+    assert a.root() != b.root()
+
+
+def test_subtree_digest_verifies_against_its_children():
+    tree = _tree()
+    _fill(tree, 2, b"v")
+    _lm, range_root = tree.node(1, 2)
+    assert verify_children(range_root, tree.children(1, 2))
+
+
+def test_update_leaves_across_shard_boundaries_matches_per_leaf():
+    """One batched update spanning the shard-0/shard-1 and shard-1/shard-2
+    boundaries produces the identical root as per-leaf updates."""
+    batched, serial = _tree(), _tree()
+    lo1, _ = _SHARDS.shard_range(1)
+    lo2, _ = _SHARDS.shard_range(2)
+    updates = [
+        (lo1 - 1, digest(b"edge-a"), 5),
+        (lo1, digest(b"edge-b"), 5),
+        (lo2 - 1, digest(b"edge-c"), 5),
+        (lo2, digest(b"edge-d"), 5),
+    ]
+    batched.update_leaves(updates)
+    for index, value, seqno in updates:
+        serial.update_leaf(index, value, seqno)
+    assert batched.root() == serial.root()
+    # The straddled ranges changed; the untouched shard-3 range did not.
+    assert batched.node(1, 3) == _tree().node(1, 3)
+
+
+def test_update_leaves_later_duplicate_wins_at_a_boundary():
+    tree, expected = _tree(), _tree()
+    lo1, _ = _SHARDS.shard_range(1)
+    tree.update_leaves(
+        [(lo1, digest(b"stale"), 3), (lo1 - 1, digest(b"x"), 3), (lo1, digest(b"fresh"), 3)]
+    )
+    expected.update_leaf(lo1 - 1, digest(b"x"), 3)
+    expected.update_leaf(lo1, digest(b"fresh"), 3)
+    assert tree.root() == expected.root()
+
+
+class _Store:
+    def __init__(self, n):
+        self.cells = [b""] * n
+
+    def get(self, index):
+        return self.cells[index]
+
+
+def test_get_object_at_bisects_shard_edge_history():
+    """Reads-at-checkpoint for the first/last objects of a shard range: the
+    bisect over COW labels must return the value each edge object held at
+    every retained checkpoint, exactly where per-shard state transfer and the
+    cross-shard oracles probe."""
+    store = _Store(16)
+    mgr = AbstractStateManager(16, store.get, arity=4)
+    last_of_shard0 = _SHARDS.shard_range(0)[1] - 1
+    first_of_shard1 = _SHARDS.shard_range(1)[0]
+
+    def write(index, value):
+        mgr.modify(index)
+        store.cells[index] = value
+
+    write(last_of_shard0, b"s0@10")
+    write(first_of_shard1, b"s1@10")
+    mgr.take_checkpoint(10)
+    write(last_of_shard0, b"s0@20")
+    mgr.take_checkpoint(20)
+    write(first_of_shard1, b"s1@30")
+    mgr.take_checkpoint(30)
+
+    assert mgr.get_object_at(10, last_of_shard0) == b"s0@10"
+    assert mgr.get_object_at(20, last_of_shard0) == b"s0@20"
+    assert mgr.get_object_at(30, last_of_shard0) == b"s0@20"
+    assert mgr.get_object_at(10, first_of_shard1) == b"s1@10"
+    assert mgr.get_object_at(20, first_of_shard1) == b"s1@10"
+    assert mgr.get_object_at(30, first_of_shard1) == b"s1@30"
+    # Labels that were never checkpointed are not readable.
+    assert mgr.get_object_at(15, last_of_shard0) is None

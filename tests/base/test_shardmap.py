@@ -1,0 +1,60 @@
+"""Shard map: deterministic contiguous-range partition of the object space."""
+
+import pytest
+
+from repro.base.shardmap import ShardMap
+
+
+def test_contiguous_ranges_cover_the_space_exactly():
+    smap = ShardMap(4, 32)
+    covered = []
+    for shard in range(4):
+        lo, hi = smap.shard_range(shard)
+        assert hi - lo == 8
+        covered.extend(range(lo, hi))
+    assert covered == list(range(32))
+
+
+def test_shard_of_and_local_index_agree_with_ranges():
+    smap = ShardMap(4, 32)
+    for index in range(32):
+        shard = smap.shard_of(index)
+        lo, _hi = smap.shard_range(shard)
+        assert smap.local_index(index) == index - lo
+        assert smap.global_index(shard, smap.local_index(index)) == index
+
+
+def test_single_shard_is_the_identity_map():
+    smap = ShardMap(1, 16)
+    for index in range(16):
+        assert smap.shard_of(index) == 0
+        assert smap.local_index(index) == index
+        assert smap.global_index(0, index) == index
+
+
+def test_requires_even_divisibility():
+    with pytest.raises(ValueError):
+        ShardMap(3, 32)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        ShardMap(0, 8)
+    with pytest.raises(ValueError):
+        ShardMap(2, 0)
+
+
+def test_bounds_are_checked():
+    smap = ShardMap(2, 16)
+    with pytest.raises(ValueError):
+        smap.shard_of(16)
+    with pytest.raises(ValueError):
+        smap.shard_of(-1)
+    with pytest.raises(ValueError):
+        smap.local_index(16)
+    with pytest.raises(ValueError):
+        smap.global_index(2, 0)
+    with pytest.raises(ValueError):
+        smap.global_index(0, 8)
+    with pytest.raises(ValueError):
+        smap.shard_range(2)

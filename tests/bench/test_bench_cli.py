@@ -57,6 +57,18 @@ def test_usage_errors():
     assert bench_main(["--threshold", "-1"]) == EXIT_USAGE
 
 
+def test_list_prints_every_scenario_without_running_any(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert bench_main(["--list"]) == EXIT_OK
+    lines = capsys.readouterr().out.splitlines()
+    expected = [
+        f"{suite}: {name}" for suite in sorted(SUITES) for name in SUITES[suite]
+    ]
+    assert lines == expected
+    # Listing is a pure query: no report file is written.
+    assert list(tmp_path.iterdir()) == []
+
+
 def test_compare_against_missing_baseline_is_usage_error(tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)
     # The suite must not run before argument validation catches the baseline.

@@ -1,0 +1,183 @@
+"""Cross-shard transaction layer: wire encoding, participant semantics
+(votes, locks, tombstones, idempotence), and durable participant state."""
+
+import pytest
+
+from repro.bft.messages import TxnDecide, TxnPrepare
+from repro.bft.testing import KVStateMachine, encode_set
+from repro.bft.txn import (
+    TXN_ABORTED,
+    TXN_COMMITTED,
+    VOTE_ABORT,
+    VOTE_COMMIT,
+    TxnParticipant,
+    decode_txn_op,
+    encode_txn_decide,
+    encode_txn_prepare,
+    is_txn_op,
+)
+
+
+# -- wire encoding -------------------------------------------------------------
+
+
+def test_prepare_round_trips_through_op_bytes():
+    op = encode_txn_prepare("C0:7", [(2, b"x"), (0, b"y")])
+    assert is_txn_op(op)
+    message = decode_txn_op(op)
+    assert isinstance(message, TxnPrepare)
+    assert message.txid == "C0:7"
+    assert message.writes == [(2, b"x"), (0, b"y")]
+
+
+def test_decide_round_trips_through_op_bytes():
+    for commit in (True, False):
+        message = decode_txn_op(encode_txn_decide("C0:7", commit))
+        assert isinstance(message, TxnDecide)
+        assert message.txid == "C0:7" and message.commit is commit
+
+
+def test_non_txn_ops_are_not_decoded():
+    assert decode_txn_op(encode_set(0, b"v")) is None
+    assert not is_txn_op(encode_set(0, b"v"))
+
+
+def test_trailing_garbage_is_not_a_txn_op():
+    assert decode_txn_op(encode_txn_decide("t", True) + b"junk") is None
+
+
+# -- participant semantics -----------------------------------------------------
+
+
+def _service():
+    """Transactional KV with 4 data slots; slot 4 is the participant table."""
+    return KVStateMachine(num_slots=5, disk={}, transactional=True)
+
+
+def _prepare(service, txid, writes, read_only=False):
+    return service.execute(
+        encode_txn_prepare(txid, writes), client_id="C0", nondet=b"", read_only=read_only
+    )
+
+
+def _decide(service, txid, commit):
+    return service.execute(
+        encode_txn_decide(txid, commit), client_id="C0", nondet=b"", read_only=False
+    )
+
+
+def test_commit_applies_writes_and_releases_locks():
+    service = _service()
+    assert _prepare(service, "t1", [(1, b"a"), (3, b"b")]) == VOTE_COMMIT
+    assert service.participant.locked(1) and service.participant.locked(3)
+    assert service.cells[1] == b""  # nothing visible until the decision
+    assert _decide(service, "t1", True) == TXN_COMMITTED
+    assert service.cells[1] == b"a" and service.cells[3] == b"b"
+    assert service.disk[1] == b"a"  # write-through, like any mutation
+    assert not service.participant.locked(1)
+    assert service.participant.decisions == {"t1": True}
+
+
+def test_abort_discards_writes():
+    service = _service()
+    _prepare(service, "t1", [(1, b"a")])
+    assert _decide(service, "t1", False) == TXN_ABORTED
+    assert service.cells[1] == b""
+    assert not service.participant.locked(1)
+    assert service.participant.decisions == {"t1": False}
+
+
+def test_out_of_range_write_votes_abort():
+    service = _service()
+    # Slot 4 is the reserved participant table; slot 9 does not exist.
+    assert _prepare(service, "t1", [(4, b"a")]) == VOTE_ABORT
+    assert _prepare(service, "t2", [(9, b"a")]) == VOTE_ABORT
+    # An abort vote locks nothing.
+    assert not service.participant.locked(4)
+
+
+def test_conflicting_prepare_votes_abort():
+    service = _service()
+    assert _prepare(service, "t1", [(1, b"a")]) == VOTE_COMMIT
+    assert _prepare(service, "t2", [(1, b"b")]) == VOTE_ABORT
+    assert service.participant.counters.get("txn_lock_conflicts") == 1
+    # t2's abort decision must not release t1's lock.
+    _decide(service, "t2", False)
+    assert service.participant.locked(1)
+    assert _decide(service, "t1", True) == TXN_COMMITTED
+    assert service.cells[1] == b"a"
+
+
+def test_prepare_and_decide_are_idempotent():
+    service = _service()
+    assert _prepare(service, "t1", [(1, b"a")]) == VOTE_COMMIT
+    assert _prepare(service, "t1", [(1, b"a")]) == VOTE_COMMIT
+    assert _decide(service, "t1", True) == TXN_COMMITTED
+    before = service.cells[1]
+    assert _decide(service, "t1", True) == TXN_COMMITTED
+    assert _decide(service, "t1", False) == TXN_COMMITTED  # outcome is sticky
+    assert service.cells[1] == before
+    assert service.participant.counters.get("txn_decides_stale") == 2
+
+
+def test_decide_before_prepare_leaves_a_tombstone():
+    """An abandoned coordinator's retransmitted decision can arrive before the
+    prepare it belongs to ever does; the late prepare must vote the decided
+    way and take no locks (nothing will ever clean them up)."""
+    service = _service()
+    assert _decide(service, "ghost", False) == TXN_ABORTED
+    assert _prepare(service, "ghost", [(1, b"a")]) == VOTE_ABORT
+    assert not service.participant.locked(1)
+    assert service.cells[1] == b""
+
+
+def test_prepare_is_a_mutation():
+    service = _service()
+    assert b"ERR" in _prepare(service, "t1", [(1, b"a")], read_only=True)
+    assert not service.participant.locked(1)
+
+
+def test_locked_slot_rejects_direct_writes():
+    service = _service()
+    _prepare(service, "t1", [(1, b"a")])
+    result = service.execute(
+        encode_set(1, b"direct"), client_id="C1", nondet=b"", read_only=False
+    )
+    assert result == b"ERR locked"
+    # Unlocked slots stay writable throughout.
+    assert service.execute(
+        encode_set(2, b"ok"), client_id="C1", nondet=b"", read_only=False
+    ) == b"OK"
+
+
+def test_participant_state_survives_reload():
+    """Pending votes, locks, and tombstones live in the reserved table cell —
+    a replica rebuilt over the same disk (crash/reboot, state transfer)
+    reconstructs the identical participant state."""
+    service = _service()
+    _prepare(service, "pending", [(1, b"a")])
+    _prepare(service, "done", [(2, b"b")])
+    _decide(service, "done", True)
+
+    reborn = KVStateMachine(num_slots=5, disk=service.disk, transactional=True)
+    assert reborn.participant.locked(1)
+    assert not reborn.participant.locked(2)
+    assert reborn.participant.decisions == {"done": True}
+    # The reloaded pending prepare still resolves correctly.
+    assert _decide(reborn, "pending", True) == TXN_COMMITTED
+    assert reborn.cells[1] == b"a"
+
+
+def test_table_cell_is_deterministic():
+    a, b = _service(), _service()
+    for service in (a, b):
+        _prepare(service, "t2", [(2, b"y")])
+        _prepare(service, "t1", [(1, b"x")])
+        _decide(service, "t2", False)
+    assert a.cells[4] == b.cells[4]
+    assert a.manager.tree.root() == b.manager.tree.root()
+
+
+def test_participant_requires_the_reserved_cell():
+    with pytest.raises(ValueError):
+        TxnParticipant(KVStateMachine(num_slots=1, disk={}), 0)

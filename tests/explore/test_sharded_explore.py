@@ -1,0 +1,83 @@
+"""Sharded exploration: plans against multi-group deployments, the
+cross-shard atomicity oracle, the planted 2PC regression, and artifacts."""
+
+import pytest
+
+from repro.explore.plan import FaultPlan, FaultStep, generate_plan
+from repro.explore.sharded import explore_sharded, replay_sharded, run_sharded_plan
+from repro.explore.shrink import artifact_dict, load_artifact, write_artifact
+
+
+def test_benign_plan_holds_all_oracles():
+    plan = generate_plan(12345, requests=16)
+    outcome = run_sharded_plan(plan, num_shards=2)
+    assert outcome.violation is None
+    assert outcome.completed > 0
+    # The workload exercised the transaction layer.
+    assert outcome.counters["txns_started"] > 0
+
+
+def test_runs_are_deterministic():
+    plan = generate_plan(777, requests=12)
+    first = run_sharded_plan(plan, num_shards=2)
+    second = run_sharded_plan(plan, num_shards=2)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_single_group_features_are_rejected():
+    overloaded = FaultPlan(
+        seed=1,
+        requests=8,
+        steps=(FaultStep(at=0.1, kind="client_swarm", rate=400.0),),
+    )
+    with pytest.raises(ValueError):
+        run_sharded_plan(overloaded, num_shards=2)
+    with pytest.raises(ValueError):
+        run_sharded_plan(FaultPlan(seed=1, requests=8, topology="wan3"), num_shards=2)
+    with pytest.raises(ValueError):
+        run_sharded_plan(FaultPlan(seed=1, requests=8), num_shards=2, plant="nope")
+
+
+def test_planted_split_brain_is_caught_and_shrunk():
+    result = explore_sharded(
+        budget=5, seed=0, requests=16, num_shards=2, plant="split-brain-decide"
+    )
+    assert result.found
+    assert result.violation.oracle == "cross-shard-atomicity"
+    assert "committed at shard0" in result.violation.detail
+    assert result.shrunk_plan is not None
+    assert len(result.shrunk_plan.steps) <= len(result.plan.steps)
+    assert result.shrunk_violation.oracle == "cross-shard-atomicity"
+
+
+def test_shrunk_plan_replays_to_the_same_violation():
+    result = explore_sharded(
+        budget=5, seed=0, requests=16, num_shards=2, plant="split-brain-decide"
+    )
+    outcome = replay_sharded(result.shrunk_plan, num_shards=2, plant="split-brain-decide")
+    assert outcome.violation is not None
+    assert outcome.violation.oracle == result.shrunk_violation.oracle
+    assert outcome.violation.detail == result.shrunk_violation.detail
+
+
+def test_artifact_records_the_shard_count(tmp_path):
+    result = explore_sharded(
+        budget=5, seed=0, requests=16, num_shards=2, plant="split-brain-decide"
+    )
+    path = tmp_path / "repro.json"
+    write_artifact(path, result.shrunk_plan, result.shrunk_violation, shards=2)
+    plan, recorded, _plant = load_artifact(path)
+    assert plan == result.shrunk_plan
+    assert recorded["oracle"] == "cross-shard-atomicity"
+    import json
+
+    assert json.loads(path.read_text())["shards"] == 2
+
+
+def test_single_group_artifacts_carry_no_shard_key():
+    plan = generate_plan(1, requests=8)
+    violation_stub = type(
+        "V", (), {"to_dict": lambda self: {"oracle": "x", "detail": "d"}}
+    )()
+    assert "shards" not in artifact_dict(plan, violation_stub)
+    assert artifact_dict(plan, violation_stub, shards=4)["shards"] == 4
