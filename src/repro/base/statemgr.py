@@ -353,6 +353,15 @@ class AbstractStateManager:
                 return self._checkpoints[labels[position]].cow[index]
         return self._get_obj(index)
 
+    def get_leaf(self, seqno: int, index: int) -> Optional[Tuple[int, bytes]]:
+        """⟨lm, digest⟩ of leaf ``index`` as of checkpoint ``seqno`` (None if
+        that checkpoint is gone).  The fused-backup tier uses this to pack
+        lm values into parity cells and to diff consecutive checkpoints."""
+        checkpoint = self._checkpoints.get(seqno)
+        if checkpoint is None:
+            return None
+        return checkpoint.tree.leaf(index)
+
     def root_digest(self, seqno: int) -> Optional[bytes]:
         checkpoint = self._checkpoints.get(seqno)
         if checkpoint is None:

@@ -53,6 +53,10 @@ LOWER_IS_BETTER = {
     "fetch_meta_sent",
     "fetch_object_sent",
     "view_changes_started",
+    "storage_ratio",
+    "fused_storage_bytes",
+    "reconstruction_vseconds",
+    "block_bytes_fetched",
 }
 HIGHER_IS_BETTER = {
     "ops_per_vsec",
@@ -65,6 +69,9 @@ HIGHER_IS_BETTER = {
     "availability",
     "min_window_availability",
     "probe_ops",
+    "root_match",
+    "resumed",
+    "replicas_seeded",
 }
 
 

@@ -569,6 +569,86 @@ def _shard_rung(num_shards: int, txn_fraction: float = 0.0) -> Metrics:
     }
 
 
+def _fusion_cluster():
+    """Four BASE groups with the fused-backup tier attached and every data
+    slot filled with near-slot-width values — the regime the tier's storage
+    claim is about (toy values would let fixed per-cell padding dominate)."""
+    from repro.bft.fusion import FusedBackupTier
+    from repro.bft.sharding import sharded_kv_cluster
+
+    sharded = sharded_kv_cluster(
+        4,
+        config=BFTConfig(checkpoint_interval=16, log_window=64),
+        objects_per_shard=32,
+        net_config=NetworkConfig(delay=0.0005, jitter=0.0005),
+        seed=7,
+    )
+    tier = FusedBackupTier(sharded)
+    tier.attach()
+    sharded.settle(1.0)
+    client = sharded.client("B0")
+    value = bytes(range(84))
+    # 32 writes per shard: executed == stable == 32, a checkpoint boundary,
+    # so the tier's parity is exactly current when the measurements run.
+    for shard in range(4):
+        for slot in range(32):
+            client.invoke(encode_set(shard * 32 + slot, value), timeout=60.0)
+    sharded.settle(2.0)
+    return sharded, tier, client
+
+
+@scenario("fusion_overhead")
+def fusion_overhead() -> Metrics:
+    """Storage cost of the fused tier against the alternative it replaces:
+    one additional full replica per group.  ``storage_ratio`` is the headline
+    — bounded at 0.5 in CI, ~1/num_shards by construction."""
+    sharded, tier, _client = _fusion_cluster()
+    node = tier.nodes[0]
+    fused = tier.storage_bytes()
+    full = tier.abstract_state_bytes()
+    totals = sharded.total_counters()
+    return {
+        "fused_storage_bytes": fused,
+        "full_replica_bytes": full,
+        "storage_ratio": _round(fused / full),
+        "parity_checkpoint_seqno": min(node.applied.values()),
+        "updates_sent": totals.get("fusion_updates_sent"),
+        "updates_applied": totals.get("fusion_updates_applied"),
+        "update_bytes": totals.get("fusion_update_bytes"),
+        "messages_sent": totals.get("messages_sent"),
+        "bytes_sent": totals.get("bytes_sent"),
+    }
+
+
+@scenario("fusion_reconstruction")
+def fusion_reconstruction() -> Metrics:
+    """Catastrophic loss of one group (processes and disks) and the fused
+    rebuild: time to repair, transfer volume, and proof the rebuilt state
+    matched the group's latest checkpoint certificate and resumed service."""
+    sharded, tier, client = _fusion_cluster()
+    sharded.destroy_group(1)
+    finished = sharded.sim.run_until_condition(tier.idle, timeout=60.0)
+    if not finished or not tier.reconstructions:
+        raise RuntimeError("fused reconstruction did not finish")
+    record = tier.reconstructions[0]
+    sharded.settle(0.5)
+    resumed = client.invoke(
+        encode_set(32, b"post-rebuild-probe"), timeout=60.0
+    ) == b"OK"
+    totals = sharded.total_counters()
+    return {
+        "reconstruction_vseconds": _round(record.mttr or 0.0),
+        "target_seqno": record.target_seqno,
+        "blocks_fetched": record.blocks_fetched,
+        "block_bytes_fetched": record.bytes_fetched,
+        "root_match": 1.0 if record.ok else 0.0,
+        "replicas_seeded": totals.get("fusion_replicas_seeded"),
+        "resumed": 1.0 if resumed else 0.0,
+        "messages_sent": totals.get("messages_sent"),
+        "bytes_sent": totals.get("bytes_sent"),
+    }
+
+
 #: The shard-scaling ladder: 1 -> 2 -> 4 -> 8 groups at pure single-shard
 #: load, plus the 8-group rung again with a 10% cross-shard transaction mix.
 SHARD_LADDER = (1, 2, 4, 8)
@@ -602,6 +682,10 @@ SUITES: Dict[str, List[str]] = {
         "wan_storm_rotation",
     ],
     "shard": [f"shard_scale_{n}" for n in SHARD_LADDER] + ["shard_scale_8_mix10"],
+    "fusion": [
+        "fusion_overhead",
+        "fusion_reconstruction",
+    ],
 }
 
 

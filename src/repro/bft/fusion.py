@@ -1,0 +1,883 @@
+"""The fused-backup tier: erasure-coded backups spanning the shard groups.
+
+3f+1 full replicas *per shard* is the cost that makes sharding expensive.
+Following the fused-state-machine line of work (Balasubramanian & Garg) and
+Shoker's universal-redundancy argument (PAPERS.md), this tier keeps ``t``
+extra **fused nodes**, each holding ONE parity block spanning the S shard
+groups' abstract arrays — instead of S extra full replicas — yet can rebuild
+any one group's entire abstract state after a catastrophic loss (> f
+correlated faults: every disk of the group gone, the scenario the
+``destroy_group`` campaign step injects).
+
+BASE is what makes this tractable: the *abstract* state is an enumerable
+array of sized object encodings, digest-indexed by the partition tree, so a
+parity block over S heterogeneous services is well-defined without knowing
+anything about their concrete implementations (docs/fusion.md).
+
+Currency protocol (checkpoint granularity):
+
+* Every replica hosts a :class:`FusionFeeder` (attached per
+  :class:`~repro.bft.recovery.ReplicaHost`, so it survives reboots).  When a
+  checkpoint becomes stable, the feeder diffs the new checkpoint against the
+  previous stable one leaf-by-leaf and sends a
+  :class:`~repro.bft.messages.ParityUpdate` — XORed fixed-width cell deltas
+  plus the stable-checkpoint certificate — to every fused node.
+* A fused node applies an update once ``f+1`` replicas of the shard sent
+  byte-identical deltas (one of them is honest) and the attached certificate
+  verifies; linearity of the code lets it fold the coefficient-scaled delta
+  straight into its parity block.  It then acks, letting feeders advance
+  their garbage-collection pin: a shard replica never discards the
+  checkpoint a fused node's parity still stands at, so the tier can always
+  fetch a consistent full block (:class:`~repro.bft.messages.FusionFetch`)
+  for bootstrap, resync, or reconstruction.
+
+Reconstruction (wired into the existing recovery path):
+
+1. :meth:`ShardedCluster.destroy_group` declares a group lost; the tier
+   opens an MTTR episode and the primary fused node freezes its parity.
+2. It fetches the S-1 surviving groups' full blocks at exactly the seqnos
+   its parity stands at (the GC pin guarantees the donors still hold them),
+   verifying each against its checkpoint certificate leaf-by-leaf.
+3. ``codec.reconstruct`` solves for the lost block; the rebuilt leaves are
+   verified against the Merkle root in the lost group's *latest checkpoint
+   certificate* — byte-identical or the episode fails loudly.
+4. The rebuilt objects seed one replacement replica through the existing
+   ``recover_now(min_seqno)`` reboot plus ``install_fetched`` /
+   ``after_state_transfer``; the remaining replicas then recover one at a
+   time through ordinary hierarchical state transfer against the seeded
+   donor.  (Strictly sequential: a pristine rebooted replica would otherwise
+   serve its implicit genesis certificate to a recovering peer.)
+5. Service resumes; the episode records MTTR, bytes, and outcome for
+   :meth:`ShardedCluster.repair_status` and the reconstruction-integrity
+   oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.base.fusion import (
+    FusionCodec,
+    FusionError,
+    cell_width_for,
+    encode_cell,
+    pack_block,
+    unpack_block,
+    xor_bytes,
+)
+from repro.base.partition import PartitionTree
+from repro.bft.messages import (
+    CheckpointCert,
+    FusionBlock,
+    FusionFetch,
+    ParityAck,
+    ParityUpdate,
+)
+from repro.crypto.auth import MacVerificationError
+from repro.crypto.digest import digest
+from repro.util.stats import Counters
+from repro.util.trace import emit
+
+#: Default fixed cell width: u64 lm + u32 len + up to 84 value bytes.  The
+#: tier refuses (loudly, via counters and a stalled feed) values that outgrow
+#: it; deployments size it for their workload.
+DEFAULT_SLOT_WIDTH = 96
+
+
+class ReconstructionRecord:
+    """One reconstruction episode (MTTR accounting + oracle evidence)."""
+
+    __slots__ = (
+        "shard",
+        "started_at",
+        "completed_at",
+        "target_seqno",
+        "ok",
+        "detail",
+        "blocks_fetched",
+        "bytes_fetched",
+    )
+
+    def __init__(self, shard: int, started_at: float) -> None:
+        self.shard = shard
+        self.started_at = started_at
+        self.completed_at: Optional[float] = None
+        self.target_seqno: Optional[int] = None
+        self.ok: Optional[bool] = None
+        self.detail = ""
+        self.blocks_fetched = 0
+        self.bytes_fetched = 0
+
+    @property
+    def mttr(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def to_dict(self) -> Dict:
+        return {
+            "shard": self.shard,
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "target_seqno": self.target_seqno,
+            "ok": self.ok,
+            "detail": self.detail,
+            "blocks_fetched": self.blocks_fetched,
+            "bytes_fetched": self.bytes_fetched,
+            "mttr": self.mttr,
+        }
+
+
+class FusionFeeder:
+    """Replica-side half of the currency protocol (one per ReplicaHost).
+
+    Lives on the *host*, not the replica, so acknowledgement state and the
+    GC pin survive reboots; :class:`~repro.bft.recovery.ReplicaHost` relinks
+    ``replica.fusion_feeder`` on every reboot.
+    """
+
+    def __init__(self, tier: "FusedBackupTier", shard: int) -> None:
+        self.tier = tier
+        self.shard = shard
+        #: Per fused node, the newest checkpoint seqno it acknowledged.  The
+        #: GC floor is the minimum: a checkpoint a fused node's parity still
+        #: stands at must remain fetchable for resync and reconstruction.
+        self.acked: Dict[str, int] = {pid: 0 for pid in tier.parity_ids}
+
+    def gc_floor(self, stable_seqno: int) -> int:
+        floor = min(self.acked.values(), default=stable_seqno)
+        return min(floor, stable_seqno)
+
+    def on_stable(self, replica, cert: CheckpointCert) -> None:
+        """Replica hook, called inside ``_mark_stable`` *before* checkpoint
+        GC — both the previous stable checkpoint and the new one are live."""
+        service = replica.service
+        manager = getattr(service, "manager", None)
+        if manager is None or cert.seqno == 0:
+            return
+        seqnos = [s for s in service.checkpoint_seqnos() if s < cert.seqno]
+        if not seqnos:
+            # Nothing to diff against (first stable after a state-transfer
+            # install); the fused node resyncs a full block if it needs one.
+            replica.counters.add("fusion_feed_skipped")
+            return
+        base = max(seqnos)
+        tier = self.tier
+        deltas: List[Tuple[int, bytes]] = []
+        overflow = False
+        for index in range(manager.total_leaves):
+            old_leaf = service.get_leaf(base, index)
+            new_leaf = service.get_leaf(cert.seqno, index)
+            if old_leaf is None or new_leaf is None:
+                replica.counters.add("fusion_feed_skipped")
+                return
+            if old_leaf == new_leaf:
+                continue
+            old_value = service.get_object_at(base, index)
+            new_value = service.get_object_at(cert.seqno, index)
+            if old_value is None or new_value is None:
+                replica.counters.add("fusion_feed_skipped")
+                return
+            if (
+                cell_width_for(len(old_value)) > tier.slot_width
+                or cell_width_for(len(new_value)) > tier.slot_width
+            ):
+                overflow = True
+                break
+            deltas.append(
+                (
+                    index,
+                    xor_bytes(
+                        encode_cell(old_leaf[0], old_value, tier.slot_width),
+                        encode_cell(new_leaf[0], new_value, tier.slot_width),
+                    ),
+                )
+            )
+        if overflow:
+            # The value outgrew the stripe: the feed stalls (pins hold, the
+            # tier's coverage stays at its last applied checkpoint) rather
+            # than ship a truncated cell.  Loud in counters and docs.
+            replica.counters.add("fusion_feed_overflow")
+            return
+        update = ParityUpdate(
+            shard=self.shard,
+            base_seqno=base,
+            seqno=cert.seqno,
+            slot_width=tier.slot_width,
+            num_leaves=manager.total_leaves,
+            deltas=deltas,
+            cert=cert,
+        )
+        payload = update.signable_bytes()
+        replica.counters.add("fusion_updates_sent")
+        replica.counters.add(
+            "fusion_update_bytes", sum(len(d) for _i, d in deltas)
+        )
+        for parity_id in tier.parity_ids:
+            update.auth = tier.keys(self.shard).make_authenticator(
+                replica.node_id, [parity_id], payload
+            )
+            replica.send(parity_id, update)
+
+    def on_ack(self, replica, message: ParityAck) -> None:
+        if message.parity_id not in self.acked:
+            return
+        if message.seqno > self.acked[message.parity_id]:
+            self.acked[message.parity_id] = message.seqno
+            replica.counters.add("fusion_acks")
+
+
+class FusedNode:
+    """One fused node: a single parity block spanning every shard group.
+
+    Registered under one id (``F<k>``) on *every* shard's network; each
+    shard's traffic is authenticated with that shard's key table.  Not a
+    replica — it holds no abstract state of its own, orders nothing, and
+    speaks only the parity-currency and block-fetch protocol.
+    """
+
+    def __init__(self, tier: "FusedBackupTier", row: int) -> None:
+        self.tier = tier
+        self.row = row
+        self.node_id = f"F{row}"
+        self.counters = Counters()
+        self.parity: Optional[bytes] = None
+        #: Per shard, the checkpoint seqno the parity stands at.
+        self.applied: Dict[int, int] = {}
+        #: Per shard, the stable-checkpoint certificate at ``applied``.
+        self.certs: Dict[int, CheckpointCert] = {}
+        # Bootstrap/rebuild staging: shard -> (seqno, block, cert).
+        self._staged: Dict[int, Tuple[int, bytes, CheckpointCert]] = {}
+        # Update quorum tracking: key -> (senders, exemplar, verified cert).
+        self._votes: Dict[Tuple, Dict] = {}
+        # While reconstructing, updates are buffered instead of applied (the
+        # parity must stay frozen at the seqnos the survivor fetch targets).
+        self.frozen = False
+        self._buffered: List[ParityUpdate] = []
+        # Exact-seqno fetch targets during reconstruction: shard -> seqno.
+        self._collect: Dict[int, int] = {}
+        self._collected: Dict[int, bytes] = {}
+        self._on_collected: Optional[Callable[[Dict[int, bytes]], None]] = None
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def attach(self) -> None:
+        for shard in range(self.tier.num_shards):
+            self.tier.network(shard).register(self.node_id, self._receive_for(shard))
+
+    def _receive_for(self, shard: int):
+        def receive(message, src: str) -> None:
+            self.on_message(shard, message, src)
+
+        return receive
+
+    def _check_auth(self, shard: int, message, src: str) -> bool:
+        auth = getattr(message, "auth", None)
+        if auth is None or auth.sender != src:
+            self.counters.add("fusion_auth_missing")
+            return False
+        try:
+            self.tier.keys(shard).check_authenticator(
+                auth, self.node_id, message.signable_bytes()
+            )
+        except MacVerificationError:
+            self.counters.add("fusion_auth_failed")
+            return False
+        return True
+
+    def _send(self, shard: int, dst: str, message) -> None:
+        message.auth = self.tier.keys(shard).make_authenticator(
+            self.node_id, [dst], message.signable_bytes()
+        )
+        self.tier.network(shard).send(self.node_id, dst, message)
+
+    def on_message(self, shard: int, message, src: str) -> None:
+        if isinstance(message, ParityUpdate):
+            self.on_parity_update(shard, message, src)
+        elif isinstance(message, FusionBlock):
+            self.on_fusion_block(shard, message, src)
+        else:
+            self.counters.add("fusion_unknown_message")
+
+    # -- incremental updates ----------------------------------------------------------
+
+    def on_parity_update(self, shard: int, message: ParityUpdate, src: str) -> None:
+        if not self._check_auth(shard, message, src):
+            return
+        if message.shard != shard or src not in self.tier.replica_ids(shard):
+            self.counters.add("fusion_updates_invalid")
+            return
+        if (
+            message.slot_width != self.tier.slot_width
+            or message.num_leaves != self.tier.num_leaves
+        ):
+            self.counters.add("fusion_updates_invalid")
+            return
+        applied = self.applied.get(shard)
+        if applied is not None and message.seqno <= applied:
+            # Stale retransmission: re-ack so the sender's GC pin advances.
+            self.counters.add("fusion_updates_stale")
+            self._send(
+                shard,
+                src,
+                ParityAck(parity_id=self.node_id, shard=shard, seqno=applied),
+            )
+            return
+        key = (shard, message.base_seqno, message.seqno, digest(message.signable_bytes()))
+        entry = self._votes.setdefault(
+            key, {"senders": set(), "message": message, "cert": None}
+        )
+        entry["senders"].add(src)
+        if entry["cert"] is None and self.tier.verify_cert(
+            shard, message.seqno, message.cert
+        ):
+            entry["cert"] = message.cert
+        quorum = self.tier.weak_quorum(shard)
+        if len(entry["senders"]) < quorum or entry["cert"] is None:
+            return
+        certified: ParityUpdate = entry["message"]
+        del self._votes[key]
+        if self.frozen:
+            self._buffered.append(certified)
+            self.counters.add("fusion_updates_buffered")
+            return
+        self._apply_update(shard, certified)
+
+    def _apply_update(self, shard: int, message: ParityUpdate) -> None:
+        applied = self.applied.get(shard)
+        if applied is not None and message.seqno <= applied:
+            return
+        staged = self._staged.get(shard)
+        if staged is not None and self.parity is None:
+            # Still bootstrapping: patch the staged plain block directly.
+            if message.base_seqno != staged[0]:
+                self.counters.add("fusion_updates_gap")
+                return
+            seqno, block, _cert = staged
+            for index, delta in message.deltas:
+                offset = index * self.tier.slot_width
+                patched = xor_bytes(
+                    block[offset : offset + self.tier.slot_width], delta
+                )
+                block = block[:offset] + patched + block[offset + len(delta) :]
+            self._staged[shard] = (message.seqno, block, message.cert)
+            self._finish_apply(shard, message)
+            return
+        if applied is None or message.base_seqno != applied or self.parity is None:
+            # Missed an interval (lost update, width overflow at the feeder,
+            # or not bootstrapped yet): a full block resync is the only way
+            # to re-establish currency for this shard.
+            self.counters.add("fusion_updates_gap")
+            self.tier.request_rebuild(self)
+            return
+        parity = self.parity
+        for index, delta in message.deltas:
+            offset = index * self.tier.slot_width
+            parity = self.tier.codec.delta_update(
+                self.row, parity, shard, delta, offset
+            )
+        self.parity = parity
+        self._finish_apply(shard, message)
+
+    def _finish_apply(self, shard: int, message: ParityUpdate) -> None:
+        self.applied[shard] = message.seqno
+        self.certs[shard] = message.cert
+        self.counters.add("fusion_updates_applied")
+        self.counters.add("fusion_update_lag", message.seqno - message.base_seqno)
+        self.counters.add(
+            "fusion_parity_delta_bytes", sum(len(d) for _i, d in message.deltas)
+        )
+        emit(
+            self.tier.tracer,
+            self.node_id,
+            "fusion_parity_applied",
+            shard=shard,
+            seqno=message.seqno,
+        )
+        # Ack every replica of the shard (not just the quorum senders): late
+        # feeders must release their GC pins too.
+        for rid in self.tier.replica_ids(shard):
+            self._send(
+                shard,
+                rid,
+                ParityAck(parity_id=self.node_id, shard=shard, seqno=message.seqno),
+            )
+        self._votes = {
+            k: v for k, v in self._votes.items() if not (k[0] == shard and k[2] <= message.seqno)
+        }
+        self.tier.on_parity_progress()
+
+    # -- full blocks (bootstrap / resync / reconstruction) -----------------------------
+
+    def request_block(self, shard: int, seqno: int) -> None:
+        """Ask every replica of ``shard`` for its full block (0 = latest)."""
+        fetch = FusionFetch(
+            parity_id=self.node_id,
+            shard=shard,
+            seqno=seqno,
+            slot_width=self.tier.slot_width,
+        )
+        self.counters.add("fusion_fetches_sent")
+        for rid in self.tier.replica_ids(shard):
+            self._send(shard, rid, fetch)
+
+    def on_fusion_block(self, shard: int, message: FusionBlock, src: str) -> None:
+        if not self._check_auth(shard, message, src):
+            return
+        if (
+            message.shard != shard
+            or message.replica_id != src
+            or src not in self.tier.replica_ids(shard)
+            or message.slot_width != self.tier.slot_width
+            or message.num_leaves != self.tier.num_leaves
+            or len(message.block) != self.tier.slot_width * self.tier.num_leaves
+        ):
+            self.counters.add("fusion_blocks_invalid")
+            return
+        # Leaf-by-leaf verification: the block's cells must hash back to a
+        # certified Merkle root.  One valid certified block is enough — no
+        # honest-majority counting needed.
+        try:
+            root = self.tier.root_of(message.block)
+        except FusionError:
+            self.counters.add("fusion_blocks_invalid")
+            return
+        if shard in self._collect:
+            # Reconstruction fetch at the exact seqno our parity stands at.
+            # The donor may have GC'd its certificate for it; we verify
+            # against the certified root we already hold for that seqno.
+            if message.seqno != self._collect[shard] or shard in self._collected:
+                return
+            if root != self.certs[shard].state_digest:
+                self.counters.add("fusion_blocks_bad_root")
+                return
+            self.counters.add("fusion_blocks_received")
+            self.counters.add("fusion_block_bytes", len(message.block))
+            self._collected[shard] = message.block
+            if len(self._collected) == len(self._collect) and self._on_collected:
+                callback, self._on_collected = self._on_collected, None
+                callback(dict(self._collected))
+            return
+        if not self.tier.verify_cert(shard, message.seqno, message.cert):
+            self.counters.add("fusion_blocks_bad_cert")
+            return
+        assert message.cert is not None
+        if root != message.cert.state_digest:
+            self.counters.add("fusion_blocks_bad_root")
+            return
+        self.counters.add("fusion_blocks_received")
+        self.counters.add("fusion_block_bytes", len(message.block))
+        if self.parity is None and shard not in self._staged:
+            self._staged[shard] = (message.seqno, message.block, message.cert)
+            self.applied[shard] = message.seqno
+            self.certs[shard] = message.cert
+            if len(self._staged) == self.tier.num_shards:
+                self._assemble_parity()
+
+    def _assemble_parity(self) -> None:
+        blocks = [self._staged[s][1] for s in range(self.tier.num_shards)]
+        self.parity = self.tier.codec.encode(blocks)[self.row]
+        for shard in range(self.tier.num_shards):
+            seqno, _block, cert = self._staged[shard]
+            self.applied[shard] = seqno
+            self.certs[shard] = cert
+        self._staged.clear()
+        self.counters.add("fusion_bootstraps")
+        emit(self.tier.tracer, self.node_id, "fusion_parity_ready")
+        self.tier.on_parity_progress()
+
+    def collect_survivors(
+        self,
+        lost_shard: int,
+        callback: Callable[[Dict[int, bytes]], None],
+    ) -> None:
+        """Freeze the parity and fetch every surviving shard's block at
+        exactly the seqno the parity stands at (the GC pins hold them)."""
+        self.frozen = True
+        self._collect = {
+            s: self.applied[s]
+            for s in range(self.tier.num_shards)
+            if s != lost_shard
+        }
+        self._collected = {}
+        self._on_collected = callback
+        for shard, seqno in sorted(self._collect.items()):
+            self.request_block(shard, seqno)
+
+    def unfreeze(self) -> None:
+        self.frozen = False
+        self._collect = {}
+        self._collected = {}
+        self._on_collected = None
+        buffered, self._buffered = self._buffered, []
+        for message in buffered:
+            self._apply_update(message.shard, message)
+
+    def storage_bytes(self) -> int:
+        """Bytes this fused node durably holds: the parity block plus the
+        per-shard certificates and applied-seqno table."""
+        total = len(self.parity) if self.parity is not None else 0
+        for _shard, (_seqno, block, _cert) in sorted(self._staged.items()):
+            total += len(block)
+        for shard in sorted(self.certs):
+            total += self.certs[shard].wire_size() + 8
+        return total
+
+
+class FusedBackupTier:
+    """t fused nodes + per-host feeders + the reconstruction coordinator."""
+
+    def __init__(
+        self,
+        sharded,
+        num_parity: int = 1,
+        slot_width: int = DEFAULT_SLOT_WIDTH,
+        tracer=None,
+    ) -> None:
+        self.sharded = sharded
+        self.num_shards = len(sharded.clusters)
+        if self.num_shards < 2:
+            raise FusionError("fusion needs at least two shard groups")
+        self.slot_width = slot_width
+        self.tracer = tracer
+        self.counters = Counters()
+        self.codec = FusionCodec(self.num_shards, num_parity)
+        self.nodes = [FusedNode(self, row) for row in range(num_parity)]
+        self.parity_ids = [node.node_id for node in self.nodes]
+        self.reconstructions: List[ReconstructionRecord] = []
+        self._reconstructing = False
+        self._rebuild_pending = False
+        self.sim = sharded.sim
+        # Every shard group must expose the same abstract-array geometry for
+        # blocks to be XOR-compatible.
+        geometries = sorted(
+            {
+                (service.manager.total_leaves, service.manager.tree.arity)
+                for service in (
+                    next(iter(cluster.hosts.values())).service
+                    for cluster in sharded.clusters
+                )
+            }
+        )
+        if len(geometries) != 1:
+            raise FusionError(f"shard groups differ in geometry: {geometries}")
+        self.num_leaves, self.arity = geometries[0]
+
+    # -- per-shard lookups ---------------------------------------------------------------
+
+    def cluster(self, shard: int):
+        return self.sharded.clusters[shard]
+
+    def network(self, shard: int):
+        return self.cluster(shard).network
+
+    def keys(self, shard: int):
+        return self.cluster(shard).keys
+
+    def replica_ids(self, shard: int) -> List[str]:
+        return self.cluster(shard).config.replica_ids
+
+    def weak_quorum(self, shard: int) -> int:
+        return self.cluster(shard).config.weak_quorum
+
+    def verify_cert(
+        self, shard: int, seqno: int, cert: Optional[CheckpointCert]
+    ) -> bool:
+        """Certificate verification, mirrored from the replica: certs ride
+        outside MAC'd payloads because they are self-verifying (2f+1 signed
+        checkpoints; genesis is a pure function of the specification)."""
+        if cert is None or cert.seqno != seqno:
+            return False
+        cluster = self.cluster(shard)
+        if cert.seqno == 0:
+            service = next(iter(cluster.hosts.values())).service
+            return cert.state_digest == service.genesis_root_digest()
+        senders = set()
+        for checkpoint in cert.proof:
+            if checkpoint.seqno != cert.seqno:
+                return False
+            if checkpoint.state_digest != cert.state_digest:
+                return False
+            if checkpoint.replica_id not in cluster.config.replica_ids:
+                return False
+            if not cluster.sigs.verify(
+                checkpoint.replica_id, checkpoint.signable_bytes(), checkpoint.sig
+            ):
+                return False
+            senders.add(checkpoint.replica_id)
+        return len(senders) >= cluster.config.quorum
+
+    def root_of(self, block: bytes) -> bytes:
+        """Merkle root of a block's cells (leaf-by-leaf verification)."""
+        leaves = unpack_block(block, self.slot_width, self.num_leaves)
+        tree = PartitionTree(self.num_leaves, arity=self.arity)
+        tree.update_leaves(
+            [(i, digest(value), lm) for i, (lm, value) in enumerate(leaves)]
+        )
+        return tree.root()[1]
+
+    # -- attach -------------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Register the fused nodes, hook every replica host's feeder, and
+        bootstrap parity from the groups' latest stable checkpoints."""
+        self.sharded.fusion = self
+        for node in self.nodes:
+            node.attach()
+        for shard, cluster in enumerate(self.sharded.clusters):
+            for host in cluster.hosts.values():
+                feeder = FusionFeeder(self, shard)
+                host.fusion_feeder = feeder
+                host.replica.fusion_feeder = feeder
+        for node in self.nodes:
+            for shard in range(self.num_shards):
+                node.request_block(shard, 0)
+
+    def ready(self) -> bool:
+        return all(node.parity is not None for node in self.nodes)
+
+    def on_parity_progress(self) -> None:
+        """Progress hook (kept for symmetry and test introspection)."""
+
+    def request_rebuild(self, node: FusedNode) -> None:
+        """Full parity rebuild after a currency gap: refetch every shard's
+        latest certified block and re-encode.  Not possible while a group is
+        lost — reconstruction must finish first."""
+        if self._reconstructing or node.frozen:
+            self._rebuild_pending = True
+            return
+        self.counters.add("fusion_rebuilds")
+        node.parity = None
+        node._staged.clear()
+        for shard in range(self.num_shards):
+            node.request_block(shard, 0)
+
+    # -- storage accounting --------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        return sum(node.storage_bytes() for node in self.nodes)
+
+    def abstract_state_bytes(self) -> int:
+        """Total abstract-state bytes across all groups — the cost one
+        *additional full replica per group* would duplicate (the baseline the
+        fusion bench compares storage against)."""
+        total = 0
+        for cluster in self.sharded.clusters:
+            host = next(iter(cluster.hosts.values()))
+            manager = host.service.manager
+            for index in range(manager.total_leaves):
+                total += len(manager._get_obj(index)) + 8
+        return total
+
+    def total_counters(self) -> Counters:
+        merged = Counters()
+        merged.merge(self.counters)
+        for node in self.nodes:
+            merged.merge(node.counters)
+        return merged
+
+    def status(self) -> Dict:
+        return {
+            "parity_nodes": len(self.nodes),
+            "ready": self.ready(),
+            "applied": {
+                node.node_id: dict(sorted(node.applied.items()))
+                for node in self.nodes
+            },
+            "storage_bytes": self.storage_bytes(),
+            "reconstructions": [r.to_dict() for r in self.reconstructions],
+        }
+
+    def idle(self) -> bool:
+        return not self._reconstructing
+
+    # -- reconstruction ------------------------------------------------------------------
+
+    def on_group_destroyed(self, shard: int) -> None:
+        """Entry point, called by :meth:`ShardedCluster.destroy_group`."""
+        record = ReconstructionRecord(shard, self.sim.now())
+        self.reconstructions.append(record)
+        node = self.nodes[0]
+        if self._reconstructing:
+            record.ok = False
+            record.detail = "reconstruction already in progress"
+            record.completed_at = self.sim.now()
+            return
+        if node.parity is None or shard not in node.applied:
+            record.ok = False
+            record.detail = "fused tier has no parity coverage for this shard"
+            record.completed_at = self.sim.now()
+            self.counters.add("fusion_reconstructions_failed")
+            return
+        self._reconstructing = True
+        record.target_seqno = node.applied[shard]
+        self.counters.add("fusion_reconstructions_started")
+        emit(
+            self.tracer,
+            "fusion-tier",
+            "reconstruction_started",
+            shard=shard,
+            seqno=record.target_seqno,
+        )
+        node.collect_survivors(
+            shard, lambda blocks: self._rebuild_lost(record, blocks)
+        )
+        self._watchdog(record)
+
+    def _watchdog(self, record: ReconstructionRecord, timeout: float = 30.0) -> None:
+        def check() -> None:
+            if record.completed_at is None:
+                self._fail(record, "reconstruction timed out")
+
+        self.sim.schedule(timeout, check)
+
+    def _fail(self, record: ReconstructionRecord, detail: str) -> None:
+        if record.completed_at is not None:
+            return
+        record.ok = False
+        record.detail = detail
+        record.completed_at = self.sim.now()
+        self.counters.add("fusion_reconstructions_failed")
+        emit(
+            self.tracer,
+            "fusion-tier",
+            "reconstruction_failed",
+            shard=record.shard,
+            detail=detail,
+        )
+        self._reconstructing = False
+        self.nodes[0].unfreeze()
+
+    def _rebuild_lost(
+        self, record: ReconstructionRecord, blocks: Dict[int, bytes]
+    ) -> None:
+        node = self.nodes[0]
+        record.blocks_fetched = len(blocks)
+        record.bytes_fetched = sum(len(b) for b in blocks.values())
+        shares = dict(blocks)
+        assert node.parity is not None
+        shares[self.num_shards + node.row] = node.parity
+        try:
+            rebuilt = self.codec.reconstruct_one(shares, record.shard)
+        except FusionError as exc:
+            self._fail(record, f"decode failed: {exc}")
+            return
+        cert = node.certs[record.shard]
+        try:
+            root = self.root_of(rebuilt)
+        except FusionError as exc:
+            self._fail(record, f"rebuilt block malformed: {exc}")
+            return
+        if root != cert.state_digest:
+            self._fail(
+                record,
+                "rebuilt Merkle root does not match the group's latest "
+                "checkpoint certificate",
+            )
+            return
+        emit(
+            self.tracer,
+            "fusion-tier",
+            "reconstruction_verified",
+            shard=record.shard,
+            seqno=cert.seqno,
+        )
+        leaves = unpack_block(rebuilt, self.slot_width, self.num_leaves)
+        objects = {i: (value, lm) for i, (lm, value) in enumerate(leaves)}
+        self._seed_group(record, objects, cert)
+
+    def _seed_group(
+        self,
+        record: ReconstructionRecord,
+        objects: Dict[int, Tuple[bytes, int]],
+        cert: CheckpointCert,
+    ) -> None:
+        """Seed every replacement replica with the verified rebuilt state,
+        one at a time, through the existing recovery machinery
+        (``recover_now`` reboot + ``install_fetched`` +
+        ``after_state_transfer``).
+
+        Strictly sequential, and pushed rather than fetched, for two
+        reasons: a pristine rebooted replica answers a peer's root fetch
+        with its implicit *genesis* certificate regardless of ``min_seqno``
+        (concurrent reboots could complete each other's recovery at seqno
+        0), and organic hierarchical transfer against a group where only the
+        already-seeded replicas are alive livelocks on its round-robin donor
+        rotation."""
+        self._seed_next(record, objects, cert, sorted(self.cluster(record.shard).hosts))
+
+    def _seed_next(
+        self,
+        record: ReconstructionRecord,
+        objects: Dict[int, Tuple[bytes, int]],
+        cert: CheckpointCert,
+        order: List[str],
+    ) -> None:
+        if record.completed_at is not None:
+            return
+        if not order:
+            self._complete(record, cert)
+            return
+        rid, rest = order[0], order[1:]
+        host = self.cluster(record.shard).hosts[rid]
+        host.recover_now(min_seqno=cert.seqno)
+
+        def install_when_rebooted() -> None:
+            if record.completed_at is not None:
+                return
+            if host._mid_reboot:
+                self.sim.schedule(0.005, install_when_rebooted)
+                return
+            replica = host.replica
+            if not replica.recovering and replica.stable_seqno >= cert.seqno:
+                # Ordinary state transfer against an already-seeded donor
+                # finished before we got here; nothing left to install.
+                self.counters.add("fusion_replicas_transferred")
+                self._seed_next(record, objects, cert, rest)
+                return
+            try:
+                root = replica.service.install_fetched(dict(objects), cert.seqno)
+            except Exception as exc:  # loud, never a silent wrong answer
+                self._fail(record, f"seed install failed: {exc}")
+                return
+            if root != cert.state_digest:
+                self._fail(record, "seeded service root mismatch")
+                return
+            # The seeded replica is exactly at the certified checkpoint:
+            # complete its recovery the same way state transfer would, and
+            # retire any in-flight fetch session (its anchor is now moot).
+            replica.transfer._awaiting_root = False
+            replica.transfer.active = False
+            replica.after_state_transfer(cert.seqno, cert)
+            self.counters.add("fusion_replicas_seeded")
+            emit(
+                self.tracer,
+                "fusion-tier",
+                "reconstruction_seeded",
+                shard=record.shard,
+                replica=rid,
+            )
+            self._seed_next(record, objects, cert, rest)
+
+        self.sim.schedule(0.005, install_when_rebooted)
+
+    def _complete(self, record: ReconstructionRecord, cert: CheckpointCert) -> None:
+        if record.completed_at is not None:
+            return
+        record.ok = True
+        record.completed_at = self.sim.now()
+        self.counters.add("fusion_reconstructions_completed")
+        emit(
+            self.tracer,
+            "fusion-tier",
+            "reconstruction_completed",
+            shard=record.shard,
+            seqno=cert.seqno,
+            mttr=record.mttr,
+        )
+        self._reconstructing = False
+        node = self.nodes[0]
+        node.unfreeze()
+        if self._rebuild_pending:
+            self._rebuild_pending = False
+            self.request_rebuild(node)

@@ -665,16 +665,150 @@ class TxnDecide(Message):
     """Phase-2 decision for cross-shard transaction ``txid``.
 
     ``commit`` is True only when the coordinator holds an f+1 commit-vote
-    certificate from every participant shard.  Ordered through each shard's
-    normal BFT pipeline exactly like :class:`TxnPrepare`; first decision for
-    a txid wins and retransmissions are answered from the recorded outcome.
+    certificate from every participant shard — and the decide now *carries*
+    that certificate: ``votes`` lists, per participant shard, the replica ids
+    whose matching VOTE-COMMIT replies formed the quorum.  Participants verify
+    the certificate before applying a commit, so a faulty coordinator cannot
+    forge a commit out of thin air (it can still only *withhold*, which the
+    abandonment path already covers).  Aborts are always safe and carry no
+    certificate.  Ordered through each shard's normal BFT pipeline exactly
+    like :class:`TxnPrepare`; first decision for a txid wins and
+    retransmissions are answered from the recorded outcome.
     """
 
     txid: str
     commit: bool
+    votes: List[Tuple[int, List[str]]] = field(default_factory=list)
     auth: Optional[Authenticator] = None
 
     def signable_bytes(self) -> bytes:
         enc = XdrEncoder()
         enc.pack_string("TXN-DECIDE").pack_string(self.txid).pack_bool(self.commit)
+        enc.pack_u32(len(self.votes))
+        for shard, replica_ids in self.votes:
+            enc.pack_u32(shard)
+            enc.pack_u32(len(replica_ids))
+            for replica_id in replica_ids:
+                enc.pack_string(replica_id)
         return enc.getvalue()
+
+# --- fused-backup tier (erasure-coded parity over abstract state) ---------------
+
+
+@dataclass
+class ParityUpdate(Message):
+    """Incremental parity feed from one shard replica to a fused node.
+
+    Sent when checkpoint ``seqno`` becomes stable: ``deltas`` holds, per
+    modified abstract leaf, the XOR of the leaf's fixed-width fusion cells at
+    the previous stable checkpoint ``base_seqno`` and at ``seqno``.  Linearity
+    of the code lets the fused node fold the scaled delta straight into its
+    parity block.  ``cert`` is the stable-checkpoint certificate for
+    ``seqno``; it is *self-verifying* (2f+1 signed checkpoints) and its proof
+    set legitimately differs between senders, so it rides outside the signable
+    prefix — the fused node verifies the proof quorum itself and matches
+    updates across senders on the signable fields alone.
+    """
+
+    shard: int
+    base_seqno: int
+    seqno: int
+    slot_width: int
+    num_leaves: int
+    deltas: List[Tuple[int, bytes]] = field(default_factory=list)
+    cert: Optional[CheckpointCert] = None
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("PARITY-UPDATE").pack_u32(self.shard)
+        enc.pack_u64(self.base_seqno).pack_u64(self.seqno)
+        enc.pack_u32(self.slot_width).pack_u32(self.num_leaves)
+        enc.pack_u32(len(self.deltas))
+        for index, delta in self.deltas:
+            enc.pack_u32(index)
+            enc.pack_opaque(delta)
+        return enc.getvalue()
+
+    def wire_size(self) -> int:
+        size = len(self.signable_bytes())
+        if self.cert is not None:
+            size += self.cert.wire_size()
+        auth: Optional[Authenticator] = getattr(self, "auth", None)
+        if auth is not None:
+            size += auth.size_bytes()
+        return size
+
+
+@dataclass
+class ParityAck(Message):
+    """Fused node's acknowledgement that shard ``shard`` is covered through
+    checkpoint ``seqno`` — the feeding replica may release its GC pin on the
+    previous checkpoint once every fused node has acked past it."""
+
+    parity_id: str
+    shard: int
+    seqno: int
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("PARITY-ACK").pack_string(self.parity_id)
+        enc.pack_u32(self.shard).pack_u64(self.seqno)
+        return enc.getvalue()
+
+
+@dataclass
+class FusionFetch(Message):
+    """Ask a shard replica for its full abstract state as one fusion data
+    block.  ``seqno == 0`` means "your latest stable checkpoint" (bootstrap
+    and resync); otherwise the donor serves exactly checkpoint ``seqno`` if it
+    still holds it.  Cells are packed at the requested ``slot_width`` so every
+    donor's block is byte-comparable."""
+
+    parity_id: str
+    shard: int
+    seqno: int
+    slot_width: int
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("FUSION-FETCH").pack_string(self.parity_id)
+        enc.pack_u32(self.shard).pack_u64(self.seqno)
+        enc.pack_u32(self.slot_width)
+        return enc.getvalue()
+
+
+@dataclass
+class FusionBlock(Message):
+    """One shard replica's full abstract state at checkpoint ``seqno``,
+    packed into fixed-width fusion cells, plus the matching checkpoint
+    certificate (outside the signable prefix for the same reason as
+    :class:`ParityUpdate`: proof sets differ per donor)."""
+
+    replica_id: str
+    shard: int
+    seqno: int
+    slot_width: int
+    num_leaves: int
+    block: bytes = b""
+    cert: Optional[CheckpointCert] = None
+    auth: Optional[Authenticator] = None
+
+    def signable_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_string("FUSION-BLOCK").pack_string(self.replica_id)
+        enc.pack_u32(self.shard).pack_u64(self.seqno)
+        enc.pack_u32(self.slot_width).pack_u32(self.num_leaves)
+        enc.pack_opaque(self.block)
+        return enc.getvalue()
+
+    def wire_size(self) -> int:
+        size = len(self.signable_bytes())
+        if self.cert is not None:
+            size += self.cert.wire_size()
+        auth: Optional[Authenticator] = getattr(self, "auth", None)
+        if auth is not None:
+            size += auth.size_bytes()
+        return size

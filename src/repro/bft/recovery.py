@@ -85,6 +85,9 @@ class ReplicaHost:
         self._recovery_epoch = 0
         self._recovery_started_at: Optional[float] = None
         self._mid_reboot = False
+        # Fused-backup feeder (repro.bft.fusion): host-resident so ack state
+        # and the checkpoint GC pin survive reboots; relinked in _reboot.
+        self.fusion_feeder = None
         self.supervisor: Optional[FaultContainmentSupervisor] = None
         if repair is not None:
             self.supervisor = FaultContainmentSupervisor(self, repair)
@@ -213,6 +216,7 @@ class ReplicaHost:
         replica.recovering = True
         replica.on_recovered = self._record_recovered
         replica.tracer = self.tracer
+        replica.fusion_feeder = self.fusion_feeder
         self.replica = replica
         if self.supervisor is not None:
             self.supervisor.attach(replica)

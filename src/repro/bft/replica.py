@@ -24,12 +24,15 @@ from repro.bft.messages import (
     FetchMeta,
     FetchObject,
     FetchRoot,
+    FusionBlock,
+    FusionFetch,
     Lease,
     LeaseRevoke,
     MetaReply,
     Message,
     NewView,
     ObjectReply,
+    ParityAck,
     Prepare,
     PrePrepare,
     Recovered,
@@ -106,6 +109,9 @@ class Replica(Node):
         )
         self.in_flight: set = set()  # (client, reqid) already in a pre-prepare
         self.recovering = False
+        # Fused-backup tier hook: host-resident FusionFeeder (survives
+        # reboots; relinked by ReplicaHost).  See repro.bft.fusion.
+        self.fusion_feeder = None
         self.on_recovered = None  # hook set by ReplicaHost for WoV accounting
         self.on_crashed = None  # hook set by the fault-containment supervisor
         self.crash_reason = ""
@@ -237,6 +243,10 @@ class Replica(Node):
             self.transfer.on_message(message, src)
         elif isinstance(message, (Recovering, Recovered)):
             self.counters.add(f"peer_{type(message).__name__.lower()}")
+        elif isinstance(message, FusionFetch):
+            self.on_fusion_fetch(message, src)
+        elif isinstance(message, ParityAck):
+            self.on_parity_ack(message, src)
         else:
             self.counters.add("unknown_message")
 
@@ -891,7 +901,16 @@ class Replica(Node):
         for seqno in [s for s in self.own_checkpoints if s < cert.seqno]:
             del self.own_checkpoints[seqno]
         if self.last_executed >= cert.seqno:
-            self.service.discard_checkpoints_below(cert.seqno)
+            floor = cert.seqno
+            if self.fusion_feeder is not None:
+                # Diff against the previous stable checkpoint (still live —
+                # we have not discarded yet) and pin garbage collection at
+                # the oldest checkpoint a fused node's parity stands at, so
+                # full-block resyncs and reconstruction fetches always find
+                # their target.
+                self.fusion_feeder.on_stable(self, cert)
+                floor = min(floor, self.fusion_feeder.gc_floor(cert.seqno))
+            self.service.discard_checkpoints_below(floor)
         self.counters.add("stable_checkpoints")
         emit(self.tracer, self.node_id, "checkpoint_stable", seqno=cert.seqno)
         # If the quorum certified state we never executed, we are behind:
@@ -1202,6 +1221,84 @@ class Replica(Node):
                         data=data,
                     ),
                 )
+
+    # -- fused-backup tier (repro.bft.fusion) ------------------------------------------------------------------------
+
+    def on_parity_ack(self, message: ParityAck, src: str) -> None:
+        if not self.check_auth(message, expected_sender=src):
+            return
+        if self.fusion_feeder is None or src != message.parity_id:
+            self.counters.add("fusion_acks_ignored")
+            return
+        self.fusion_feeder.on_ack(self, message)
+
+    def on_fusion_fetch(self, message: FusionFetch, src: str) -> None:
+        """Serve a full fixed-width block of our abstract state to a fused
+        node — for bootstrap (seqno 0 = latest stable) or reconstruction
+        (exact pinned seqno)."""
+        if not self.check_auth(message, expected_sender=src):
+            return
+        if src != message.parity_id:
+            self.counters.add("fusion_fetches_refused")
+            return
+        manager = getattr(self.service, "manager", None)
+        if manager is None:
+            self.counters.add("fusion_fetches_refused")
+            return
+        from repro.base.fusion import FusionError, cell_width_for, pack_block
+
+        seqno = message.seqno
+        cert: Optional[CheckpointCert] = None
+        if seqno == 0:
+            if self.stable_cert is not None and self.last_executed >= self.stable_seqno:
+                seqno = self.stable_seqno
+                cert = self.stable_cert
+            elif self.stable_cert is None and 0 in self.service.checkpoint_seqnos():
+                cert = CheckpointCert(
+                    seqno=0, state_digest=self.service.genesis_root_digest(), proof=[]
+                )
+            else:
+                self.counters.add("fusion_fetches_refused")
+                return
+        elif seqno == self.stable_seqno and self.stable_cert is not None:
+            # Exact fetch at the current stable checkpoint: certified.
+            cert = self.stable_cert
+        elif seqno not in self.service.checkpoint_seqnos():
+            self.counters.add("fusion_fetches_refused")
+            return
+        # An exact fetch below the stable checkpoint (GC-pinned) is served
+        # without a certificate: the fused node verifies the block against
+        # the certified root it already holds for that seqno.
+        leaves = []
+        for index in range(manager.total_leaves):
+            leaf = self.service.get_leaf(seqno, index)
+            value = self.service.get_object_at(seqno, index)
+            if leaf is None or value is None:
+                self.counters.add("fusion_fetches_refused")
+                return
+            if cell_width_for(len(value)) > message.slot_width:
+                self.counters.add("fusion_serve_overflow")
+                return
+            leaves.append((leaf[0], value))
+        try:
+            block = pack_block(leaves, message.slot_width)
+        except FusionError:
+            self.counters.add("fusion_serve_overflow")
+            return
+        self.counters.add("fusion_blocks_served")
+        self.counters.add("fusion_block_bytes_served", len(block))
+        self.auth_send(
+            src,
+            FusionBlock(
+                replica_id=self.node_id,
+                shard=message.shard,
+                seqno=seqno,
+                slot_width=message.slot_width,
+                num_leaves=manager.total_leaves,
+                block=block,
+                cert=cert,
+            ),
+        )
 
     # -- hooks used by managers ------------------------------------------------------------------------------------
 

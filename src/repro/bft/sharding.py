@@ -45,6 +45,8 @@ class ShardedCluster:
         self.shardmap = shardmap
         self.sim = clusters[0].sim
         self._clients: Dict[str, "ShardedClient"] = {}
+        # Fused-backup tier (repro.bft.fusion), set by FusedBackupTier.attach().
+        self.fusion = None
 
     def shard(self, shard: int) -> Cluster:
         return self.clusters[shard]
@@ -67,7 +69,60 @@ class ShardedCluster:
     def settle(self, duration: float = 0.5) -> None:
         self.sim.run_for(duration)
 
+    def destroy_group(self, shard: int) -> None:
+        """Catastrophic loss of an entire shard group: every replica stops
+        AND its persistent disk is wiped — more than f correlated faults,
+        beyond what the group's own replication can mask or its recovery
+        path can repair.  If a fused-backup tier is attached, it rebuilds
+        the group's abstract state from the surviving groups plus parity
+        (see repro.bft.fusion); otherwise the shard is simply gone, which is
+        the baseline this tier exists to fix."""
+        cluster = self.clusters[shard]
+        disks = getattr(cluster, "disks", None)
+        if disks is None:
+            raise ValueError(
+                "destroy_group needs a cluster built with per-replica disks "
+                "(sharded_kv_cluster / sharded_recording_cluster)"
+            )
+        for rid in sorted(cluster.hosts):
+            host = cluster.hosts[rid]
+            host.replica.stop()
+            cluster.network.set_down(rid, True)
+            # Clear in place: the service factory closures hold references.
+            disks.setdefault(rid, {}).clear()
+        if self.fusion is not None:
+            self.fusion.on_group_destroyed(shard)
+
     # -- metrics ----------------------------------------------------------------------
+
+    def repair_status(self) -> Dict[str, object]:
+        """Fleet-wide repair picture: per-group fault-containment snapshots
+        and recovery MTTR samples, plus fused-tier reconstruction episodes."""
+        status: Dict[str, object] = {}
+        for shard, cluster in enumerate(self.clusters):
+            recoveries = {
+                rid: host.recovery_durations()
+                for rid, host in sorted(cluster.hosts.items())
+                if host.recovery_log
+            }
+            samples = [sample for per in recoveries.values() for sample in per]
+            status[f"shard{shard}"] = {
+                "replicas": cluster.repair_status(),
+                "recoveries": recoveries,
+                "mttr": (sum(samples) / len(samples)) if samples else None,
+            }
+        if self.fusion is not None:
+            episodes = [r.to_dict() for r in self.fusion.reconstructions]
+            mttrs = [
+                r.mttr
+                for r in self.fusion.reconstructions
+                if r.ok and r.mttr is not None
+            ]
+            status["reconstructions"] = {
+                "episodes": episodes,
+                "mttr": (sum(mttrs) / len(mttrs)) if mttrs else None,
+            }
+        return status
 
     def total_counters(self) -> Counters:
         total = Counters()
@@ -79,6 +134,8 @@ class ShardedCluster:
                     total.merge(participant.counters)
         for client in self._clients.values():
             total.merge(client.counters)
+        if self.fusion is not None:
+            total.merge(self.fusion.total_counters())
         return total
 
 
@@ -243,7 +300,11 @@ class ShardedClient:
         coordinator.cancel()
         self._coordinator = None
         decision = coordinator.decision if coordinator.decision is not None else False
-        op = encode_txn_decide(coordinator.txid, decision)
+        op = encode_txn_decide(
+            coordinator.txid,
+            decision,
+            coordinator.vote_certificate() if decision else None,
+        )
         self.counters.add("txns_abandoned")
         for shard in coordinator.contacted:
             sub = coordinator.clients[shard]
@@ -292,14 +353,14 @@ def sharded_kv_cluster(
 
             return make
 
-        clusters.append(
-            Cluster(
-                factory_for,
-                config=config,
-                sim=sim,
-                net_config=_per_shard_net_config(net_config),
-            )
+        cluster = Cluster(
+            factory_for,
+            config=config,
+            sim=sim,
+            net_config=_per_shard_net_config(net_config),
         )
+        cluster.disks = disks  # destroy_group wipes these in place
+        clusters.append(cluster)
     return ShardedCluster(clusters, shardmap)
 
 
@@ -338,13 +399,13 @@ def sharded_recording_cluster(
 
             return make
 
-        clusters.append(
-            Cluster(
-                factory_for,
-                config=config,
-                sim=sim,
-                net_config=_per_shard_net_config(net_config),
-                repair=repair,
-            )
+        cluster = Cluster(
+            factory_for,
+            config=config,
+            sim=sim,
+            net_config=_per_shard_net_config(net_config),
+            repair=repair,
         )
+        cluster.disks = disks  # destroy_group wipes these in place
+        clusters.append(cluster)
     return ShardedCluster(clusters, shardmap), recorders

@@ -49,6 +49,7 @@ class KVStateMachine(StateMachine):
         disk: Optional[Dict[int, bytes]] = None,
         arity: int = 4,
         transactional: bool = False,
+        weak_quorum: int = 2,
     ) -> None:
         self.num_slots = num_slots
         self.disk = disk if disk is not None else {}
@@ -60,7 +61,9 @@ class KVStateMachine(StateMachine):
         # table; data ops then address only [0, num_slots - 1).  Built last:
         # the participant reloads its mirrors from the cells above.
         self.participant: Optional[TxnParticipant] = (
-            TxnParticipant(self, num_slots - 1) if transactional else None
+            TxnParticipant(self, num_slots - 1, weak_quorum=weak_quorum)
+            if transactional
+            else None
         )
 
     def data_slots(self) -> int:
@@ -159,6 +162,9 @@ class KVStateMachine(StateMachine):
 
     def get_object_at(self, seqno: int, index: int) -> Optional[bytes]:
         return self.manager.get_object_at(seqno, index)
+
+    def get_leaf(self, seqno: int, index: int) -> Optional[Tuple[int, bytes]]:
+        return self.manager.get_leaf(seqno, index)
 
     def current_node(self, level: int, index: int) -> Tuple[int, bytes]:
         return self.manager.current_node(level, index)

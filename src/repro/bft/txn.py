@@ -44,6 +44,10 @@ VOTE_COMMIT = b"TXN VOTE-COMMIT"
 VOTE_ABORT = b"TXN VOTE-ABORT"
 TXN_COMMITTED = b"TXN COMMITTED"
 TXN_ABORTED = b"TXN ABORTED"
+#: Commit decide rejected: its vote certificate was missing or malformed.
+#: No state changes and no tombstone — a later decide with a valid
+#: certificate (or an abort) still decides the transaction.
+TXN_BAD_CERT = b"TXN BAD-CERT"
 
 _PREPARE_TAG = XdrEncoder().pack_string("TXN-PREPARE").getvalue()
 _DECIDE_TAG = XdrEncoder().pack_string("TXN-DECIDE").getvalue()
@@ -54,9 +58,19 @@ def encode_txn_prepare(txid: str, writes: List[Tuple[int, bytes]]) -> bytes:
     return TxnPrepare(txid=txid, writes=list(writes)).signable_bytes()
 
 
-def encode_txn_decide(txid: str, commit: bool) -> bytes:
-    """The decision's canonical encoding, used directly as request op bytes."""
-    return TxnDecide(txid=txid, commit=commit).signable_bytes()
+def encode_txn_decide(
+    txid: str,
+    commit: bool,
+    votes: Optional[List[Tuple[int, List[str]]]] = None,
+) -> bytes:
+    """The decision's canonical encoding, used directly as request op bytes.
+
+    A commit decision carries its vote certificate (``votes``: per shard, the
+    f+1 replica ids whose matching VOTE-COMMIT replies certified the shard's
+    vote); participants refuse commits without one.  Aborts are always safe
+    and carry none.
+    """
+    return TxnDecide(txid=txid, commit=commit, votes=list(votes or [])).signable_bytes()
 
 
 def is_txn_op(op: bytes) -> bool:
@@ -77,7 +91,14 @@ def decode_txn_op(op: bytes) -> Optional[Message]:
             writes = [(dec.unpack_u32(), dec.unpack_opaque()) for _ in range(count)]
             message: Message = TxnPrepare(txid=txid, writes=writes)
         else:
-            message = TxnDecide(txid=dec.unpack_string(), commit=dec.unpack_bool())
+            txid = dec.unpack_string()
+            commit = dec.unpack_bool()
+            votes: List[Tuple[int, List[str]]] = []
+            for _ in range(dec.unpack_u32()):
+                shard = dec.unpack_u32()
+                ids = [dec.unpack_string() for _ in range(dec.unpack_u32())]
+                votes.append((shard, ids))
+            message = TxnDecide(txid=txid, commit=commit, votes=votes)
         dec.done()
     except XdrError:
         return None
@@ -102,11 +123,15 @@ class TxnParticipant:
     a coordinator low-water mark; at simulation scale they stay.
     """
 
-    def __init__(self, service, table_index: int) -> None:
+    def __init__(self, service, table_index: int, weak_quorum: int = 2) -> None:
         if table_index < 1:
             raise ValueError("transactional services need at least one data slot")
         self.service = service
         self.table_index = table_index
+        #: f+1 for the group size this deployment runs: the smallest reply
+        #: set guaranteed to contain one honest replica, and therefore the
+        #: smallest acceptable per-shard entry in a commit-vote certificate.
+        self.weak_quorum = weak_quorum
         self.counters = Counters()
         self._pending: Dict[str, Tuple[bool, List[Tuple[int, bytes]]]] = {}
         self._decided: Dict[str, bool] = {}
@@ -153,6 +178,30 @@ class TxnParticipant:
 
     # -- phase 2: decide -------------------------------------------------------------
 
+    def _valid_vote_certificate(self, message: TxnDecide) -> bool:
+        """Structural check of a commit decide's vote certificate.
+
+        Every listed shard must contribute at least ``weak_quorum`` (f+1)
+        *distinct*, non-empty replica ids — the smallest set that provably
+        contains one honest replica's VOTE-COMMIT.  Replies are MAC'd
+        client-to-replica, so the certificate is not third-party verifiable
+        cryptography; it is accountable evidence a coordinator cannot omit:
+        the planted ``forged-decide`` coordinator, which never collected the
+        votes, has nothing to put here (docs/fusion.md discusses the trust
+        model; docs/sharding.md the 2PC protocol).
+        """
+        if not message.votes:
+            return False
+        seen_shards = set()
+        for shard, replica_ids in message.votes:
+            if shard in seen_shards:
+                return False
+            seen_shards.add(shard)
+            distinct = {rid for rid in replica_ids if rid}
+            if len(distinct) < self.weak_quorum:
+                return False
+        return True
+
     def apply_decide(self, message: TxnDecide) -> bytes:
         self.counters.add("txn_decides")
         txid = message.txid
@@ -160,6 +209,12 @@ class TxnParticipant:
             # Retransmitted decide: answer from the recorded outcome.
             self.counters.add("txn_decides_stale")
             return TXN_COMMITTED if self._decided[txid] else TXN_ABORTED
+        if message.commit and not self._valid_vote_certificate(message):
+            # A forged or certificate-less commit is rejected outright: no
+            # tombstone, no lock release — the transaction stays pending so a
+            # well-formed decide can still settle it either way.
+            self.counters.add("txn_decides_rejected")
+            return TXN_BAD_CERT
         if txid in self._pending:
             vote, writes = self._pending.pop(txid)
             committed = message.commit and vote
@@ -285,6 +340,10 @@ class TxnCoordinator:
         self.callback = callback
         self.contacted: List[int] = sorted(writes_by_shard)
         self.votes: Dict[int, bool] = {}
+        #: Per shard, the sorted replica ids whose matching VOTE-COMMIT
+        #: replies certified the shard's commit vote — the raw material of
+        #: the vote certificate a commit decide must carry.
+        self.vote_ids: Dict[int, List[str]] = {}
         self.acks: Dict[int, bool] = {}
         self.decision: Optional[bool] = None
         self.done = False
@@ -307,14 +366,22 @@ class TxnCoordinator:
         ]
         certified = len(vote_replies) >= self.config.weak_quorum
         self.votes[shard] = certified and result == VOTE_COMMIT
+        if self.votes[shard]:
+            self.vote_ids[shard] = sorted(vote_replies)[: self.config.weak_quorum]
         if not self.votes[shard]:
             self._decide(False)
         elif len(self.votes) == len(self.contacted):
             self._decide(True)
 
+    def vote_certificate(self) -> List[Tuple[int, List[str]]]:
+        """The f+1-per-shard vote certificate backing a commit decision."""
+        return [(shard, list(self.vote_ids[shard])) for shard in self.contacted]
+
     def _decide(self, commit: bool) -> None:
         self.decision = commit
-        op = encode_txn_decide(self.txid, commit)
+        op = encode_txn_decide(
+            self.txid, commit, self.vote_certificate() if commit else None
+        )
         for shard in self.contacted:
             client = self.clients[shard]
             if client._current is not None:

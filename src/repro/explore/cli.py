@@ -81,6 +81,13 @@ def _explore_parser() -> argparse.ArgumentParser:
         "hold exactly as they do for the baseline protocol",
     )
     parser.add_argument(
+        "--destroy-group",
+        action="store_true",
+        help="end every generated plan with a destroy_group catastrophe "
+        "(all replicas and disks of one shard group wiped at once) that the "
+        "fused-backup tier must survive; requires --shards 2 (or more)",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true", help="skip shrinking the violating plan"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
@@ -134,9 +141,17 @@ def explore_main(argv: List[str]) -> int:
             plant=args.plant,
             check_interval=args.check_interval,
             shrink=not args.no_shrink,
+            destruction=args.destroy_group,
             log=log,
         )
     else:
+        if args.destroy_group:
+            print(
+                "explore: --destroy-group needs a fused-backup tier over "
+                "several groups; pass --shards 2 (or more)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
         if args.plant is not None and args.plant not in PLANTED_BUGS:
             print(
                 f"explore: plant {args.plant!r} needs a sharded deployment; "

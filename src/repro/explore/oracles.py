@@ -340,6 +340,7 @@ class ShardedOracleSuite:
         ]
         self.check_interval = max(1, check_interval)
         self._decisions: Dict[str, Tuple[bool, str]] = {}
+        self._reconstructions_flagged: set = set()
         self._events_since_check = 0
         self._uninstall: Optional[Callable[[], None]] = None
 
@@ -375,6 +376,7 @@ class ShardedOracleSuite:
         for suite in self.suites:
             suite.check_now()
         self._check_cross_shard_atomicity()
+        self._check_reconstruction_integrity()
 
     def _check_cross_shard_atomicity(self) -> None:
         for shard, suite in enumerate(self.suites):
@@ -397,3 +399,30 @@ class ShardedOracleSuite:
                             f"{'committed' if seen[0] else 'aborted'} at "
                             f"{seen[1]}",
                         )
+
+    def _check_reconstruction_integrity(self) -> None:
+        """Every finished fused-backup reconstruction must have succeeded.
+
+        A failed rebuild — missing parity coverage, a timeout, or (worst)
+        a rebuilt Merkle root that does not match the group's latest
+        checkpoint certificate — is a *safety* signal here, not mere
+        unavailability: the tier either restores the exact certified
+        abstract state or it must refuse to serve.  Each episode is
+        reported at most once.
+        """
+        tier = getattr(self.sharded, "fusion", None)
+        if tier is None:
+            return
+        for record in tier.reconstructions:
+            if record.completed_at is None or record.ok:
+                continue
+            key = (record.shard, record.started_at)
+            if key in self._reconstructions_flagged:
+                continue
+            self._reconstructions_flagged.add(key)
+            suite = self.suites[record.shard % len(self.suites)]
+            suite.record_violation(
+                "reconstruction",
+                f"fused-backup rebuild of shard{record.shard} failed: "
+                f"{record.detail or 'no detail'}",
+            )

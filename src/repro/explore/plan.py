@@ -79,12 +79,22 @@ CAMPAIGN_KINDS: FrozenSet[str] = frozenset(
     {"region_outage", "partition_storm", "latency_spike", "flash_crowd", "age_replicas"}
 )
 
+# Destruction steps deliberately exceed the <= f fault assumption:
+# ``destroy_group`` wipes every replica of shard group ``index`` — processes
+# *and* disks — so the group's own replication cannot bring it back.  Only
+# sharded runs with a fused-backup tier attached (repro.bft.fusion) can
+# survive one; the runner aligns the victim group to a stable checkpoint
+# boundary first (RPO = 0) so every safety oracle still holds unconditionally
+# through the loss and reconstruction.
+DESTRUCTION_KINDS: FrozenSet[str] = frozenset({"destroy_group"})
+
 STEP_KINDS: FrozenSet[str] = (
     BYZANTINE_KINDS
     | BENIGN_KINDS
     | IMPLEMENTATION_KINDS
     | OVERLOAD_KINDS
     | CAMPAIGN_KINDS
+    | DESTRUCTION_KINDS
 )
 
 
@@ -99,7 +109,8 @@ class FaultStep:
     fraction: outbound drop fraction (``drop`` only).
     duration: how long a ``drop`` interceptor stays installed, or how long an
               ``overload`` episode lasts.
-    index:    abstract object index (``corrupt_object`` only).
+    index:    abstract object index (``corrupt_object``) or shard group index
+              (``destroy_group``; taken modulo the run's shard count).
     rate:     offered load in requests/second (``overload`` / ``flash_crowd``:
               the flash-crowd *peak* rate).
     clients:  size of the open-loop client swarm (``overload`` /
@@ -201,6 +212,9 @@ class FaultPlan:
         return bool(self.topology) or any(
             s.kind in CAMPAIGN_KINDS for s in self.steps
         )
+
+    def has_destruction(self) -> bool:
+        return any(s.kind in DESTRUCTION_KINDS for s in self.steps)
 
     def pure_overload(self) -> bool:
         """Fault-free saturation: every step is an overload episode.  Only
@@ -348,6 +362,14 @@ def validate_plan(plan: FaultPlan, f: int = 1) -> List[str]:
                 problems.append(f"age_replicas of unknown replica {step.target!r}")
             if step.fraction < 0:
                 problems.append("age_replicas per-op stall override must be >= 0")
+        elif step.kind == "destroy_group":
+            if step.index < 0:
+                problems.append("destroy_group shard index must be >= 0")
+    destroys = [s for s in plan.steps if s.kind in DESTRUCTION_KINDS]
+    if len(destroys) > 1:
+        # One catastrophe per run: the fused tier reconstructs sequentially
+        # and a second loss during reconstruction is outside its model.
+        problems.append("at most one destroy_group step per plan")
     if crashed:
         problems.append(f"plan ends with {sorted(crashed)} still crashed")
     if partitioned:
@@ -450,6 +472,7 @@ def generate_plan(
     f: int = 1,
     implementation_faults: bool = False,
     overload: bool = False,
+    destruction: bool = False,
 ) -> FaultPlan:
     """Deterministically generate one exploration plan from a seed.
 
@@ -469,6 +492,16 @@ def generate_plan(
     fault-free open-loop saturation episode at a seeded rate >= 4x the
     sustainable load, judged strictly by the goodput oracle (sheds happen,
     commits continue, the view number stays put).
+
+    ``destruction`` (opt-in, sharded runs only) appends one ``destroy_group``
+    step after every other fault has resolved: the named shard group loses
+    all replicas *and* disks at once and must be rebuilt from the fused
+    backup tier.  Crash/restart, Byzantine, and implementation groups are
+    dropped from such plans — a destroyed group is replaced wholesale, which
+    would invalidate their paired bookkeeping — leaving drops, partitions,
+    and proactive recoveries to run alongside the catastrophe.  With the
+    flag off no extra randomness is drawn, so default plans stay
+    byte-identical across versions.
     """
     rng = random.Random(seed)
     if overload:
@@ -582,6 +615,24 @@ def generate_plan(
         if len(steps) + len(group) > max_steps:
             continue
         steps.extend(group)
+
+    if destruction:
+        # Wholesale-replacement of a group cannot honor crash/restart pairing
+        # or keep a Byzantine/poisoned replica faulty through the rebuild.
+        steps = [
+            s
+            for s in steps
+            if s.kind not in BYZANTINE_KINDS
+            and s.kind not in IMPLEMENTATION_KINDS
+            and s.kind not in ("crash", "restart")
+        ]
+        steps.append(
+            FaultStep(
+                at=round(rng.uniform(2.0, 2.6), 4),
+                kind="destroy_group",
+                index=rng.randrange(0, 2),
+            )
+        )
     steps.sort(key=lambda s: s.at)
 
     return FaultPlan(

@@ -282,6 +282,10 @@ def run_plan(
     under baseline and fast-path configurations and compare the outcomes."""
     if plant is not None and plant not in PLANTED_BUGS:
         raise ValueError(f"unknown planted bug {plant!r}")
+    if plan.has_destruction():
+        # Group destruction only makes sense where a fused-backup tier can
+        # rebuild the lost group: sharded runs (repro explore --shards).
+        raise ValueError("destroy_group requires a sharded exploration run")
     impl_ctx: Optional[Dict] = None
     repair: Optional[RepairPolicy] = None
     poisoned: Optional[Set[str]] = None

@@ -13,6 +13,14 @@ cross-shard atomicity oracle run continuously throughout.
 
 Overload, implementation-fault, and campaign steps are single-group features
 and are rejected here; plans generated with the defaults never contain them.
+
+``destroy_group`` steps (opt-in via ``generate_plan(destruction=True)``) are
+a sharded-only catastrophe: the runner attaches a fused-backup tier
+(:class:`repro.bft.fusion.FusedBackupTier`), aligns the victim group to a
+stable checkpoint boundary so the wipe loses no acknowledged state, destroys
+the group — processes and disks — and blocks until the tier has rebuilt and
+reseeded it.  The reconstruction-integrity oracle then holds the rebuild to
+the same safety standard as everything else.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.bft.testing import encode_set
 from repro.explore.oracles import OracleViolation, ShardedOracleSuite, Violation
 from repro.explore.plan import (
     CAMPAIGN_KINDS,
+    DESTRUCTION_KINDS,
     IMPLEMENTATION_KINDS,
     OVERLOAD_KINDS,
     FaultPlan,
@@ -57,6 +66,17 @@ _TXN_COUNTERS = (
     "txn_commits_applied",
     "txn_aborts_applied",
     "txn_lock_conflicts",
+    "txn_decides_rejected",
+)
+
+#: Fused-backup counters, surfaced only when the plan destroyed a group.
+_FUSION_COUNTERS = (
+    "fusion_reconstructions_started",
+    "fusion_reconstructions_completed",
+    "fusion_reconstructions_failed",
+    "fusion_replicas_seeded",
+    "fusion_updates_applied",
+    "fusion_destroys_skipped",
 )
 
 _UNSUPPORTED_KINDS = IMPLEMENTATION_KINDS | OVERLOAD_KINDS | CAMPAIGN_KINDS
@@ -71,6 +91,53 @@ def _reject_unsupported(plan: FaultPlan) -> None:
         )
     if plan.topology:
         raise ValueError("sharded exploration does not support topology presets")
+
+
+def _align_for_destroy(sharded, tier, client, shard: int) -> bool:
+    """Drive the victim group to a quiescent stable-checkpoint boundary with
+    the fused tier fully current, so the loss destroys no acknowledged state
+    (RPO = 0) and every safety oracle keeps holding unconditionally through
+    the rebuild.  Pads with probe writes until all replicas of the group sit
+    at the same ``last_executed`` which is stable and on a checkpoint
+    boundary, and the tier's parity has absorbed that checkpoint.  Returns
+    False when alignment cannot be reached inside the attempt budget (an
+    active fault kept the group from settling); the caller then skips the
+    destroy rather than tolerate data loss the oracles would have to excuse.
+    """
+    cluster = sharded.shard(shard)
+    interval = cluster.config.checkpoint_interval
+    probe = sharded.shardmap.global_index(shard, _PROBE_SLOT)
+    for _ in range(6 * interval):
+        sharded.settle(0.25)
+        states = [
+            (host.replica.last_executed, host.replica.stable_seqno)
+            for _rid, host in sorted(cluster.hosts.items())
+        ]
+        executed, stable = states[0]
+        if (
+            all(s == states[0] for s in states)
+            and executed > 0
+            and executed % interval == 0
+            and stable == executed
+            and all(node.applied.get(shard) == stable for node in tier.nodes)
+        ):
+            return True
+        try:
+            client.invoke(encode_set(probe, b"align"), timeout=8.0)
+        except InvocationTimeout:
+            client.cancel()
+    return False
+
+
+def _destroy_group_step(sharded, tier, client, step, num_shards: int) -> None:
+    """Execute one ``destroy_group`` step: align, wipe, await the rebuild."""
+    shard = step.index % num_shards
+    if not _align_for_destroy(sharded, tier, client, shard):
+        tier.counters.add("fusion_destroys_skipped")
+        return
+    sharded.destroy_group(shard)
+    sharded.sim.run_until_condition(tier.idle, timeout=60.0)
+    sharded.settle(0.5)
 
 
 def run_sharded_plan(
@@ -118,11 +185,28 @@ def run_sharded_plan(
 
     drop_removers: List[Callable[[], None]] = []
     faulted = sharded.shard(0)
+    pending_destroys: List = []
+    tier = None
     for step in plan.steps:
+        if step.kind in DESTRUCTION_KINDS:
+            # Destruction is not a per-group fault: it needs checkpoint
+            # alignment and a blocking rebuild, so the step only *flags*
+            # itself here and the workload loop executes it between
+            # requests (never mid-invocation).
+            sharded.sim.schedule(
+                max(0.0, step.at), lambda s=step: pending_destroys.append(s)
+            )
+            continue
         sharded.sim.schedule(
             max(0.0, step.at),
             lambda s=step: _apply_step(faulted, s, drop_removers, None),
         )
+    if plan.has_destruction():
+        from repro.bft.fusion import FusedBackupTier
+
+        tier = FusedBackupTier(sharded)
+        tier.attach()
+        sharded.settle(0.5)  # let the parity bootstrap finish before load
     if plan.recovery_period > 0:
         for cluster in sharded.clusters:
             cluster.start_proactive_recovery()
@@ -150,8 +234,14 @@ def run_sharded_plan(
         suite.suites[0].violations.append(failure)
         return failure
 
+    def drain_destroys() -> None:
+        while pending_destroys:
+            step = pending_destroys.pop(0)
+            _destroy_group_step(sharded, tier, client, step, num_shards)
+
     try:
         for i in range(plan.requests):
+            drain_destroys()
             if i % 4 == 3:
                 # Every fourth request is a cross-shard transaction, so 2PC
                 # is always in flight across the plan's fault windows.
@@ -171,6 +261,9 @@ def run_sharded_plan(
         horizon = max((s.at for s in plan.steps), default=0.0) + 0.5
         if sharded.sim.now() < horizon:
             sharded.sim.run_until(horizon)
+        # A destroy step timed after the workload finished fires during the
+        # horizon run; execute it before judging liveness.
+        drain_destroys()
         # Heal the world, then demand liveness from every shard *and* from
         # the cross-shard layer.
         sharded.heal()
@@ -214,6 +307,9 @@ def run_sharded_plan(
     counters = {name: totals.get(name) for name in _VERDICT_COUNTERS}
     for name in _TXN_COUNTERS:
         counters[name] = totals.get(name)
+    if tier is not None:
+        for name in _FUSION_COUNTERS:
+            counters[name] = totals.get(name)
     return RunOutcome(
         violation=violation,
         completed=completed,
@@ -232,16 +328,23 @@ def explore_sharded(
     check_interval: int = 10,
     shrink: bool = True,
     max_shrink_runs: int = 64,
+    destruction: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> ExploreResult:
     """Sharded exploration session: same plan stream and shrink discipline as
     :func:`repro.explore.runner.explore`, executed against ``num_shards``
-    groups with the cross-shard workload and oracles."""
+    groups with the cross-shard workload and oracles.
+
+    ``destruction=True`` makes every generated plan end in a
+    ``destroy_group`` catastrophe that the fused-backup tier must survive."""
     master = random.Random(seed)
     result = ExploreResult(seed=seed, budget=budget, plans_run=0)
     for index in range(budget):
         plan = generate_plan(
-            master.randrange(2**31), requests=requests, max_steps=max_steps
+            master.randrange(2**31),
+            requests=requests,
+            max_steps=max_steps,
+            destruction=destruction,
         )
         outcome = run_sharded_plan(
             plan, num_shards=num_shards, plant=plant, check_interval=check_interval

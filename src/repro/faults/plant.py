@@ -126,10 +126,43 @@ def plant_split_brain_decide(sharded) -> Callable[[], None]:
     return ensure
 
 
+def plant_forged_decide(sharded) -> Callable[[], None]:
+    """A compromised 2PC coordinator: every commit decide it sends carries an
+    *empty* vote certificate — the forgery a Byzantine client (or a
+    coordinator bug that skips vote collection) would produce.
+
+    Against an unhardened participant this commits writes no shard actually
+    voted for.  Against the hardened decide path the forgery is refused
+    (``TXN_BAD_CERT``, counted in ``txn_decides_rejected``), no write
+    applies, and the cross-shard atomicity oracle stays quiet — which is
+    exactly what the pin test asserts.
+    """
+
+    def ensure() -> None:
+        for client in sharded._clients.values():
+            if getattr(client, _PLANT_MARK, False):
+                continue
+            original = client.invoke_txn_async
+
+            def forging_invoke(writes, callback, client=client, original=original):
+                txid = original(writes, callback)
+                coordinator = client._coordinator
+                if coordinator is not None:
+                    coordinator.vote_certificate = lambda: []  # type: ignore[method-assign]
+                return txid
+
+            client.invoke_txn_async = forging_invoke  # type: ignore[method-assign]
+            setattr(client, _PLANT_MARK, True)
+
+    ensure()
+    return ensure
+
+
 #: Plants that sabotage a sharded deployment (``repro explore --shards N
 #: --plant NAME``); they take a :class:`~repro.bft.sharding.ShardedCluster`.
 SHARDED_PLANTED_BUGS: Dict[str, Callable] = {
     "split-brain-decide": plant_split_brain_decide,
+    "forged-decide": plant_forged_decide,
 }
 
 

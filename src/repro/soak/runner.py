@@ -192,6 +192,10 @@ def run_soak(
     problems = validate_plan(plan)
     if problems:
         raise ValueError(f"invalid campaign plan: {problems}")
+    if plan.has_destruction():
+        # Soak drives one BASE group; destroy_group needs the fused-backup
+        # tier over several (repro explore --shards N --destroy-group).
+        raise ValueError("destroy_group requires a sharded exploration run")
     overrides: Dict = {}
     if plan.topology:
         overrides.update(WAN_CONFIG_OVERRIDES)

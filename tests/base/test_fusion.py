@@ -1,0 +1,213 @@
+"""Property tests for the GF(256) fusion codec (ISSUE 10 satellite).
+
+Covers: cell/block round-trips, reconstruction from every <= t erasure
+pattern byte-identically, loud failure beyond t erasures, stripe-boundary
+and empty-object edge cases.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.base.fusion import (
+    FusionCodec,
+    FusionError,
+    cell_width_for,
+    decode_cell,
+    encode_cell,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    pack_block,
+    unpack_block,
+    xor_bytes,
+)
+
+
+# -- field arithmetic ---------------------------------------------------------------
+
+
+def test_gf_field_axioms():
+    rng = random.Random(7)
+    for _ in range(200):
+        a = rng.randrange(1, 256)
+        b = rng.randrange(1, 256)
+        c = rng.randrange(1, 256)
+        assert gf_mul(a, b) == gf_mul(b, a)
+        assert gf_mul(a, gf_mul(b, c)) == gf_mul(gf_mul(a, b), c)
+        assert gf_mul(a, 1) == a
+        assert gf_mul(a, gf_inv(a)) == 1
+        assert gf_div(gf_mul(a, b), b) == a
+
+
+def test_gf_inv_zero_is_loud():
+    with pytest.raises(FusionError):
+        gf_inv(0)
+
+
+# -- cells --------------------------------------------------------------------------
+
+
+def test_cell_round_trip():
+    rng = random.Random(11)
+    for _ in range(50):
+        value = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 40)))
+        lm = rng.randrange(0, 2**40)
+        width = cell_width_for(len(value)) + rng.randrange(0, 8)
+        assert decode_cell(encode_cell(lm, value, width)) == (lm, value)
+
+
+def test_cell_empty_value():
+    # Empty abstract objects (the genesis KV slots) are a legal cell.
+    cell = encode_cell(0, b"", 16)
+    assert len(cell) == 16
+    assert decode_cell(cell) == (0, b"")
+
+
+def test_cell_exact_stripe_boundary():
+    # Value exactly filling the slot: no padding byte at all.
+    value = b"x" * 20
+    width = cell_width_for(len(value))
+    cell = encode_cell(5, value, width)
+    assert len(cell) == width
+    assert decode_cell(cell) == (5, value)
+    # One byte over is loud, not truncated.
+    with pytest.raises(FusionError):
+        encode_cell(5, value + b"y", width)
+
+
+def test_cell_rejects_garbage():
+    with pytest.raises(FusionError):
+        decode_cell(b"\x00" * 4)  # shorter than header
+    good = encode_cell(1, b"ab", 20)
+    with pytest.raises(FusionError):
+        decode_cell(good[:-1] + b"\x01")  # nonzero padding
+    bad_len = good[:8] + (1000).to_bytes(4, "big") + good[12:]
+    with pytest.raises(FusionError):
+        decode_cell(bad_len)  # length field beyond the cell
+
+
+def test_block_round_trip():
+    leaves = [(3, b"alpha"), (0, b""), (9, b"long-ish value here")]
+    width = cell_width_for(max(len(v) for _, v in leaves))
+    block = pack_block(leaves, width)
+    assert len(block) == width * len(leaves)
+    assert unpack_block(block, width, len(leaves)) == leaves
+    with pytest.raises(FusionError):
+        unpack_block(block + b"\x00", width, len(leaves))
+
+
+# -- the codec ----------------------------------------------------------------------
+
+
+def _random_blocks(rng, count, width):
+    return [bytes(rng.randrange(256) for _ in range(width)) for _ in range(count)]
+
+
+@pytest.mark.parametrize("num_data,num_parity", [(2, 1), (4, 1), (3, 2), (4, 3)])
+def test_reconstruct_all_erasure_patterns(num_data, num_parity):
+    """Any <= t erased shares (data or parity) reconstruct byte-identically."""
+    rng = random.Random(num_data * 31 + num_parity)
+    blocks = _random_blocks(rng, num_data, 48)
+    codec = FusionCodec(num_data, num_parity)
+    parity = codec.encode(blocks)
+    shares = {i: b for i, b in enumerate(blocks)}
+    shares.update({num_data + j: p for j, p in enumerate(parity)})
+    total = num_data + num_parity
+    for erased_count in range(0, num_parity + 1):
+        for erased in itertools.combinations(range(total), erased_count):
+            surviving = {i: shares[i] for i in range(total) if i not in erased}
+            assert codec.reconstruct(surviving) == blocks, (
+                f"erasing {erased} of {total} shares did not round-trip"
+            )
+
+
+@pytest.mark.parametrize("num_data,num_parity", [(2, 1), (4, 1), (3, 2)])
+def test_too_many_erasures_fails_loudly(num_data, num_parity):
+    """> t erasures must raise, never return a silently wrong answer."""
+    rng = random.Random(99)
+    blocks = _random_blocks(rng, num_data, 32)
+    codec = FusionCodec(num_data, num_parity)
+    parity = codec.encode(blocks)
+    shares = {i: b for i, b in enumerate(blocks)}
+    shares.update({num_data + j: p for j, p in enumerate(parity)})
+    total = num_data + num_parity
+    for erased in itertools.combinations(range(total), num_parity + 1):
+        surviving = {i: shares[i] for i in range(total) if i not in erased}
+        with pytest.raises(FusionError):
+            codec.reconstruct(surviving)
+
+
+def test_single_parity_degenerates_consistently():
+    # t=1 must still reconstruct any single loss, including the parity.
+    rng = random.Random(3)
+    blocks = _random_blocks(rng, 4, 24)
+    codec = FusionCodec(4, 1)
+    parity = codec.encode(blocks)
+    assert len(parity) == 1
+    shares = {i: b for i, b in enumerate(blocks)}
+    shares[4] = parity[0]
+    for lost in range(4):
+        surviving = {i: v for i, v in shares.items() if i != lost}
+        assert codec.reconstruct_one(surviving, lost) == blocks[lost]
+
+
+def test_delta_update_matches_full_reencode():
+    """Incremental parity maintenance == re-encoding from scratch."""
+    rng = random.Random(17)
+    num_data, width, slot = 4, 60, 20
+    blocks = _random_blocks(rng, num_data, width)
+    codec = FusionCodec(num_data, 2)
+    parity = codec.encode(blocks)
+    for _ in range(25):
+        which = rng.randrange(num_data)
+        offset = rng.randrange(0, width // slot) * slot
+        new_cell = bytes(rng.randrange(256) for _ in range(slot))
+        old = blocks[which]
+        new = old[:offset] + new_cell + old[offset + slot :]
+        delta = xor_bytes(old[offset : offset + slot], new_cell)
+        blocks[which] = new
+        parity = [
+            codec.delta_update(j, parity[j], which, delta, offset)
+            for j in range(2)
+        ]
+        assert parity == codec.encode(blocks)
+
+
+def test_width_mismatch_is_loud():
+    codec = FusionCodec(2, 1)
+    with pytest.raises(FusionError):
+        codec.encode([b"aa", b"bbb"])
+    with pytest.raises(FusionError):
+        codec.reconstruct({0: b"aa", 2: b"bbb"})
+    with pytest.raises(FusionError):
+        xor_bytes(b"aa", b"bbb")
+
+
+def test_codec_parameter_validation():
+    with pytest.raises(FusionError):
+        FusionCodec(0, 1)
+    with pytest.raises(FusionError):
+        FusionCodec(1, 0)
+    with pytest.raises(FusionError):
+        FusionCodec(200, 100)
+    codec = FusionCodec(2, 1)
+    with pytest.raises(FusionError):
+        codec.reconstruct({0: b"aa", 7: b"aa"})  # share index out of range
+    with pytest.raises(FusionError):
+        codec.reconstruct_one({0: b"aa", 1: b"aa"}, 5)
+
+
+def test_empty_objects_stripe():
+    """A whole shard of empty objects (genesis state) round-trips."""
+    slot = cell_width_for(0)
+    leaves = [(0, b"")] * 5
+    blocks = [pack_block(leaves, slot) for _ in range(3)]
+    codec = FusionCodec(3, 1)
+    parity = codec.encode(blocks)
+    rebuilt = codec.reconstruct_one(
+        {1: blocks[1], 2: blocks[2], 3: parity[0]}, 0
+    )
+    assert rebuilt == blocks[0]
+    assert unpack_block(rebuilt, slot, 5) == leaves

@@ -18,11 +18,15 @@ from repro.bft.messages import (
     FetchMeta,
     FetchObject,
     FetchRoot,
+    FusionBlock,
+    FusionFetch,
     Lease,
     LeaseRevoke,
     MetaReply,
     NewView,
     ObjectReply,
+    ParityAck,
+    ParityUpdate,
     PrePrepare,
     Prepare,
     PreparedProof,
@@ -34,6 +38,7 @@ from repro.bft.messages import (
     SpecReply,
     Status,
     TransferRoot,
+    TxnDecide,
     ViewChange,
 )
 from repro.crypto.digest import digest
@@ -103,6 +108,33 @@ def golden_messages():
         ),
         "lease": Lease(view=2, epoch=5, seqno=24, primary_id="R2"),
         "lease_revoke": LeaseRevoke(view=2, epoch=5, primary_id="R2"),
+        # Fused-backup tier messages plus the hardened decide (pinned when
+        # the fusion tier landed; ``cert`` rides outside the signable prefix
+        # on parity_update/fusion_block by design — proof sets legitimately
+        # differ per sender — but still counts toward wire size).
+        "txn_decide": TxnDecide(
+            txid="C1:7", commit=True, votes=[(0, ["R0", "R2"]), (1, ["R1", "R3"])]
+        ),
+        "parity_update": ParityUpdate(
+            shard=1,
+            base_seqno=16,
+            seqno=32,
+            slot_width=96,
+            num_leaves=20,
+            deltas=[(3, b"\x01\x02\x03\x04"), (7, b"\xff\x00")],
+            cert=cert,
+        ),
+        "parity_ack": ParityAck(parity_id="F0", shard=1, seqno=32),
+        "fusion_fetch": FusionFetch(parity_id="F0", shard=1, seqno=0, slot_width=96),
+        "fusion_block": FusionBlock(
+            replica_id="R2",
+            shard=1,
+            seqno=16,
+            slot_width=96,
+            num_leaves=20,
+            block=b"fusion-block-bytes",
+            cert=cert,
+        ),
     }
 
 
@@ -130,6 +162,11 @@ SIGNABLE_HEX = {
     "spec_reply": "0000000a535045432d5245504c5900000000000000000002000000000000000700000002433100000000000252310000000000026f6b0000",
     "lease": "000000054c454153450000000000000000000002000000000000000500000000000000180000000252320000",
     "lease_revoke": "0000000c4c454153452d5245564f4b45000000000000000200000000000000050000000252320000",
+    "txn_decide": "0000000a54584e2d44454349444500000000000443313a370000000100000002000000000000000200000002523000000000000252320000000000010000000200000002523100000000000252330000",
+    "parity_update": "0000000d5041524954592d55504441544500000000000001000000000000001000000000000000200000006000000014000000020000000300000004010203040000000700000002ff000000",
+    "parity_ack": "0000000a5041524954592d41434b00000000000246300000000000010000000000000020",
+    "fusion_fetch": "0000000c465553494f4e2d4645544348000000024630000000000001000000000000000000000060",
+    "fusion_block": "0000000c465553494f4e2d424c4f434b0000000252320000000000010000000000000010000000600000001400000012667573696f6e2d626c6f636b2d62797465730000",
 }
 
 WIRE_SIZES = {
@@ -156,6 +193,11 @@ WIRE_SIZES = {
     "spec_reply": 56,
     "lease": 44,
     "lease_revoke": 40,
+    "txn_decide": 80,
+    "parity_update": 240,
+    "parity_ack": 36,
+    "fusion_fetch": 40,
+    "fusion_block": 232,
 }
 
 BATCH_DIGEST_HEX = "9b0272ae6e391ff404e816f33ed75948333e7e6d8140953b4a5cdae9ff36ac2f"

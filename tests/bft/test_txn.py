@@ -7,6 +7,7 @@ from repro.bft.messages import TxnDecide, TxnPrepare
 from repro.bft.testing import KVStateMachine, encode_set
 from repro.bft.txn import (
     TXN_ABORTED,
+    TXN_BAD_CERT,
     TXN_COMMITTED,
     VOTE_ABORT,
     VOTE_COMMIT,
@@ -60,9 +61,17 @@ def _prepare(service, txid, writes, read_only=False):
     )
 
 
-def _decide(service, txid, commit):
+def _decide(service, txid, commit, votes=None):
+    # Commit decides must carry the per-shard vote certificate (f+1 ids per
+    # participant shard); default to a well-formed one for this service's
+    # weak quorum of 2.  Aborts need none.
+    if votes is None and commit:
+        votes = [(0, ["R0", "R1"])]
     return service.execute(
-        encode_txn_decide(txid, commit), client_id="C0", nondet=b"", read_only=False
+        encode_txn_decide(txid, commit, votes),
+        client_id="C0",
+        nondet=b"",
+        read_only=False,
     )
 
 
@@ -181,3 +190,54 @@ def test_table_cell_is_deterministic():
 def test_participant_requires_the_reserved_cell():
     with pytest.raises(ValueError):
         TxnParticipant(KVStateMachine(num_slots=1, disk={}), 0)
+
+
+# -- vote-certificate verification (hardened decides) --------------------------
+
+
+def test_decide_votes_round_trip_through_op_bytes():
+    votes = [(0, ["R0", "R2"]), (3, ["R1", "R3"])]
+    message = decode_txn_op(encode_txn_decide("C0:7", True, votes))
+    assert isinstance(message, TxnDecide)
+    assert message.votes == votes
+
+
+def test_commit_without_certificate_is_rejected():
+    """A forged commit decide carrying no f+1 vote certificate must not
+    apply writes, must not release locks, and must not settle the outcome —
+    the real coordinator's (or a recovering one's) certified decide still
+    lands afterwards."""
+    service = _service()
+    assert _prepare(service, "t1", [(1, b"a")]) == VOTE_COMMIT
+    assert _decide(service, "t1", True, votes=[]) == TXN_BAD_CERT
+    assert service.cells[1] == b""
+    assert service.participant.locked(1)
+    assert service.participant.decisions == {}
+    assert service.participant.counters.get("txn_decides_rejected") == 1
+    # The certified decide settles normally afterwards.
+    assert _decide(service, "t1", True) == TXN_COMMITTED
+    assert service.cells[1] == b"a"
+
+
+def test_commit_with_thin_certificate_is_rejected():
+    """Every participant shard's entry needs f+1 *distinct* replica ids."""
+    service = _service()
+    _prepare(service, "t1", [(1, b"a")])
+    assert _decide(service, "t1", True, votes=[(0, ["R0"])]) == TXN_BAD_CERT
+    assert _decide(service, "t1", True, votes=[(0, ["R0", "R0"])]) == TXN_BAD_CERT
+    assert _decide(service, "t1", True, votes=[(0, ["R0", ""])]) == TXN_BAD_CERT
+    assert (
+        _decide(service, "t1", True, votes=[(0, ["R0", "R1"]), (0, ["R2", "R3"])])
+        == TXN_BAD_CERT
+    )  # duplicate shard entries cannot widen a thin certificate
+    assert service.participant.counters.get("txn_decides_rejected") == 4
+    assert _decide(service, "t1", True) == TXN_COMMITTED
+
+
+def test_abort_needs_no_certificate():
+    """Aborts are safe to apply on any evidence — the status quo outcome —
+    and abandoned-coordinator cleanup depends on certificate-free aborts."""
+    service = _service()
+    _prepare(service, "t1", [(1, b"a")])
+    assert _decide(service, "t1", False, votes=[]) == TXN_ABORTED
+    assert not service.participant.locked(1)

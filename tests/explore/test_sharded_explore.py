@@ -74,6 +74,57 @@ def test_artifact_records_the_shard_count(tmp_path):
     assert json.loads(path.read_text())["shards"] == 2
 
 
+def test_forged_decide_is_rejected_not_split_brained():
+    """The hardened decide path turns a coordinator forging certificate-less
+    commits from a split-brain catastrophe into a non-event: every forged
+    decide is refused, nothing applies, and no oracle fires."""
+    result = explore_sharded(
+        budget=3, seed=0, requests=16, num_shards=2, plant="forged-decide", shrink=False
+    )
+    assert not result.found
+    rejected = sum(
+        v["outcome"]["counters"]["txn_decides_rejected"] for v in result.verdicts
+    )
+    applied = sum(
+        v["outcome"]["counters"]["txn_commits_applied"] for v in result.verdicts
+    )
+    assert rejected > 0
+    assert applied == 0
+
+
+def test_destruction_plan_reconstructs_and_stays_safe():
+    plan = generate_plan(1, destruction=True)
+    assert plan.has_destruction()
+    outcome = run_sharded_plan(plan, num_shards=2)
+    assert outcome.violation is None
+    assert outcome.counters["fusion_reconstructions_completed"] == 1
+    assert outcome.counters["fusion_reconstructions_failed"] == 0
+    assert outcome.counters["fusion_replicas_seeded"] == 4
+    assert outcome.counters["fusion_destroys_skipped"] == 0
+
+
+def test_destruction_runs_are_deterministic():
+    plan = generate_plan(2, destruction=True)
+    first = run_sharded_plan(plan, num_shards=2)
+    second = run_sharded_plan(plan, num_shards=2)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_destruction_is_rejected_by_single_group_runs():
+    from repro.explore.runner import run_plan
+
+    plan = generate_plan(3, destruction=True)
+    with pytest.raises(ValueError):
+        run_plan(plan)
+
+
+def test_default_plans_never_destroy():
+    """``destruction`` is opt-in: the default plan stream must stay
+    byte-identical across versions, destroy steps included."""
+    for seed in range(30):
+        assert not generate_plan(seed).has_destruction()
+
+
 def test_single_group_artifacts_carry_no_shard_key():
     plan = generate_plan(1, requests=8)
     violation_stub = type(

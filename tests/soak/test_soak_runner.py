@@ -59,6 +59,20 @@ def test_invalid_plan_rejected():
         run_soak(plan)
 
 
+def test_destruction_plan_rejected():
+    # Soak drives a single BASE group; destroying it is unrecoverable (the
+    # fused-backup tier needs surviving sibling groups), so the harness
+    # refuses up front instead of exploding mid-campaign.
+    plan = FaultPlan(
+        seed=1,
+        requests=0,
+        topology="wan3",
+        steps=(FaultStep(at=10.0, kind="destroy_group", index=0),),
+    )
+    with pytest.raises(ValueError, match="sharded"):
+        run_soak(plan)
+
+
 def test_artifact_round_trip_and_replay_equality(tmp_path):
     path = tmp_path / "soak.json"
     plan = small_campaign()
